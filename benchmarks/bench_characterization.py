@@ -1,0 +1,90 @@
+"""FW1 — the characterization of Section 7's first future-work item.
+
+"First, we need a precise characterization of nested queries requiring
+grouping or not."  This bench regenerates that characterization for every
+Table 1 operator between blocks (plus the Table 2 predicate forms) and
+cross-checks each verdict against the optimizer's actual behaviour and —
+for the grouping classes — against whether raw grouping really breaks on
+a dangling-tuple instance.
+"""
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.typecheck import TypeChecker
+from repro.engine.interpreter import Interpreter
+from repro.rewrite.characterize import NestingClass, characterize_select
+from repro.rewrite.common import RewriteContext
+from repro.rewrite.rules_grouping import unnest_by_grouping
+from repro.rewrite.strategy import Optimizer
+from repro.workload.harness import print_table
+from repro.workload.paper_db import figure2_catalog, figure2_database
+
+X, Y = B.var("x"), B.var("y")
+CORR = B.eq(B.attr(X, "a"), B.attr(Y, "d"))
+SUB = B.sel("y", CORR, B.extent("Y"))
+
+CASES = [
+    ("x.m ∈ Y'", B.member(B.attr(X, "m"), SUB)),
+    ("x.c ⊂ Y'", B.subset(B.attr(X, "c"), SUB)),
+    ("x.c ⊆ Y'", B.subseteq(B.attr(X, "c"), SUB)),
+    ("x.c = Y'", B.seteq(B.attr(X, "c"), SUB)),
+    ("x.c ⊇ Y'", B.supseteq(B.attr(X, "c"), SUB)),
+    ("x.c ⊃ Y'", B.supset(B.attr(X, "c"), SUB)),
+    ("Y' = ∅", B.is_empty(SUB)),
+    ("count(Y') = 0", B.eq(B.count(SUB), 0)),
+    ("disjoint(x.c, Y')", B.disjoint(B.attr(X, "c"), SUB)),
+    ("∃y ∈ Y • q", B.exists("y", B.extent("Y"), CORR)),
+]
+
+#: Cases whose predicate is well-typed on the Figure 2 instance, used for
+#: the does-grouping-actually-break cross-check.
+RUNNABLE = {"x.c ⊂ Y'", "x.c ⊆ Y'", "x.c = Y'", "x.c ⊇ Y'", "x.c ⊃ Y'",
+            "disjoint(x.c, Y')", "Y' = ∅", "count(Y') = 0", "∃y ∈ Y • q"}
+
+
+def test_characterization(benchmark):
+    ctx = RewriteContext(checker=TypeChecker(figure2_catalog()))
+    optimizer = Optimizer(figure2_catalog())
+    db = figure2_database()
+    interp = Interpreter(db)
+
+    rows = []
+    for label, pred in CASES:
+        query = B.sel("x", pred, B.extent("X"))
+        verdict = characterize_select(query)
+        result = optimizer.optimize(query)
+
+        grouping_breaks = "n/a"
+        if label in RUNNABLE:
+            buggy = unnest_by_grouping(query, ctx)
+            if buggy is not None:
+                grouping_breaks = str(interp.eval(buggy) != interp.eval(query))
+            # correctness of the chosen plan, always
+            assert interp.eval(result.expr) == interp.eval(query), label
+
+        # the verdict must predict the optimizer's option family
+        if verdict.verdict is NestingClass.RELATIONAL:
+            assert result.option in ("relational",), label
+        elif verdict.verdict is NestingClass.GROUPING_SAFE:
+            assert result.option in ("grouping", "relational"), label
+        elif verdict.verdict is NestingClass.GROUPING_UNSAFE:
+            assert result.option in ("nestjoin", "combined"), label
+            # P(x, ∅) = true means every dangling tuple is wrongly lost:
+            # grouping must break on this instance; '?' may or may not
+            # break depending on the data, so only the conservative routing
+            # is asserted for it.
+            from repro.rewrite.analysis import TriBool
+
+            if grouping_breaks != "n/a" and verdict.empty_value is TriBool.TRUE:
+                assert grouping_breaks == "True", label
+
+        rows.append((label, verdict.verdict.value, result.option, grouping_breaks))
+
+    print_table(
+        ["P(x, Y')", "characterization", "optimizer option", "raw grouping wrong?"],
+        rows,
+        title="FW1 — characterization of nested queries (Section 7, future work item 1)",
+    )
+
+    benchmark(lambda: [characterize_select(B.sel("x", pred, B.extent("X")))
+                       for _, pred in CASES])

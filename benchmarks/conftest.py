@@ -1,0 +1,19 @@
+"""Benchmark-suite conftest: surface the regenerated paper artifacts.
+
+Each benchmark prints the table/figure it regenerates through
+``repro.workload.harness.print_table``; pytest captures per-test stdout,
+so the registry is flushed here into the terminal summary — the teed
+benchmark log then contains every reproduced artifact after the dots.
+"""
+
+from repro.workload import harness
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not harness.RENDERED_TABLES:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for text in harness.RENDERED_TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,169 @@
+"""Pretty printer: render ADL expressions in the paper's surface notation.
+
+The output mirrors Section 3's notation as closely as plain Unicode allows::
+
+    σ[x : p](X)                selection
+    α[x : f](X)                map
+    X ⋈⟨x,y : p⟩ Y            join          (⋉ semijoin, ▷ antijoin)
+    X ⊣⟨x,y : p ; f ; a⟩ Y    nestjoin
+    μ_a(X)   ν_{a,b→c}(X)     unnest / nest
+    ∃y ∈ Y • p                quantifiers
+
+Rewrite traces print through this module, so the derivations in the tests
+and benchmark output read like the paper's own rewriting examples.
+"""
+
+from __future__ import annotations
+
+from repro.adl import ast as A
+from repro.datamodel.values import format_value
+
+_SET_CMP_SYMBOL = {
+    "in": "∈",
+    "notin": "∉",
+    "subset": "⊂",
+    "subseteq": "⊆",
+    "seteq": "=",
+    "setneq": "≠",
+    "supseteq": "⊇",
+    "supset": "⊃",
+    "ni": "∋",
+    "notni": "∌",
+    "disjoint": "∩∅",
+}
+
+_JOIN_SYMBOL = {
+    A.Join: "⋈",
+    A.SemiJoin: "⋉",
+    A.AntiJoin: "▷",
+    A.OuterJoin: "⟕",
+}
+
+
+def pretty(expr: A.Expr) -> str:
+    """Single-line rendering of an ADL expression."""
+    return _p(expr)
+
+
+def _p(expr: A.Expr) -> str:
+    if isinstance(expr, A.Literal):
+        return format_value(expr.value)
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, A.ExtentRef):
+        return expr.name
+    if isinstance(expr, A.AttrAccess):
+        return f"{_p_atomic(expr.base)}.{expr.attr}"
+    if isinstance(expr, A.TupleExpr):
+        inner = ", ".join(f"{n} = {_p(e)}" for n, e in expr.fields)
+        return f"({inner})"
+    if isinstance(expr, A.SetExpr):
+        return "{" + ", ".join(_p(e) for e in expr.elements) + "}"
+    if isinstance(expr, A.TupleSubscript):
+        return f"{_p_atomic(expr.base)}[{', '.join(expr.attrs)}]"
+    if isinstance(expr, A.TupleUpdate):
+        updates = ", ".join(f"{n} = {_p(e)}" for n, e in expr.updates)
+        return f"{_p_atomic(expr.base)} except ({updates})"
+    if isinstance(expr, A.Concat):
+        return f"{_p_atomic(expr.left)} o {_p_atomic(expr.right)}"
+    if isinstance(expr, A.Arith):
+        return f"({_p(expr.left)} {expr.op} {_p(expr.right)})"
+    if isinstance(expr, A.Neg):
+        return f"(-{_p(expr.operand)})"
+    if isinstance(expr, A.Compare):
+        return f"{_p(expr.left)} {expr.op} {_p(expr.right)}"
+    if isinstance(expr, A.SetCompare):
+        if expr.op == "disjoint":
+            return f"disjoint({_p(expr.left)}, {_p(expr.right)})"
+        return f"{_p(expr.left)} {_SET_CMP_SYMBOL[expr.op]} {_p(expr.right)}"
+    if isinstance(expr, A.And):
+        return f"({_p(expr.left)} ∧ {_p(expr.right)})"
+    if isinstance(expr, A.Or):
+        return f"({_p(expr.left)} ∨ {_p(expr.right)})"
+    if isinstance(expr, A.Not):
+        return f"¬({_p(expr.operand)})"
+    if isinstance(expr, A.IsEmpty):
+        return f"{_p_atomic(expr.operand)} = ∅"
+    if isinstance(expr, A.Exists):
+        return f"∃{expr.var} ∈ {_p(expr.source)} • {_p(expr.pred)}"
+    if isinstance(expr, A.Forall):
+        return f"∀{expr.var} ∈ {_p(expr.source)} • {_p(expr.pred)}"
+    if isinstance(expr, A.Map):
+        return f"α[{expr.var} : {_p(expr.body)}]({_p(expr.source)})"
+    if isinstance(expr, A.Select):
+        return f"σ[{expr.var} : {_p(expr.pred)}]({_p(expr.source)})"
+    if isinstance(expr, A.Project):
+        return f"π_{{{', '.join(expr.attrs)}}}({_p(expr.source)})"
+    if isinstance(expr, A.Rename):
+        renames = ", ".join(f"{old}→{new}" for old, new in expr.renames)
+        return f"ρ_{{{renames}}}({_p(expr.source)})"
+    if isinstance(expr, A.Flatten):
+        return f"⊔({_p(expr.source)})"
+    if isinstance(expr, A.Unnest):
+        return f"μ_{expr.attr}({_p(expr.source)})"
+    if isinstance(expr, A.Nest):
+        return f"ν_{{{', '.join(expr.attrs)}→{expr.as_attr}}}({_p(expr.source)})"
+    if isinstance(expr, A.CartProd):
+        return f"({_p(expr.left)} × {_p(expr.right)})"
+    if isinstance(expr, (A.Join, A.SemiJoin, A.AntiJoin)):
+        symbol = _JOIN_SYMBOL[type(expr)]
+        return (
+            f"({_p(expr.left)} {symbol}⟨{expr.lvar},{expr.rvar} : {_p(expr.pred)}⟩ "
+            f"{_p(expr.right)})"
+        )
+    if isinstance(expr, A.OuterJoin):
+        return (
+            f"({_p(expr.left)} ⟕⟨{expr.lvar},{expr.rvar} : {_p(expr.pred)}⟩ "
+            f"{_p(expr.right)})"
+        )
+    if isinstance(expr, A.NestJoin):
+        result = _p(expr.result)
+        return (
+            f"({_p(expr.left)} ⊣⟨{expr.lvar},{expr.rvar} : {_p(expr.pred)} ; "
+            f"{result} ; {expr.as_attr}⟩ {_p(expr.right)})"
+        )
+    if isinstance(expr, A.Division):
+        return f"({_p(expr.left)} ÷ {_p(expr.right)})"
+    if isinstance(expr, A.Union):
+        return f"({_p(expr.left)} ∪ {_p(expr.right)})"
+    if isinstance(expr, A.Intersect):
+        return f"({_p(expr.left)} ∩ {_p(expr.right)})"
+    if isinstance(expr, A.Difference):
+        return f"({_p(expr.left)} − {_p(expr.right)})"
+    if isinstance(expr, A.Aggregate):
+        return f"{expr.func}({_p(expr.source)})"
+    if isinstance(expr, A.Materialize):
+        return f"mat_{{{expr.attr}→{expr.as_attr} : {expr.class_name}}}({_p(expr.source)})"
+    raise TypeError(f"no pretty form for {type(expr).__name__}")
+
+
+def _p_atomic(expr: A.Expr) -> str:
+    """Parenthesize operands that would otherwise read ambiguously."""
+    text = _p(expr)
+    if isinstance(
+        expr,
+        (A.Literal, A.Var, A.ExtentRef, A.AttrAccess, A.TupleExpr, A.SetExpr,
+         A.TupleSubscript, A.Aggregate, A.Map, A.Select, A.Project, A.Rename,
+         A.Flatten, A.Unnest, A.Nest, A.Materialize),
+    ):
+        return text
+    return f"({text})"
+
+
+def pretty_tree(expr: A.Expr, indent: str = "") -> str:
+    """Multi-line, indented rendering — useful for large plans."""
+    label = type(expr).__name__
+    details = []
+    for name in ("var", "lvar", "rvar", "attr", "as_attr", "attrs", "op", "func", "name", "class_name"):
+        if hasattr(expr, name):
+            value = getattr(expr, name)
+            if isinstance(value, tuple):
+                value = ",".join(map(str, value))
+            details.append(f"{name}={value}")
+    if isinstance(expr, A.Literal):
+        details.append(format_value(expr.value))
+    head = f"{indent}{label}" + (f" [{' '.join(details)}]" if details else "")
+    lines = [head]
+    for child in expr.child_exprs():
+        lines.append(pretty_tree(child, indent + "  "))
+    return "\n".join(lines)

@@ -1,0 +1,402 @@
+"""Static type checker for ADL expressions.
+
+ADL is a *typed* algebra (Section 3): the checker below assigns every
+expression a :mod:`repro.datamodel.types` type or raises
+:class:`TypeCheckError`.  It is used three ways:
+
+* the translator consults it to disambiguate ``=`` between scalar and set
+  equality and to resolve path expressions through object references;
+* the rewrite engine can (optionally) re-check every rewrite output, which
+  the test suite does for all paper derivations;
+* the physical planner reads operand tuple types to pick join columns.
+
+Path expressions through references (``e.supplier.sname`` where
+``supplier : oid(Supplier)``) type-check by *implicit dereference*: an
+attribute access on an ``oid(C)`` value looks the attribute up in class
+``C``'s object type.  The materialize operator makes the same dereference
+explicit (Section 6.2); the checker treats both identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.adl import ast as A
+from repro.datamodel.errors import TypeCheckError
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    AnyType,
+    AtomType,
+    OidType,
+    SetType,
+    TupleType,
+    Type,
+    is_comparable,
+    is_numeric,
+    type_of_value,
+    unify,
+)
+
+
+class TypeChecker:
+    """Checks ADL expressions against a schema and a variable environment."""
+
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self.schema = schema
+
+    # -- public API --------------------------------------------------------
+    def check(self, expr: A.Expr, env: Optional[Mapping[str, Type]] = None) -> Type:
+        return self._check(expr, dict(env or {}))
+
+    # -- helpers -------------------------------------------------------------
+    def _elem(self, expr: A.Expr, env: Dict[str, Type], what: str) -> Type:
+        t = self._check(expr, env)
+        if isinstance(t, AnyType):
+            return ANY
+        if not isinstance(t, SetType):
+            raise TypeCheckError(f"{what} must be a set, got {t!r} in {expr}")
+        return t.element
+
+    def _tuple_elem(self, expr: A.Expr, env: Dict[str, Type], what: str) -> TupleType:
+        elem = self._elem(expr, env, what)
+        if isinstance(elem, AnyType):
+            return TupleType({})
+        if not isinstance(elem, TupleType):
+            raise TypeCheckError(f"{what} must be a set of tuples, got element {elem!r}")
+        return elem
+
+    def _bool(self, expr: A.Expr, env: Dict[str, Type], what: str) -> None:
+        t = self._check(expr, env)
+        if not BOOL.is_assignable_from(t):
+            raise TypeCheckError(f"{what} must be boolean, got {t!r} in {expr}")
+
+    def _deref(self, t: Type, attribute: str, context: A.Expr) -> Type:
+        """Attribute lookup with implicit dereference of oid references."""
+        if isinstance(t, AnyType):
+            return ANY
+        if isinstance(t, TupleType):
+            return t.field(attribute)
+        if isinstance(t, OidType):
+            if self.schema is None or t.class_name is None:
+                raise TypeCheckError(
+                    f"cannot dereference untyped oid for attribute {attribute!r} in {context}"
+                )
+            return self.schema.object_type(t.class_name).field(attribute)
+        raise TypeCheckError(f"attribute access {attribute!r} on non-tuple type {t!r} in {context}")
+
+    @staticmethod
+    def _concat_types(left: TupleType, right: TupleType, what: str) -> TupleType:
+        clash = set(left.fields) & set(right.fields)
+        if clash:
+            raise TypeCheckError(f"{what}: attribute clash {sorted(clash)}")
+        merged = dict(left.fields)
+        merged.update(right.fields)
+        return TupleType(merged)
+
+    # -- the checker ---------------------------------------------------------
+    def _check(self, expr: A.Expr, env: Dict[str, Type]) -> Type:
+        if isinstance(expr, A.Literal):
+            return type_of_value(expr.value)
+
+        if isinstance(expr, A.Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise TypeCheckError(f"unbound variable {expr.name!r}") from None
+
+        if isinstance(expr, A.ExtentRef):
+            if self.schema is None:
+                raise TypeCheckError(f"no schema available to resolve extent {expr.name!r}")
+            return self.schema.extent_type(expr.name)
+
+        if isinstance(expr, A.AttrAccess):
+            return self._deref(self._check(expr.base, env), expr.attr, expr)
+
+        if isinstance(expr, A.TupleExpr):
+            return TupleType({n: self._check(e, env) for n, e in expr.fields})
+
+        if isinstance(expr, A.SetExpr):
+            element: Type = ANY
+            for item in expr.elements:
+                element = unify(element, self._check(item, env), "set expression")
+            return SetType(element)
+
+        if isinstance(expr, A.TupleSubscript):
+            base = self._check(expr.base, env)
+            if isinstance(base, AnyType):
+                return ANY
+            if not isinstance(base, TupleType):
+                raise TypeCheckError(f"tuple subscription on non-tuple {base!r}")
+            return base.subscript(expr.attrs)
+
+        if isinstance(expr, A.TupleUpdate):
+            base = self._check(expr.base, env)
+            if isinstance(base, AnyType):
+                base = TupleType({})
+            if not isinstance(base, TupleType):
+                raise TypeCheckError(f"'except' on non-tuple {base!r}")
+            fields = dict(base.fields)
+            for name, e in expr.updates:
+                fields[name] = self._check(e, env)
+            return TupleType(fields)
+
+        if isinstance(expr, A.Concat):
+            left = self._check(expr.left, env)
+            right = self._check(expr.right, env)
+            if not isinstance(left, TupleType) or not isinstance(right, TupleType):
+                raise TypeCheckError("tuple concatenation needs tuple operands")
+            return self._concat_types(left, right, "concatenation")
+
+        if isinstance(expr, A.Arith):
+            left = self._check(expr.left, env)
+            right = self._check(expr.right, env)
+            for t in (left, right):
+                if not (isinstance(t, AnyType) or is_numeric(t)):
+                    raise TypeCheckError(f"arithmetic on non-numeric {t!r} in {expr}")
+            out = unify(left, right, "arithmetic")
+            if expr.op == "/":
+                return FLOAT
+            return out if not isinstance(out, AnyType) else INT
+
+        if isinstance(expr, A.Neg):
+            t = self._check(expr.operand, env)
+            if not (isinstance(t, AnyType) or is_numeric(t)):
+                raise TypeCheckError(f"negation of non-numeric {t!r}")
+            return t
+
+        if isinstance(expr, A.Compare):
+            left = self._check(expr.left, env)
+            right = self._check(expr.right, env)
+            unify(left, right, f"comparison {expr.op}")
+            if expr.op not in ("=", "!="):
+                for t in (left, right):
+                    if not (isinstance(t, AnyType) or is_comparable(t)):
+                        raise TypeCheckError(f"ordering {expr.op} on non-comparable {t!r}")
+            return BOOL
+
+        if isinstance(expr, A.SetCompare):
+            return self._check_setcompare(expr, env)
+
+        if isinstance(expr, (A.And, A.Or)):
+            self._bool(expr.left, env, "boolean operand")
+            self._bool(expr.right, env, "boolean operand")
+            return BOOL
+
+        if isinstance(expr, A.Not):
+            self._bool(expr.operand, env, "negated operand")
+            return BOOL
+
+        if isinstance(expr, A.IsEmpty):
+            self._elem(expr.operand, env, "emptiness test operand")
+            return BOOL
+
+        if isinstance(expr, (A.Exists, A.Forall)):
+            element = self._elem(expr.source, env, "quantifier range")
+            inner = dict(env)
+            inner[expr.var] = element
+            self._bool(expr.pred, inner, "quantifier body")
+            return BOOL
+
+        if isinstance(expr, A.Map):
+            element = self._elem(expr.source, env, "map operand")
+            inner = dict(env)
+            inner[expr.var] = element
+            return SetType(self._check(expr.body, inner))
+
+        if isinstance(expr, A.Select):
+            t = self._check(expr.source, env)
+            if isinstance(t, AnyType):
+                t = SetType(ANY)
+            if not isinstance(t, SetType):
+                raise TypeCheckError(f"selection operand must be a set, got {t!r}")
+            inner = dict(env)
+            inner[expr.var] = t.element
+            self._bool(expr.pred, inner, "selection predicate")
+            return t
+
+        if isinstance(expr, A.Project):
+            element = self._tuple_elem(expr.source, env, "projection operand")
+            return SetType(element.subscript(expr.attrs))
+
+        if isinstance(expr, A.Rename):
+            element = self._tuple_elem(expr.source, env, "rename operand")
+            fields = dict(element.fields)
+            for old, new in expr.renames:
+                if old not in fields:
+                    raise TypeCheckError(f"rename of missing attribute {old!r}")
+                if new in fields and new != old:
+                    raise TypeCheckError(f"rename target {new!r} already exists")
+            for old, new in expr.renames:
+                fields[new] = fields.pop(old)
+            return SetType(TupleType(fields))
+
+        if isinstance(expr, A.Flatten):
+            element = self._elem(expr.source, env, "flatten operand")
+            if isinstance(element, AnyType):
+                return SetType(ANY)
+            if not isinstance(element, SetType):
+                raise TypeCheckError(f"flatten needs a set of sets, got element {element!r}")
+            return element
+
+        if isinstance(expr, A.Unnest):
+            element = self._tuple_elem(expr.source, env, "unnest operand")
+            inner = element.field(expr.attr)
+            if isinstance(inner, AnyType):
+                return SetType(ANY)
+            if not isinstance(inner, SetType):
+                raise TypeCheckError(f"unnest attribute {expr.attr!r} is not set-valued: {inner!r}")
+            inner_elem = inner.element
+            if isinstance(inner_elem, AnyType):
+                inner_elem = TupleType({})
+            if not isinstance(inner_elem, TupleType):
+                raise TypeCheckError(
+                    f"unnest attribute {expr.attr!r} must hold tuples, got {inner_elem!r}"
+                )
+            rest = element.drop((expr.attr,))
+            return SetType(self._concat_types(inner_elem, rest, "unnest"))
+
+        if isinstance(expr, A.Nest):
+            element = self._tuple_elem(expr.source, env, "nest operand")
+            for a in expr.attrs:
+                element.field(a)  # existence check
+            rest = element.drop(expr.attrs)
+            if expr.as_attr in rest.fields:
+                raise TypeCheckError(f"nest target attribute {expr.as_attr!r} already exists")
+            grouped = SetType(element.subscript(expr.attrs))
+            fields = dict(rest.fields)
+            fields[expr.as_attr] = grouped
+            return SetType(TupleType(fields))
+
+        if isinstance(expr, A.CartProd):
+            left = self._tuple_elem(expr.left, env, "product operand")
+            right = self._tuple_elem(expr.right, env, "product operand")
+            return SetType(self._concat_types(left, right, "product"))
+
+        if isinstance(expr, (A.Join, A.OuterJoin)):
+            left = self._tuple_elem(expr.left, env, "join operand")
+            right = self._tuple_elem(expr.right, env, "join operand")
+            inner = dict(env)
+            inner[expr.lvar] = left
+            inner[expr.rvar] = right
+            self._bool(expr.pred, inner, "join predicate")
+            if isinstance(expr, A.OuterJoin) and right.fields and set(expr.right_attrs) != set(right.fields):
+                raise TypeCheckError(
+                    f"outerjoin right_attrs {sorted(expr.right_attrs)} do not match "
+                    f"right operand attributes {sorted(right.fields)}"
+                )
+            return SetType(self._concat_types(left, right, "join"))
+
+        if isinstance(expr, (A.SemiJoin, A.AntiJoin)):
+            left_t = self._check(expr.left, env)
+            left = self._tuple_elem(expr.left, env, "semijoin operand")
+            right = self._tuple_elem(expr.right, env, "semijoin operand")
+            inner = dict(env)
+            inner[expr.lvar] = left
+            inner[expr.rvar] = right
+            self._bool(expr.pred, inner, "semijoin predicate")
+            return left_t if isinstance(left_t, SetType) else SetType(left)
+
+        if isinstance(expr, A.NestJoin):
+            left = self._tuple_elem(expr.left, env, "nestjoin operand")
+            right = self._tuple_elem(expr.right, env, "nestjoin operand")
+            inner = dict(env)
+            inner[expr.lvar] = left
+            inner[expr.rvar] = right
+            self._bool(expr.pred, inner, "nestjoin predicate")
+            result_t = self._check(expr.result, inner)
+            if expr.as_attr in left.fields:
+                raise TypeCheckError(
+                    f"nestjoin attribute {expr.as_attr!r} clashes with left operand"
+                )
+            fields = dict(left.fields)
+            fields[expr.as_attr] = SetType(result_t)
+            return SetType(TupleType(fields))
+
+        if isinstance(expr, A.Division):
+            left = self._tuple_elem(expr.left, env, "division dividend")
+            right = self._tuple_elem(expr.right, env, "division divisor")
+            if not set(right.fields) <= set(left.fields):
+                raise TypeCheckError(
+                    "division divisor attributes must be a subset of dividend attributes"
+                )
+            for name, t in right.fields.items():
+                unify(left.fields[name], t, f"division attribute {name}")
+            keep = [a for a in left.fields if a not in right.fields]
+            return SetType(left.subscript(keep))
+
+        if isinstance(expr, (A.Union, A.Intersect, A.Difference)):
+            left = self._check(expr.left, env)
+            right = self._check(expr.right, env)
+            out = unify(left, right, "set operation")
+            if isinstance(out, AnyType):
+                return SetType(ANY)
+            if not isinstance(out, SetType):
+                raise TypeCheckError(f"set operation on non-sets: {left!r}, {right!r}")
+            return out
+
+        if isinstance(expr, A.Aggregate):
+            element = self._elem(expr.source, env, "aggregate operand")
+            if expr.func == "count":
+                return INT
+            if expr.func in ("sum", "min", "max", "avg"):
+                if isinstance(element, AnyType):
+                    return FLOAT if expr.func == "avg" else ANY
+                if expr.func in ("sum", "avg") and not is_numeric(element):
+                    raise TypeCheckError(f"{expr.func} over non-numeric {element!r}")
+                if expr.func in ("min", "max") and not is_comparable(element):
+                    raise TypeCheckError(f"{expr.func} over non-comparable {element!r}")
+                return FLOAT if expr.func == "avg" else element
+            raise TypeCheckError(f"unknown aggregate {expr.func!r}")
+
+        if isinstance(expr, A.Materialize):
+            element = self._tuple_elem(expr.source, env, "materialize operand")
+            if self.schema is None:
+                raise TypeCheckError("materialize requires a schema")
+            ref_t = element.field(expr.attr)
+            obj_t = self.schema.object_type(expr.class_name)
+            if isinstance(ref_t, OidType):
+                attached: Type = obj_t
+            elif isinstance(ref_t, SetType) and isinstance(ref_t.element, (OidType, AnyType)):
+                attached = SetType(obj_t)
+            else:
+                raise TypeCheckError(
+                    f"materialize attribute {expr.attr!r} must hold oid(s), got {ref_t!r}"
+                )
+            if expr.as_attr in element.fields:
+                raise TypeCheckError(
+                    f"materialize target {expr.as_attr!r} clashes with existing attribute"
+                )
+            fields = dict(element.fields)
+            fields[expr.as_attr] = attached
+            return SetType(TupleType(fields))
+
+        raise TypeCheckError(f"no typing rule for {type(expr).__name__}")
+
+    def _check_setcompare(self, expr: A.SetCompare, env: Dict[str, Type]) -> Type:
+        left = self._check(expr.left, env)
+        right = self._check(expr.right, env)
+        op = expr.op
+        if op in ("in", "notin"):
+            if isinstance(right, AnyType):
+                return BOOL
+            if not isinstance(right, SetType):
+                raise TypeCheckError(f"right operand of ∈ must be a set, got {right!r}")
+            unify(left, right.element, "membership")
+            return BOOL
+        if op in ("ni", "notni"):
+            if isinstance(left, AnyType):
+                return BOOL
+            if not isinstance(left, SetType):
+                raise TypeCheckError(f"left operand of ∋ must be a set, got {left!r}")
+            unify(right, left.element, "containment")
+            return BOOL
+        # remaining operators relate two sets
+        for t in (left, right):
+            if not isinstance(t, (SetType, AnyType)):
+                raise TypeCheckError(f"set comparison {op} on non-set {t!r}")
+        unify(left, right, f"set comparison {op}")
+        return BOOL

@@ -1,0 +1,85 @@
+"""Exception hierarchy shared by the whole reproduction.
+
+Every layer (data model, parser, type checker, rewriter, engine) raises a
+subclass of :class:`ReproError`, so callers can catch one base class at the
+public-API boundary while tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DataModelError(ReproError):
+    """A value or type was constructed or combined illegally."""
+
+
+class MissingAttributeError(DataModelError, KeyError):
+    """A tuple value was asked for an attribute it does not have.
+
+    Subclasses ``KeyError`` so the ``Mapping`` protocol (``in``, ``.get()``)
+    keeps working on :class:`~repro.datamodel.values.VTuple`.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message readable
+        return self.args[0] if self.args else ""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent (duplicate class, bad reference...)."""
+
+
+class OOSQLSyntaxError(ReproError):
+    """The OOSQL text could not be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token so
+    error messages can point into the query text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(ReproError):
+    """An OOSQL or ADL expression is ill-typed."""
+
+
+class TranslationError(ReproError):
+    """OOSQL -> ADL translation hit a construct it cannot map."""
+
+
+class RewriteError(ReproError):
+    """A rewrite rule was applied to an expression outside its precondition."""
+
+
+class EvaluationError(ReproError):
+    """Runtime failure while evaluating an ADL expression."""
+
+
+class UnboundVariableError(EvaluationError):
+    """A variable was referenced outside the scope of any iterator binding it."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unbound variable: {name!r}")
+        self.name = name
+
+
+class UnknownExtentError(EvaluationError):
+    """A base-table (class extension) name is not present in the database."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown extent: {name!r}")
+        self.name = name
+
+
+class StorageError(ReproError):
+    """The paged store was used inconsistently (bad oid, page overflow...)."""
+
+
+class PlanError(ReproError):
+    """The physical planner could not produce a plan for a logical expression."""

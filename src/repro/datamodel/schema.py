@@ -1,0 +1,224 @@
+"""OODB schema: class definitions with extensions (base tables).
+
+Section 2 of the paper defines classes with named extensions, e.g.::
+
+    Class Supplier with extension SUPPLIER,
+      attributes sname : string, parts_supplied : { Part }
+    end Supplier
+
+and Section 3 explains the logical-design mapping used throughout: each
+class extension becomes a *table of (possibly complex) objects*; a field of
+type ``oid`` is added for object identity, and class references become
+``oid`` pointers.  :class:`Schema` implements exactly that mapping: the user
+declares classes with attribute types in which other classes may appear by
+name (reference) or as inlined tuple/set structure, and the schema computes
+the ADL table type of every extent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.datamodel.errors import SchemaError
+from repro.datamodel.types import (
+    OidType,
+    SetType,
+    TupleType,
+    Type,
+)
+
+#: Attribute name automatically added to every extent tuple for object
+#: identity, per the paper's logical-design convention.
+OID_ATTR = "oid"
+
+
+class ClassRef(Type):
+    """A *named reference* to another class, used inside schema declarations.
+
+    ``ClassRef("Part")`` in an attribute type means the attribute holds an
+    oid pointing at a ``Part`` object.  During :meth:`Schema.freeze` every
+    ``ClassRef`` is resolved to ``OidType(class_name)`` — references are
+    implemented by pointers (Section 3).
+    """
+
+    __slots__ = ("class_name",)
+
+    def __init__(self, class_name: str) -> None:
+        self.class_name = class_name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassRef) and self.class_name == other.class_name
+
+    def __hash__(self) -> int:
+        return hash((ClassRef, self.class_name))
+
+    def __repr__(self) -> str:
+        return f"ref({self.class_name})"
+
+
+class Catalog:
+    """A bare extent-type catalog satisfying the checker/translator protocol.
+
+    :class:`Schema` is the full OODB front door (classes, oid injection,
+    reference resolution).  ``Catalog`` serves algebra-level work where the
+    paper gives *flat ADL types directly* — e.g. Section 4's
+    ``SUPPLIER : {(eid: oid, sname: string, parts: {(pid: oid)})}`` — which
+    do not follow the storage convention of an injected ``oid`` field.
+    """
+
+    def __init__(
+        self,
+        extents: Mapping[str, SetType],
+        object_types: Optional[Mapping[str, TupleType]] = None,
+    ) -> None:
+        for name, t in extents.items():
+            if not isinstance(t, SetType):
+                raise SchemaError(f"extent {name!r} must have a set type, got {t!r}")
+        self._extents = dict(extents)
+        self._object_types = dict(object_types or {})
+
+    @property
+    def extent_names(self) -> List[str]:
+        return list(self._extents)
+
+    def has_extent(self, extent: str) -> bool:
+        return extent in self._extents
+
+    def extent_type(self, extent: str) -> SetType:
+        try:
+            return self._extents[extent]
+        except KeyError:
+            raise SchemaError(f"unknown extent: {extent!r}") from None
+
+    def object_type(self, class_name: str) -> TupleType:
+        try:
+            return self._object_types[class_name]
+        except KeyError:
+            raise SchemaError(
+                f"catalog has no object type for class {class_name!r}"
+            ) from None
+
+
+class ClassDef:
+    """A class with a named extension and typed attributes."""
+
+    def __init__(self, name: str, extent: str, attributes: Mapping[str, Type]) -> None:
+        if not name or not extent:
+            raise SchemaError("class and extent names must be non-empty")
+        if OID_ATTR in attributes:
+            raise SchemaError(
+                f"attribute {OID_ATTR!r} is reserved for object identity (class {name})"
+            )
+        self.name = name
+        self.extent = extent
+        self.attributes: Dict[str, Type] = dict(attributes)
+
+    def __repr__(self) -> str:
+        return f"ClassDef({self.name!r}, extent={self.extent!r})"
+
+
+class Schema:
+    """A collection of class definitions, resolvable to ADL table types.
+
+    Usage::
+
+        schema = Schema()
+        schema.add_class("Part", "PART", {"pname": STRING, "price": INT})
+        schema.add_class("Supplier", "SUPPLIER",
+                         {"sname": STRING, "parts_supplied": SetType(ClassRef("Part"))})
+        schema.freeze()
+        schema.extent_type("SUPPLIER")   # {(oid: oid(Supplier), sname: string, ...)}
+    """
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, ClassDef] = {}
+        self._extents: Dict[str, str] = {}  # extent name -> class name
+        self._frozen = False
+        self._extent_types: Dict[str, SetType] = {}
+
+    # -- declaration ---------------------------------------------------------
+    def add_class(self, name: str, extent: str, attributes: Mapping[str, Type]) -> ClassDef:
+        if self._frozen:
+            raise SchemaError("schema is frozen; no further classes may be added")
+        if name in self._classes:
+            raise SchemaError(f"duplicate class name: {name!r}")
+        if extent in self._extents:
+            raise SchemaError(f"duplicate extent name: {extent!r}")
+        cdef = ClassDef(name, extent, attributes)
+        self._classes[name] = cdef
+        self._extents[extent] = name
+        return cdef
+
+    # -- resolution ------------------------------------------------------------
+    def freeze(self) -> "Schema":
+        """Validate all references and compute extent table types."""
+        for cdef in self._classes.values():
+            for attr, atype in cdef.attributes.items():
+                self._check_refs(atype, f"{cdef.name}.{attr}")
+        for extent, cname in self._extents.items():
+            self._extent_types[extent] = SetType(self.object_type(cname))
+        self._frozen = True
+        return self
+
+    def _check_refs(self, atype: Type, where: str) -> None:
+        if isinstance(atype, ClassRef):
+            if atype.class_name not in self._classes:
+                raise SchemaError(f"{where}: reference to unknown class {atype.class_name!r}")
+        elif isinstance(atype, SetType):
+            self._check_refs(atype.element, where)
+        elif isinstance(atype, TupleType):
+            for name, field in atype.fields.items():
+                self._check_refs(field, f"{where}.{name}")
+
+    def _resolve(self, atype: Type) -> Type:
+        if isinstance(atype, ClassRef):
+            return OidType(atype.class_name)
+        if isinstance(atype, SetType):
+            return SetType(self._resolve(atype.element))
+        if isinstance(atype, TupleType):
+            return TupleType({n: self._resolve(t) for n, t in atype.fields.items()})
+        return atype
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def classes(self) -> List[ClassDef]:
+        return list(self._classes.values())
+
+    @property
+    def extent_names(self) -> List[str]:
+        return list(self._extents)
+
+    def class_def(self, name: str) -> ClassDef:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class: {name!r}") from None
+
+    def class_of_extent(self, extent: str) -> ClassDef:
+        try:
+            return self._classes[self._extents[extent]]
+        except KeyError:
+            raise SchemaError(f"unknown extent: {extent!r}") from None
+
+    def has_extent(self, extent: str) -> bool:
+        return extent in self._extents
+
+    def object_type(self, class_name: str) -> TupleType:
+        """The ADL tuple type of one object of the class (oid field included)."""
+        cdef = self.class_def(class_name)
+        fields: Dict[str, Type] = {OID_ATTR: OidType(class_name)}
+        for attr, atype in cdef.attributes.items():
+            fields[attr] = self._resolve(atype)
+        return TupleType(fields)
+
+    def extent_type(self, extent: str) -> SetType:
+        """The ADL set-of-tuples type of a base table."""
+        if not self._frozen:
+            raise SchemaError("schema must be frozen before querying extent types")
+        try:
+            return self._extent_types[extent]
+        except KeyError:
+            raise SchemaError(f"unknown extent: {extent!r}") from None
+
+    def extent_of_class(self, class_name: str) -> str:
+        return self.class_def(class_name).extent

@@ -1,0 +1,22 @@
+"""Execution: the naive interpreter, physical operators, and the planner."""
+
+from repro.engine.interpreter import Interpreter, evaluate
+from repro.engine.nestjoin_impls import SortMergeNestJoin
+from repro.engine.plan import ExecRuntime, PlanNode
+from repro.engine.planner import Executor, JoinRecipe, Planner
+from repro.engine.pnhl import pnhl_join, unnest_join_nest
+from repro.engine.stats import Stats
+
+__all__ = [
+    "ExecRuntime",
+    "Executor",
+    "Interpreter",
+    "JoinRecipe",
+    "PlanNode",
+    "Planner",
+    "SortMergeNestJoin",
+    "Stats",
+    "evaluate",
+    "pnhl_join",
+    "unnest_join_nest",
+]

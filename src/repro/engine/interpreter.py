@@ -1,0 +1,550 @@
+"""The reference interpreter for ADL: direct, tuple-oriented evaluation.
+
+This interpreter *defines* the semantics of the algebra in this
+reproduction.  Every operator is evaluated exactly as Section 3 writes it —
+iterators loop over their operand sets one tuple at a time, quantifiers
+short-circuit, joins are nested loops.  That makes it simultaneously:
+
+* the *baseline* the paper argues against (naive nested-loop processing of
+  nested queries), with instrumentation showing the quadratic blow-up; and
+* the *oracle* the optimized physical operators and every rewrite rule are
+  checked against for extensional equality.
+
+Environments map variable names to values.  The database supplies extents
+(``db.extent(name)``) and pointer dereference (``db.deref(oid)``) — the
+latter powers implicit path expressions like ``d.supplier.sname``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.adl import ast as A
+from repro.datamodel.errors import EvaluationError, UnboundVariableError
+from repro.datamodel.values import Oid, Value, VTuple, concat
+from repro.engine.stats import Stats
+
+
+class Interpreter:
+    """Evaluates ADL expressions against a database.
+
+    ``stats`` is optional; when given, it accumulates the tuple-oriented
+    work counters described in :mod:`repro.engine.stats`.
+    """
+
+    def __init__(self, db, stats: Optional[Stats] = None) -> None:
+        self.db = db
+        self.stats = stats if stats is not None else Stats()
+
+    # -- public API ---------------------------------------------------------
+    def eval(self, expr: A.Expr, env: Optional[Mapping[str, Value]] = None) -> Value:
+        return self._eval(expr, dict(env or {}))
+
+    # -- internals ----------------------------------------------------------
+    def _set(self, expr: A.Expr, env: Dict[str, Value], what: str) -> frozenset:
+        value = self._eval(expr, env)
+        if not isinstance(value, frozenset):
+            raise EvaluationError(f"{what} must evaluate to a set, got {value!r}")
+        return value
+
+    def _tuple(self, value: Value, what: str) -> VTuple:
+        if not isinstance(value, VTuple):
+            raise EvaluationError(f"{what} must be a tuple, got {value!r}")
+        return value
+
+    def _deref(self, value: Value) -> Value:
+        if isinstance(value, Oid):
+            self.stats.oid_derefs += 1
+            return self.db.deref(value)
+        return value
+
+    def _eval(self, expr: A.Expr, env: Dict[str, Value]) -> Value:
+        method = _DISPATCH.get(type(expr))
+        if method is None:
+            raise EvaluationError(f"no evaluation rule for {type(expr).__name__}")
+        return method(self, expr, env)
+
+    # -- atoms ---------------------------------------------------------------
+    def _eval_literal(self, expr: A.Literal, env: Dict[str, Value]) -> Value:
+        return expr.value
+
+    def _eval_var(self, expr: A.Var, env: Dict[str, Value]) -> Value:
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise UnboundVariableError(expr.name) from None
+
+    def _eval_extent(self, expr: A.ExtentRef, env: Dict[str, Value]) -> Value:
+        return self.db.extent(expr.name)
+
+    # -- tuple operators --------------------------------------------------------
+    def _eval_attr(self, expr: A.AttrAccess, env: Dict[str, Value]) -> Value:
+        base = self._deref(self._eval(expr.base, env))
+        return self._tuple(base, f"operand of .{expr.attr}")[expr.attr]
+
+    def _eval_tuple(self, expr: A.TupleExpr, env: Dict[str, Value]) -> Value:
+        return VTuple({n: self._eval(e, env) for n, e in expr.fields})
+
+    def _eval_setexpr(self, expr: A.SetExpr, env: Dict[str, Value]) -> Value:
+        return frozenset(self._eval(e, env) for e in expr.elements)
+
+    def _eval_subscript(self, expr: A.TupleSubscript, env: Dict[str, Value]) -> Value:
+        base = self._tuple(self._deref(self._eval(expr.base, env)), "subscript operand")
+        return base.subscript(expr.attrs)
+
+    def _eval_update(self, expr: A.TupleUpdate, env: Dict[str, Value]) -> Value:
+        base = self._tuple(self._deref(self._eval(expr.base, env)), "'except' operand")
+        return base.update_except({n: self._eval(e, env) for n, e in expr.updates})
+
+    def _eval_concat(self, expr: A.Concat, env: Dict[str, Value]) -> Value:
+        left = self._tuple(self._eval(expr.left, env), "concat operand")
+        right = self._tuple(self._eval(expr.right, env), "concat operand")
+        return concat(left, right)
+
+    # -- scalar operators ----------------------------------------------------------
+    def _eval_arith(self, expr: A.Arith, env: Dict[str, Value]) -> Value:
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        for v in (left, right):
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise EvaluationError(f"arithmetic on non-number {v!r}")
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                raise EvaluationError("division by zero")
+            return left / right
+        if expr.op == "mod":
+            if right == 0:
+                raise EvaluationError("modulo by zero")
+            return left % right
+        raise EvaluationError(f"unknown arithmetic operator {expr.op!r}")
+
+    def _eval_neg(self, expr: A.Neg, env: Dict[str, Value]) -> Value:
+        value = self._eval(expr.operand, env)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise EvaluationError(f"negation of non-number {value!r}")
+        return -value
+
+    def _eval_compare(self, expr: A.Compare, env: Dict[str, Value]) -> Value:
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        self.stats.comparisons += 1
+        if expr.op == "=":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        for v in (left, right):
+            if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+                raise EvaluationError(f"ordered comparison on {v!r}")
+        if isinstance(left, str) != isinstance(right, str):
+            raise EvaluationError(f"ordered comparison across types: {left!r} vs {right!r}")
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+        raise EvaluationError(f"unknown comparison {expr.op!r}")
+
+    def _eval_setcompare(self, expr: A.SetCompare, env: Dict[str, Value]) -> Value:
+        op = expr.op
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        self.stats.comparisons += 1
+        if op in ("in", "notin"):
+            if not isinstance(right, frozenset):
+                raise EvaluationError(f"∈ right operand must be a set, got {right!r}")
+            return (left in right) if op == "in" else (left not in right)
+        if op in ("ni", "notni"):
+            if not isinstance(left, frozenset):
+                raise EvaluationError(f"∋ left operand must be a set, got {left!r}")
+            return (right in left) if op == "ni" else (right not in left)
+        if not isinstance(left, frozenset) or not isinstance(right, frozenset):
+            raise EvaluationError(f"set comparison {op} on non-sets: {left!r}, {right!r}")
+        if op == "subset":
+            return left < right
+        if op == "subseteq":
+            return left <= right
+        if op == "seteq":
+            return left == right
+        if op == "setneq":
+            return left != right
+        if op == "supseteq":
+            return left >= right
+        if op == "supset":
+            return left > right
+        if op == "disjoint":
+            return not (left & right)
+        raise EvaluationError(f"unknown set comparison {op!r}")
+
+    # -- boolean ----------------------------------------------------------------------
+    def _eval_and(self, expr: A.And, env: Dict[str, Value]) -> Value:
+        return self._bool(expr.left, env) and self._bool(expr.right, env)
+
+    def _eval_or(self, expr: A.Or, env: Dict[str, Value]) -> Value:
+        return self._bool(expr.left, env) or self._bool(expr.right, env)
+
+    def _eval_not(self, expr: A.Not, env: Dict[str, Value]) -> Value:
+        return not self._bool(expr.operand, env)
+
+    def _eval_isempty(self, expr: A.IsEmpty, env: Dict[str, Value]) -> Value:
+        return not self._set(expr.operand, env, "emptiness test operand")
+
+    def _bool(self, expr: A.Expr, env: Dict[str, Value]) -> bool:
+        value = self._eval(expr, env)
+        if not isinstance(value, bool):
+            raise EvaluationError(f"expected boolean, got {value!r} from {expr}")
+        return value
+
+    # -- quantifiers ---------------------------------------------------------------------
+    def _eval_exists(self, expr: A.Exists, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "∃ range")
+        inner = dict(env)
+        for item in source:
+            self.stats.tuples_visited += 1
+            inner[expr.var] = item
+            self.stats.predicate_evals += 1
+            if self._bool(expr.pred, inner):
+                return True
+        return False
+
+    def _eval_forall(self, expr: A.Forall, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "∀ range")
+        inner = dict(env)
+        for item in source:
+            self.stats.tuples_visited += 1
+            inner[expr.var] = item
+            self.stats.predicate_evals += 1
+            if not self._bool(expr.pred, inner):
+                return False
+        return True
+
+    # -- iterators -------------------------------------------------------------------------
+    def _eval_map(self, expr: A.Map, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "map operand")
+        inner = dict(env)
+        out = set()
+        for item in source:
+            self.stats.tuples_visited += 1
+            inner[expr.var] = item
+            out.add(self._eval(expr.body, inner))
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
+    def _eval_select(self, expr: A.Select, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "selection operand")
+        inner = dict(env)
+        out = set()
+        for item in source:
+            self.stats.tuples_visited += 1
+            inner[expr.var] = item
+            self.stats.predicate_evals += 1
+            if self._bool(expr.pred, inner):
+                out.add(item)
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
+    def _eval_project(self, expr: A.Project, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "projection operand")
+        out = set()
+        for item in source:
+            self.stats.tuples_visited += 1
+            out.add(self._tuple(item, "projection element").subscript(expr.attrs))
+        return frozenset(out)
+
+    def _eval_rename(self, expr: A.Rename, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "rename operand")
+        out = set()
+        for item in source:
+            record = self._tuple(item, "rename element")
+            fields = dict(record)
+            for old, new in expr.renames:
+                if old not in fields:
+                    raise EvaluationError(f"rename of missing attribute {old!r}")
+                fields[new] = fields.pop(old)
+            out.add(VTuple(fields))
+        return frozenset(out)
+
+    # -- restructuring ------------------------------------------------------------------------
+    def _eval_flatten(self, expr: A.Flatten, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "flatten operand")
+        out = set()
+        for member in source:
+            if not isinstance(member, frozenset):
+                raise EvaluationError(f"flatten element is not a set: {member!r}")
+            out |= member
+        return frozenset(out)
+
+    def _eval_unnest(self, expr: A.Unnest, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "unnest operand")
+        out = set()
+        for item in source:
+            record = self._tuple(item, "unnest element")
+            inner_set = record[expr.attr]
+            if not isinstance(inner_set, frozenset):
+                raise EvaluationError(f"unnest attribute {expr.attr!r} is not a set")
+            rest = record.drop((expr.attr,))
+            for member in inner_set:
+                self.stats.tuples_visited += 1
+                out.add(concat(self._tuple(member, "unnest member"), rest))
+        return frozenset(out)
+
+    def _eval_nest(self, expr: A.Nest, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "nest operand")
+        groups: Dict[VTuple, set] = {}
+        for item in source:
+            record = self._tuple(item, "nest element")
+            key = record.drop(expr.attrs)
+            groups.setdefault(key, set()).add(record.subscript(expr.attrs))
+            self.stats.tuples_visited += 1
+        out = set()
+        for key, grouped in groups.items():
+            out.add(key.update_except({expr.as_attr: frozenset(grouped)}))
+        return frozenset(out)
+
+    # -- products and joins -----------------------------------------------------------------------
+    def _eval_cart(self, expr: A.CartProd, env: Dict[str, Value]) -> Value:
+        left = self._set(expr.left, env, "product operand")
+        right = self._set(expr.right, env, "product operand")
+        out = set()
+        for x1 in left:
+            for x2 in right:
+                self.stats.tuples_visited += 1
+                out.add(concat(self._tuple(x1, "product element"), self._tuple(x2, "product element")))
+        return frozenset(out)
+
+    def _join_env(self, expr, env: Dict[str, Value]) -> Dict[str, Value]:
+        return dict(env)
+
+    def _eval_join(self, expr: A.Join, env: Dict[str, Value]) -> Value:
+        left = self._set(expr.left, env, "join operand")
+        right = self._set(expr.right, env, "join operand")
+        inner = self._join_env(expr, env)
+        out = set()
+        for x1 in left:
+            for x2 in right:
+                self.stats.tuples_visited += 1
+                inner[expr.lvar] = x1
+                inner[expr.rvar] = x2
+                self.stats.predicate_evals += 1
+                if self._bool(expr.pred, inner):
+                    out.add(concat(self._tuple(x1, "join element"), self._tuple(x2, "join element")))
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
+    def _eval_semijoin(self, expr: A.SemiJoin, env: Dict[str, Value]) -> Value:
+        left = self._set(expr.left, env, "semijoin operand")
+        right = self._set(expr.right, env, "semijoin operand")
+        inner = self._join_env(expr, env)
+        out = set()
+        for x1 in left:
+            inner[expr.lvar] = x1
+            for x2 in right:
+                self.stats.tuples_visited += 1
+                inner[expr.rvar] = x2
+                self.stats.predicate_evals += 1
+                if self._bool(expr.pred, inner):
+                    out.add(x1)
+                    break
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
+    def _eval_antijoin(self, expr: A.AntiJoin, env: Dict[str, Value]) -> Value:
+        left = self._set(expr.left, env, "antijoin operand")
+        right = self._set(expr.right, env, "antijoin operand")
+        inner = self._join_env(expr, env)
+        out = set()
+        for x1 in left:
+            inner[expr.lvar] = x1
+            matched = False
+            for x2 in right:
+                self.stats.tuples_visited += 1
+                inner[expr.rvar] = x2
+                self.stats.predicate_evals += 1
+                if self._bool(expr.pred, inner):
+                    matched = True
+                    break
+            if not matched:
+                out.add(x1)
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
+    def _eval_outerjoin(self, expr: A.OuterJoin, env: Dict[str, Value]) -> Value:
+        left = self._set(expr.left, env, "outerjoin operand")
+        right = self._set(expr.right, env, "outerjoin operand")
+        inner = self._join_env(expr, env)
+        null_pad = VTuple({a: None for a in expr.right_attrs})
+        out = set()
+        for x1 in left:
+            inner[expr.lvar] = x1
+            matched = False
+            for x2 in right:
+                self.stats.tuples_visited += 1
+                inner[expr.rvar] = x2
+                self.stats.predicate_evals += 1
+                if self._bool(expr.pred, inner):
+                    matched = True
+                    out.add(concat(self._tuple(x1, "join element"), self._tuple(x2, "join element")))
+            if not matched:
+                out.add(concat(self._tuple(x1, "join element"), null_pad))
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
+    def _eval_nestjoin(self, expr: A.NestJoin, env: Dict[str, Value]) -> Value:
+        left = self._set(expr.left, env, "nestjoin operand")
+        right = self._set(expr.right, env, "nestjoin operand")
+        inner = self._join_env(expr, env)
+        out = set()
+        for x1 in left:
+            inner[expr.lvar] = x1
+            group = set()
+            for x2 in right:
+                self.stats.tuples_visited += 1
+                inner[expr.rvar] = x2
+                self.stats.predicate_evals += 1
+                if self._bool(expr.pred, inner):
+                    group.add(self._eval(expr.result, inner))
+            record = self._tuple(x1, "nestjoin element")
+            out.add(record.update_except({expr.as_attr: frozenset(group)}))
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
+    def _eval_division(self, expr: A.Division, env: Dict[str, Value]) -> Value:
+        left = self._set(expr.left, env, "division dividend")
+        right = self._set(expr.right, env, "division divisor")
+        if not left:
+            return frozenset()
+        divisor_attrs = None
+        for y in right:
+            divisor_attrs = self._tuple(y, "divisor element").attributes
+            break
+        groups: Dict[VTuple, set] = {}
+        for item in left:
+            record = self._tuple(item, "dividend element")
+            if divisor_attrs is None:
+                # dividing by the empty set keeps every quotient candidate
+                groups.setdefault(record, set())
+                continue
+            key = record.drop(divisor_attrs)
+            groups.setdefault(key, set()).add(record.subscript(divisor_attrs))
+            self.stats.tuples_visited += 1
+        if divisor_attrs is None:
+            return frozenset(groups)
+        return frozenset(key for key, seen in groups.items() if seen >= right)
+
+    # -- set algebra -----------------------------------------------------------------------------------
+    def _eval_union(self, expr: A.Union, env: Dict[str, Value]) -> Value:
+        return self._set(expr.left, env, "union operand") | self._set(expr.right, env, "union operand")
+
+    def _eval_intersect(self, expr: A.Intersect, env: Dict[str, Value]) -> Value:
+        return self._set(expr.left, env, "intersect operand") & self._set(
+            expr.right, env, "intersect operand"
+        )
+
+    def _eval_difference(self, expr: A.Difference, env: Dict[str, Value]) -> Value:
+        return self._set(expr.left, env, "difference operand") - self._set(
+            expr.right, env, "difference operand"
+        )
+
+    # -- aggregates ---------------------------------------------------------------------------------------
+    def _eval_aggregate(self, expr: A.Aggregate, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "aggregate operand")
+        if expr.func == "count":
+            return len(source)
+        if not source:
+            if expr.func == "sum":
+                return 0
+            raise EvaluationError(f"{expr.func} over an empty set")
+        values = list(source)
+        for v in values:
+            if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+                raise EvaluationError(f"aggregate {expr.func} over non-atom {v!r}")
+        if expr.func == "sum":
+            return sum(values)  # type: ignore[arg-type]
+        if expr.func == "min":
+            return min(values)  # type: ignore[type-var]
+        if expr.func == "max":
+            return max(values)  # type: ignore[type-var]
+        if expr.func == "avg":
+            numeric = [v for v in values if isinstance(v, (int, float))]
+            if len(numeric) != len(values):
+                raise EvaluationError("avg over non-numeric values")
+            return sum(numeric) / len(numeric)
+        raise EvaluationError(f"unknown aggregate {expr.func!r}")
+
+    # -- materialize -----------------------------------------------------------------------------------------
+    def _eval_materialize(self, expr: A.Materialize, env: Dict[str, Value]) -> Value:
+        source = self._set(expr.source, env, "materialize operand")
+        out = set()
+        for item in source:
+            record = self._tuple(item, "materialize element")
+            ref = record[expr.attr]
+            if isinstance(ref, Oid):
+                self.stats.oid_derefs += 1
+                attached: Value = self.db.deref(ref)
+            elif isinstance(ref, frozenset):
+                members = set()
+                for oid in ref:
+                    if not isinstance(oid, Oid):
+                        raise EvaluationError(f"materialize over non-oid element {oid!r}")
+                    self.stats.oid_derefs += 1
+                    members.add(self.db.deref(oid))
+                attached = frozenset(members)
+            else:
+                raise EvaluationError(f"materialize attribute {expr.attr!r} holds {ref!r}")
+            out.add(record.update_except({expr.as_attr: attached}))
+        return frozenset(out)
+
+
+_DISPATCH = {
+    A.Literal: Interpreter._eval_literal,
+    A.Var: Interpreter._eval_var,
+    A.ExtentRef: Interpreter._eval_extent,
+    A.AttrAccess: Interpreter._eval_attr,
+    A.TupleExpr: Interpreter._eval_tuple,
+    A.SetExpr: Interpreter._eval_setexpr,
+    A.TupleSubscript: Interpreter._eval_subscript,
+    A.TupleUpdate: Interpreter._eval_update,
+    A.Concat: Interpreter._eval_concat,
+    A.Arith: Interpreter._eval_arith,
+    A.Neg: Interpreter._eval_neg,
+    A.Compare: Interpreter._eval_compare,
+    A.SetCompare: Interpreter._eval_setcompare,
+    A.And: Interpreter._eval_and,
+    A.Or: Interpreter._eval_or,
+    A.Not: Interpreter._eval_not,
+    A.IsEmpty: Interpreter._eval_isempty,
+    A.Exists: Interpreter._eval_exists,
+    A.Forall: Interpreter._eval_forall,
+    A.Map: Interpreter._eval_map,
+    A.Select: Interpreter._eval_select,
+    A.Project: Interpreter._eval_project,
+    A.Rename: Interpreter._eval_rename,
+    A.Flatten: Interpreter._eval_flatten,
+    A.Unnest: Interpreter._eval_unnest,
+    A.Nest: Interpreter._eval_nest,
+    A.CartProd: Interpreter._eval_cart,
+    A.Join: Interpreter._eval_join,
+    A.SemiJoin: Interpreter._eval_semijoin,
+    A.AntiJoin: Interpreter._eval_antijoin,
+    A.OuterJoin: Interpreter._eval_outerjoin,
+    A.NestJoin: Interpreter._eval_nestjoin,
+    A.Division: Interpreter._eval_division,
+    A.Union: Interpreter._eval_union,
+    A.Intersect: Interpreter._eval_intersect,
+    A.Difference: Interpreter._eval_difference,
+    A.Aggregate: Interpreter._eval_aggregate,
+    A.Materialize: Interpreter._eval_materialize,
+}
+
+
+def evaluate(expr: A.Expr, db, env: Optional[Mapping[str, Value]] = None, stats: Optional[Stats] = None) -> Value:
+    """Convenience one-shot evaluation."""
+    return Interpreter(db, stats).eval(expr, env)

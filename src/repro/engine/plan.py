@@ -1,0 +1,797 @@
+"""Physical plan operators.
+
+"It is better to transform nested queries into join queries, because join
+queries can be implemented in many different ways" (Section 7) — this
+module is the "many different ways": hash and sort-merge implementations of
+the join family, hash nestjoin, membership joins for ``e ∈ x.parts``-style
+predicates, plus the pipeline operators (scan, filter, map, nest, unnest,
+project...).
+
+Every node implements ``execute(rt) -> frozenset`` against an
+:class:`ExecRuntime` carrying the database, an
+:class:`~repro.engine.interpreter.Interpreter` for parameter expressions,
+and the shared :class:`~repro.engine.stats.Stats` counters.  ``explain()``
+renders the physical tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.adl import ast as A
+from repro.datamodel.errors import EvaluationError, PlanError
+from repro.datamodel.values import Value, VTuple, concat
+from repro.engine.interpreter import Interpreter
+from repro.engine.stats import Stats
+
+
+class ExecRuntime:
+    """Execution context shared by all operators of one plan run."""
+
+    def __init__(self, db, stats: Optional[Stats] = None) -> None:
+        self.db = db
+        self.stats = stats if stats is not None else Stats()
+        self.interpreter = Interpreter(db, self.stats)
+
+    def eval(self, expr: A.Expr, env: Optional[Dict[str, Value]] = None) -> Value:
+        return self.interpreter.eval(expr, env or {})
+
+    def eval_pred(self, expr: A.Expr, env: Dict[str, Value]) -> bool:
+        self.stats.predicate_evals += 1
+        value = self.interpreter.eval(expr, env)
+        if not isinstance(value, bool):
+            raise EvaluationError(f"predicate produced non-boolean {value!r}")
+        return value
+
+
+class PlanNode:
+    """Base class of physical operators."""
+
+    #: Short operator label used by ``explain``.
+    label = "plan"
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+    def describe(self) -> str:
+        return ""
+
+    def explain(self, indent: str = "") -> str:
+        detail = self.describe()
+        line = f"{indent}{self.label}" + (f" [{detail}]" if detail else "")
+        parts = [line]
+        parts.extend(child.explain(indent + "  ") for child in self.children())
+        return "\n".join(parts)
+
+    def operators(self):
+        yield self
+        for child in self.children():
+            yield from child.operators()
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class Scan(PlanNode):
+    """Full extent scan — charges page I/O on paged stores."""
+
+    label = "Scan"
+
+    def __init__(self, extent: str) -> None:
+        self.extent = extent
+
+    def describe(self) -> str:
+        return self.extent
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        if hasattr(rt.db, "scan"):
+            return frozenset(rt.db.scan(self.extent))
+        return rt.db.extent(self.extent)
+
+
+class EvalExpr(PlanNode):
+    """Fallback: evaluate an arbitrary ADL expression with the interpreter.
+
+    This is where non-set-oriented residue executes — by nested loops,
+    exactly as the paper's option 4 prescribes.
+    """
+
+    label = "Eval"
+
+    def __init__(self, expr: A.Expr) -> None:
+        self.expr = expr
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        text = pretty(self.expr)
+        return text if len(text) <= 60 else text[:57] + "..."
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        value = rt.eval(self.expr)
+        if not isinstance(value, frozenset):
+            raise PlanError(f"plan leaf produced a non-set value: {value!r}")
+        return value
+
+
+# ---------------------------------------------------------------------------
+# Pipeline operators
+# ---------------------------------------------------------------------------
+
+
+class Filter(PlanNode):
+    label = "Filter"
+
+    def __init__(self, var: str, pred: A.Expr, child: PlanNode) -> None:
+        self.var = var
+        self.pred = pred
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        return f"{self.var}: {pretty(self.pred)}"
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        out = set()
+        env: Dict[str, Value] = {}
+        for item in self.child.execute(rt):
+            rt.stats.tuples_visited += 1
+            env[self.var] = item
+            if rt.eval_pred(self.pred, env):
+                out.add(item)
+        return frozenset(out)
+
+
+class MapOp(PlanNode):
+    label = "Map"
+
+    def __init__(self, var: str, body: A.Expr, child: PlanNode) -> None:
+        self.var = var
+        self.body = body
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        return f"{self.var}: {pretty(self.body)}"
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        out = set()
+        env: Dict[str, Value] = {}
+        for item in self.child.execute(rt):
+            rt.stats.tuples_visited += 1
+            env[self.var] = item
+            out.add(rt.eval(self.body, env))
+        return frozenset(out)
+
+
+class ProjectOp(PlanNode):
+    label = "Project"
+
+    def __init__(self, attrs: Tuple[str, ...], child: PlanNode) -> None:
+        self.attrs = attrs
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return ", ".join(self.attrs)
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        out = set()
+        for item in self.child.execute(rt):
+            rt.stats.tuples_visited += 1
+            out.add(item.subscript(self.attrs))
+        return frozenset(out)
+
+
+class RenameOp(PlanNode):
+    label = "Rename"
+
+    def __init__(self, renames: Tuple[Tuple[str, str], ...], child: PlanNode) -> None:
+        self.renames = renames
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return ", ".join(f"{a}->{b}" for a, b in self.renames)
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        out = set()
+        for item in self.child.execute(rt):
+            fields = dict(item)
+            for old, new in self.renames:
+                fields[new] = fields.pop(old)
+            out.add(VTuple(fields))
+        return frozenset(out)
+
+
+class UnnestOp(PlanNode):
+    label = "Unnest"
+
+    def __init__(self, attr: str, child: PlanNode) -> None:
+        self.attr = attr
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return self.attr
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        out = set()
+        for item in self.child.execute(rt):
+            members = item[self.attr]
+            rest = item.drop((self.attr,))
+            for member in members:
+                rt.stats.tuples_visited += 1
+                out.add(concat(member, rest))
+        return frozenset(out)
+
+
+class NestOp(PlanNode):
+    label = "Nest"
+
+    def __init__(self, attrs: Tuple[str, ...], as_attr: str, child: PlanNode) -> None:
+        self.attrs = attrs
+        self.as_attr = as_attr
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"{', '.join(self.attrs)} -> {self.as_attr}"
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        groups: Dict[VTuple, set] = {}
+        for item in self.child.execute(rt):
+            rt.stats.tuples_visited += 1
+            key = item.drop(self.attrs)
+            groups.setdefault(key, set()).add(item.subscript(self.attrs))
+        return frozenset(
+            key.update_except({self.as_attr: frozenset(group)}) for key, group in groups.items()
+        )
+
+
+class FlattenOp(PlanNode):
+    label = "Flatten"
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        out = set()
+        for member in self.child.execute(rt):
+            out |= member
+        return frozenset(out)
+
+
+class SetOp(PlanNode):
+    """Union / intersection / difference."""
+
+    def __init__(self, kind: str, left: PlanNode, right: PlanNode) -> None:
+        if kind not in ("union", "intersect", "difference"):
+            raise PlanError(f"unknown set operation {kind!r}")
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.label = f"SetOp({kind})"
+
+    def children(self):
+        return (self.left, self.right)
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        left = self.left.execute(rt)
+        right = self.right.execute(rt)
+        if self.kind == "union":
+            return left | right
+        if self.kind == "intersect":
+            return left & right
+        return left - right
+
+
+# ---------------------------------------------------------------------------
+# Join family — nested loop fallbacks
+# ---------------------------------------------------------------------------
+
+JOIN_KINDS = ("join", "semijoin", "antijoin", "outerjoin", "nestjoin")
+
+
+class NestedLoopJoin(PlanNode):
+    """Generic nested-loop implementation of the whole join family.
+
+    The baseline the paper wants to escape; kept as the fallback for
+    non-equi predicates and as the comparison point in benchmarks.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        lvar: str,
+        rvar: str,
+        pred: A.Expr,
+        left: PlanNode,
+        right: PlanNode,
+        as_attr: Optional[str] = None,
+        result: Optional[A.Expr] = None,
+        right_attrs: Tuple[str, ...] = (),
+    ) -> None:
+        if kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {kind!r}")
+        self.kind = kind
+        self.lvar = lvar
+        self.rvar = rvar
+        self.pred = pred
+        self.left = left
+        self.right = right
+        self.as_attr = as_attr
+        self.result = result
+        self.right_attrs = right_attrs
+        self.label = f"NestedLoop({kind})"
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        return f"{self.lvar},{self.rvar}: {pretty(self.pred)}"
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        left = self.left.execute(rt)
+        right = self.right.execute(rt)
+        env: Dict[str, Value] = {}
+        out = set()
+        null_pad = VTuple({a: None for a in self.right_attrs})
+        for x in left:
+            env[self.lvar] = x
+            matched = False
+            group = set()
+            for y in right:
+                rt.stats.tuples_visited += 1
+                env[self.rvar] = y
+                if rt.eval_pred(self.pred, env):
+                    matched = True
+                    if self.kind == "join" or self.kind == "outerjoin":
+                        out.add(concat(x, y))
+                    elif self.kind == "semijoin":
+                        break
+                    elif self.kind == "nestjoin":
+                        group.add(rt.eval(self.result, env))
+            if self.kind == "semijoin" and matched:
+                out.add(x)
+            elif self.kind == "antijoin" and not matched:
+                out.add(x)
+            elif self.kind == "outerjoin" and not matched:
+                out.add(concat(x, null_pad))
+            elif self.kind == "nestjoin":
+                out.add(x.update_except({self.as_attr: frozenset(group)}))
+        rt.stats.output_tuples += len(out)
+        return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# Join family — hash implementations
+# ---------------------------------------------------------------------------
+
+
+class HashJoinBase(PlanNode):
+    """Shared machinery: build a hash table on the right operand's key
+    expressions, probe with the left's; a residual predicate filters
+    candidate pairs."""
+
+    def __init__(
+        self,
+        kind: str,
+        lvar: str,
+        rvar: str,
+        left_keys: Tuple[A.Expr, ...],
+        right_keys: Tuple[A.Expr, ...],
+        residual: A.Expr,
+        left: PlanNode,
+        right: PlanNode,
+        as_attr: Optional[str] = None,
+        result: Optional[A.Expr] = None,
+        right_attrs: Tuple[str, ...] = (),
+    ) -> None:
+        if kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {kind!r}")
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("hash join needs matching, non-empty key lists")
+        self.kind = kind
+        self.lvar = lvar
+        self.rvar = rvar
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.left = left
+        self.right = right
+        self.as_attr = as_attr
+        self.result = result
+        self.right_attrs = right_attrs
+        self.label = f"HashJoin({kind})"
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        keys = " ∧ ".join(
+            f"{pretty(l)} = {pretty(r)}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        if self.residual != A.Literal(True):
+            keys += f" ; residual {pretty(self.residual)}"
+        return keys
+
+    def _build(self, rt: ExecRuntime, rows: frozenset) -> Dict[Value, List[VTuple]]:
+        table: Dict[Value, List[VTuple]] = {}
+        env: Dict[str, Value] = {}
+        for y in rows:
+            env[self.rvar] = y
+            key = tuple(rt.eval(k, env) for k in self.right_keys)
+            table.setdefault(key, []).append(y)
+            rt.stats.hash_inserts += 1
+        return table
+
+    def _matches(self, rt: ExecRuntime, table, x: VTuple, env: Dict[str, Value]):
+        env[self.lvar] = x
+        key = tuple(rt.eval(k, env) for k in self.left_keys)
+        rt.stats.hash_probes += 1
+        trivial_residual = self.residual == A.Literal(True)
+        for y in table.get(key, ()):
+            env[self.rvar] = y
+            if trivial_residual or rt.eval_pred(self.residual, env):
+                yield y
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        left = self.left.execute(rt)
+        right = self.right.execute(rt)
+        table = self._build(rt, right)
+        env: Dict[str, Value] = {}
+        out = set()
+        null_pad = VTuple({a: None for a in self.right_attrs})
+        for x in left:
+            rt.stats.tuples_visited += 1
+            matched = False
+            if self.kind == "nestjoin":
+                group = set()
+                for y in self._matches(rt, table, x, env):
+                    group.add(rt.eval(self.result, env))
+                out.add(x.update_except({self.as_attr: frozenset(group)}))
+                continue
+            for y in self._matches(rt, table, x, env):
+                matched = True
+                if self.kind in ("join", "outerjoin"):
+                    out.add(concat(x, y))
+                elif self.kind == "semijoin":
+                    break
+            if self.kind == "semijoin" and matched:
+                out.add(x)
+            elif self.kind == "antijoin" and not matched:
+                out.add(x)
+            elif self.kind == "outerjoin" and not matched:
+                out.add(concat(x, null_pad))
+        rt.stats.output_tuples += len(out)
+        return frozenset(out)
+
+
+class MembershipHashJoin(PlanNode):
+    """Hash join for set-membership predicates like ``p[pid] ∈ s.parts``.
+
+    Two orientations:
+
+    * ``probe_side="left-set"`` — the left tuple carries the set; the hash
+      table maps the right element expression to right tuples; every member
+      of the left set probes the table (Example Queries 5 and 6);
+    * ``probe_side="right-set"`` — the right tuple carries the set; the
+      table is *multi-keyed* on the set members and the left element
+      expression probes it.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        lvar: str,
+        rvar: str,
+        element: A.Expr,
+        container: A.Expr,
+        probe_side: str,
+        residual: A.Expr,
+        left: PlanNode,
+        right: PlanNode,
+        as_attr: Optional[str] = None,
+        result: Optional[A.Expr] = None,
+        right_attrs: Tuple[str, ...] = (),
+    ) -> None:
+        if kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {kind!r}")
+        if probe_side not in ("left-set", "right-set"):
+            raise PlanError(f"unknown probe side {probe_side!r}")
+        self.kind = kind
+        self.lvar = lvar
+        self.rvar = rvar
+        self.element = element
+        self.container = container
+        self.probe_side = probe_side
+        self.residual = residual
+        self.left = left
+        self.right = right
+        self.as_attr = as_attr
+        self.result = result
+        self.right_attrs = right_attrs
+        self.label = f"MembershipHashJoin({kind})"
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        return f"{pretty(self.element)} ∈ {pretty(self.container)} [{self.probe_side}]"
+
+    def _candidates(self, rt, table, x, env) -> List[VTuple]:
+        env[self.lvar] = x
+        seen: List[VTuple] = []
+        marked = set()
+        if self.probe_side == "left-set":
+            container = rt.eval(self.container, env)
+            if not isinstance(container, frozenset):
+                raise EvaluationError("membership join container is not a set")
+            for member in container:
+                rt.stats.hash_probes += 1
+                for y in table.get(member, ()):
+                    if id(y) not in marked:
+                        marked.add(id(y))
+                        seen.append(y)
+        else:
+            key = rt.eval(self.element, env)
+            rt.stats.hash_probes += 1
+            seen = list(table.get(key, ()))
+        return seen
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        left = self.left.execute(rt)
+        right = self.right.execute(rt)
+        table: Dict[Value, List[VTuple]] = {}
+        env: Dict[str, Value] = {}
+        for y in right:
+            env[self.rvar] = y
+            if self.probe_side == "left-set":
+                key = rt.eval(self.element, env)
+                table.setdefault(key, []).append(y)
+                rt.stats.hash_inserts += 1
+            else:
+                container = rt.eval(self.container, env)
+                if not isinstance(container, frozenset):
+                    raise EvaluationError("membership join container is not a set")
+                for member in container:
+                    table.setdefault(member, []).append(y)
+                    rt.stats.hash_inserts += 1
+
+        trivial_residual = self.residual == A.Literal(True)
+        out = set()
+        null_pad = VTuple({a: None for a in self.right_attrs})
+        for x in left:
+            rt.stats.tuples_visited += 1
+            matched = False
+            group = set()
+            for y in self._candidates(rt, table, x, env):
+                env[self.rvar] = y
+                if not trivial_residual and not rt.eval_pred(self.residual, env):
+                    continue
+                matched = True
+                if self.kind in ("join", "outerjoin"):
+                    out.add(concat(x, y))
+                elif self.kind == "semijoin":
+                    break
+                elif self.kind == "nestjoin":
+                    group.add(rt.eval(self.result, env))
+            if self.kind == "semijoin" and matched:
+                out.add(x)
+            elif self.kind == "antijoin" and not matched:
+                out.add(x)
+            elif self.kind == "outerjoin" and not matched:
+                out.add(concat(x, null_pad))
+            elif self.kind == "nestjoin":
+                out.add(x.update_except({self.as_attr: frozenset(group)}))
+        rt.stats.output_tuples += len(out)
+        return frozenset(out)
+
+
+class SortMergeJoin(PlanNode):
+    """Single-key sort-merge join (plain join kind only) — one of the
+    paper's 'various efficient join implementations', used by the ablation
+    benchmark."""
+
+    label = "SortMergeJoin"
+
+    def __init__(
+        self,
+        lvar: str,
+        rvar: str,
+        left_key: A.Expr,
+        right_key: A.Expr,
+        residual: A.Expr,
+        left: PlanNode,
+        right: PlanNode,
+    ) -> None:
+        self.lvar = lvar
+        self.rvar = rvar
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        from repro.datamodel.values import sort_key
+
+        env: Dict[str, Value] = {}
+
+        def keyed(rows, var, key_expr):
+            pairs = []
+            for row in rows:
+                env[var] = row
+                key = rt.eval(key_expr, env)
+                rt.stats.comparisons += 1
+                pairs.append((key, row))
+            pairs.sort(key=lambda kv: sort_key(kv[0]))
+            return pairs
+
+        left = keyed(self.left.execute(rt), self.lvar, self.left_key)
+        right = keyed(self.right.execute(rt), self.rvar, self.right_key)
+        trivial_residual = self.residual == A.Literal(True)
+        out = set()
+        i = j = 0
+        while i < len(left) and j < len(right):
+            rt.stats.comparisons += 1
+            lk, rk = sort_key(left[i][0]), sort_key(right[j][0])
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                j_end = j
+                while j_end < len(right) and sort_key(right[j_end][0]) == lk:
+                    j_end += 1
+                i_end = i
+                while i_end < len(left) and sort_key(left[i_end][0]) == lk:
+                    i_end += 1
+                for ii in range(i, i_end):
+                    for jj in range(j, j_end):
+                        rt.stats.tuples_visited += 1
+                        env[self.lvar] = left[ii][1]
+                        env[self.rvar] = right[jj][1]
+                        if trivial_residual or rt.eval_pred(self.residual, env):
+                            out.add(concat(left[ii][1], right[jj][1]))
+                i, j = i_end, j_end
+        rt.stats.output_tuples += len(out)
+        return frozenset(out)
+
+
+class CartesianProduct(PlanNode):
+    label = "CartesianProduct"
+
+    def __init__(self, left: PlanNode, right: PlanNode) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        left = self.left.execute(rt)
+        right = self.right.execute(rt)
+        out = set()
+        for x in left:
+            for y in right:
+                rt.stats.tuples_visited += 1
+                out.add(concat(x, y))
+        return frozenset(out)
+
+
+class DivisionOp(PlanNode):
+    """Hash-grouped relational division."""
+
+    label = "Division"
+
+    def __init__(self, left: PlanNode, right: PlanNode) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        left = self.left.execute(rt)
+        right = self.right.execute(rt)
+        if not left:
+            return frozenset()
+        divisor_attrs: Optional[frozenset] = None
+        for y in right:
+            divisor_attrs = y.attributes
+            break
+        if divisor_attrs is None:
+            return left
+        groups: Dict[VTuple, set] = {}
+        for item in left:
+            rt.stats.tuples_visited += 1
+            key = item.drop(divisor_attrs)
+            groups.setdefault(key, set()).add(item.subscript(divisor_attrs))
+        return frozenset(key for key, seen in groups.items() if seen >= right)
+
+
+class MaterializeOp(PlanNode):
+    """The assembly implementation of the materialize operator ([BlMG93]).
+
+    Collects the oids referenced by a whole batch of tuples, fetches them
+    page-clustered (:meth:`Database.fetch_many` charges each page once),
+    then attaches the objects.  Falls back to uncounted logical deref on
+    stores without paging.
+    """
+
+    label = "Materialize(assembly)"
+
+    def __init__(self, attr: str, as_attr: str, class_name: str, child: PlanNode) -> None:
+        self.attr = attr
+        self.as_attr = as_attr
+        self.class_name = class_name
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"{self.attr} -> {self.as_attr} : {self.class_name}"
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        rows = list(self.child.execute(rt))
+        all_oids: List = []
+        shapes: List[Tuple[VTuple, object]] = []
+        for row in rows:
+            ref = row[self.attr]
+            if isinstance(ref, frozenset):
+                members = sorted(ref, key=lambda o: (o.class_name, o.number))
+                shapes.append((row, members))
+                all_oids.extend(members)
+            else:
+                shapes.append((row, ref))
+                all_oids.append(ref)
+        rt.stats.oid_derefs += len(all_oids)
+        if hasattr(rt.db, "fetch_many"):
+            fetched = rt.db.fetch_many(all_oids)
+        else:
+            fetched = [rt.db.deref(oid) for oid in all_oids]
+        objects = dict(zip(all_oids, fetched))
+        out = set()
+        for row, ref in shapes:
+            if isinstance(ref, list):
+                attached: Value = frozenset(objects[oid] for oid in ref)
+            else:
+                attached = objects[ref]
+            out.add(row.update_except({self.as_attr: attached}))
+        return frozenset(out)

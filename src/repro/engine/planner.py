@@ -1,0 +1,219 @@
+"""The physical planner: logical ADL → physical plan.
+
+Rewriting a nested query into a join query pays off because "the optimizer
+may choose from a number of different join processing strategies"
+(Section 5.1).  This planner makes that choice:
+
+* join predicates are decomposed into conjuncts; equality conjuncts whose
+  sides depend on one operand each become **hash-join keys**, membership
+  conjuncts (``e ∈ set``) become **membership hash joins**, everything
+  else stays as a residual filter;
+* joins with no hashable conjunct fall back to **nested loops** —
+  faithfully reproducing the paper's premise that an un-rewritten nested
+  query is a nested loop;
+* the remaining algebra (σ α π ρ ν μ ⊔ ∪ ∩ − ÷ materialize) maps
+  one-to-one onto pipeline operators;
+* anything that is not a set-producing operator at the top level (e.g. a
+  predicate's interior) is evaluated by the interpreter inside the
+  enclosing operator — the tuple-oriented residue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.adl import ast as A
+from repro.adl.freevars import free_vars
+from repro.engine import plan as P
+from repro.engine.plan import ExecRuntime, PlanNode
+from repro.engine.stats import Stats
+
+TRUE = A.Literal(True)
+
+
+def _conjuncts(pred: A.Expr) -> List[A.Expr]:
+    if isinstance(pred, A.And):
+        return _conjuncts(pred.left) + _conjuncts(pred.right)
+    return [pred]
+
+
+def _conjoin(parts: List[A.Expr]) -> A.Expr:
+    if not parts:
+        return TRUE
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = A.And(part, out)
+    return out
+
+
+class JoinRecipe:
+    """The decomposition of a join predicate into physical ingredients."""
+
+    def __init__(self, lvar: str, rvar: str, pred: A.Expr) -> None:
+        self.equi_left: List[A.Expr] = []
+        self.equi_right: List[A.Expr] = []
+        self.membership: Optional[Tuple[A.Expr, A.Expr, str]] = None
+        residual: List[A.Expr] = []
+        for conjunct in _conjuncts(pred):
+            if isinstance(conjunct, A.Compare) and conjunct.op == "=":
+                sides = self._orient(conjunct.left, conjunct.right, lvar, rvar)
+                if sides is not None:
+                    self.equi_left.append(sides[0])
+                    self.equi_right.append(sides[1])
+                    continue
+            if (
+                self.membership is None
+                and isinstance(conjunct, A.SetCompare)
+                and conjunct.op == "in"
+            ):
+                element, container = conjunct.left, conjunct.right
+                elem_vars = free_vars(element)
+                cont_vars = free_vars(container)
+                if elem_vars <= {rvar} and cont_vars <= {lvar} and rvar in elem_vars:
+                    self.membership = (element, container, "left-set")
+                    continue
+                if elem_vars <= {lvar} and cont_vars <= {rvar} and lvar in elem_vars:
+                    self.membership = (element, container, "right-set")
+                    continue
+            residual.append(conjunct)
+        self.residual = _conjoin(residual)
+
+    @staticmethod
+    def _orient(a: A.Expr, b: A.Expr, lvar: str, rvar: str):
+        a_vars, b_vars = free_vars(a), free_vars(b)
+        if a_vars <= {lvar} and b_vars <= {rvar} and lvar in a_vars and rvar in b_vars:
+            return a, b
+        if a_vars <= {rvar} and b_vars <= {lvar} and rvar in a_vars and lvar in b_vars:
+            return b, a
+        return None
+
+    @property
+    def hashable(self) -> bool:
+        return bool(self.equi_left) or self.membership is not None
+
+
+class Planner:
+    """Plans closed ADL expressions (no free variables at the top level)."""
+
+    def plan(self, expr: A.Expr) -> PlanNode:
+        return self._plan(expr)
+
+    # -- dispatch ------------------------------------------------------------
+    def _plan(self, expr: A.Expr) -> PlanNode:
+        if isinstance(expr, A.ExtentRef):
+            return P.Scan(expr.name)
+        if isinstance(expr, A.Select):
+            return P.Filter(expr.var, expr.pred, self._plan(expr.source))
+        if isinstance(expr, A.Map):
+            return P.MapOp(expr.var, expr.body, self._plan(expr.source))
+        if isinstance(expr, A.Project):
+            return P.ProjectOp(expr.attrs, self._plan(expr.source))
+        if isinstance(expr, A.Rename):
+            return P.RenameOp(expr.renames, self._plan(expr.source))
+        if isinstance(expr, A.Unnest):
+            return P.UnnestOp(expr.attr, self._plan(expr.source))
+        if isinstance(expr, A.Nest):
+            return P.NestOp(expr.attrs, expr.as_attr, self._plan(expr.source))
+        if isinstance(expr, A.Flatten):
+            return P.FlattenOp(self._plan(expr.source))
+        if isinstance(expr, A.Union):
+            return P.SetOp("union", self._plan(expr.left), self._plan(expr.right))
+        if isinstance(expr, A.Intersect):
+            return P.SetOp("intersect", self._plan(expr.left), self._plan(expr.right))
+        if isinstance(expr, A.Difference):
+            return P.SetOp("difference", self._plan(expr.left), self._plan(expr.right))
+        if isinstance(expr, A.CartProd):
+            return P.CartesianProduct(self._plan(expr.left), self._plan(expr.right))
+        if isinstance(expr, A.Division):
+            return P.DivisionOp(self._plan(expr.left), self._plan(expr.right))
+        if isinstance(expr, A.Materialize):
+            return P.MaterializeOp(
+                expr.attr, expr.as_attr, expr.class_name, self._plan(expr.source)
+            )
+        if isinstance(expr, (A.Join, A.SemiJoin, A.AntiJoin, A.OuterJoin, A.NestJoin)):
+            return self._plan_join(expr)
+        # everything else (literals, set constructors, scalar expressions
+        # producing sets through the interpreter) is a leaf
+        return P.EvalExpr(expr)
+
+    # -- joins ----------------------------------------------------------------
+    def _plan_join(self, expr) -> PlanNode:
+        kind = {
+            A.Join: "join",
+            A.SemiJoin: "semijoin",
+            A.AntiJoin: "antijoin",
+            A.OuterJoin: "outerjoin",
+            A.NestJoin: "nestjoin",
+        }[type(expr)]
+        as_attr = getattr(expr, "as_attr", None)
+        result = getattr(expr, "result", None)
+        right_attrs = getattr(expr, "right_attrs", ())
+        left = self._plan(expr.left)
+        right = self._plan(expr.right)
+
+        # correlated operands (free variables beyond the join's own) cannot
+        # be hashed once; fall back to tuple-at-a-time evaluation
+        if free_vars(expr.right) or free_vars(expr.left):
+            return P.NestedLoopJoin(
+                kind, expr.lvar, expr.rvar, expr.pred, left, right,
+                as_attr=as_attr, result=result, right_attrs=tuple(right_attrs),
+            )
+
+        recipe = JoinRecipe(expr.lvar, expr.rvar, expr.pred)
+        if recipe.equi_left:
+            return P.HashJoinBase(
+                kind,
+                expr.lvar,
+                expr.rvar,
+                tuple(recipe.equi_left),
+                tuple(recipe.equi_right),
+                # membership conjunct (if any) stays residual when equi keys exist
+                recipe.residual
+                if recipe.membership is None
+                else _conjoin(
+                    [A.SetCompare("in", recipe.membership[0], recipe.membership[1]),
+                     recipe.residual]
+                ),
+                left,
+                right,
+                as_attr=as_attr,
+                result=result,
+                right_attrs=tuple(right_attrs),
+            )
+        if recipe.membership is not None:
+            element, container, probe_side = recipe.membership
+            return P.MembershipHashJoin(
+                kind,
+                expr.lvar,
+                expr.rvar,
+                element,
+                container,
+                probe_side,
+                recipe.residual,
+                left,
+                right,
+                as_attr=as_attr,
+                result=result,
+                right_attrs=tuple(right_attrs),
+            )
+        return P.NestedLoopJoin(
+            kind, expr.lvar, expr.rvar, expr.pred, left, right,
+            as_attr=as_attr, result=result, right_attrs=tuple(right_attrs),
+        )
+
+
+class Executor:
+    """Facade: plan + execute ADL expressions against a database."""
+
+    def __init__(self, db, stats: Optional[Stats] = None) -> None:
+        self.db = db
+        self.stats = stats if stats is not None else Stats()
+        self.planner = Planner()
+
+    def execute(self, expr: A.Expr):
+        plan = self.planner.plan(expr)
+        rt = ExecRuntime(self.db, self.stats)
+        return plan.execute(rt)
+
+    def explain(self, expr: A.Expr) -> str:
+        return self.planner.plan(expr).explain()

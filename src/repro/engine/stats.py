@@ -1,0 +1,64 @@
+"""Execution statistics — the currency of the paper's argument.
+
+"Tuple-oriented versus set-oriented query processing" is an access-pattern
+claim; these counters make it measurable without real I/O hardware:
+
+* ``predicate_evals`` — how many times a selection/join predicate ran.
+  Nested-loop evaluation of a correlated subquery costs |X|·|Y| of these;
+  a hash semijoin costs O(|X| + |Y|) probes instead.
+* ``tuples_visited`` — every tuple an operator iterated over;
+* ``hash_inserts`` / ``hash_probes`` — hash operator work;
+* ``oid_derefs`` — pointer follow count (materialize/assembly);
+* ``partitions_spilled`` — PNHL memory-budget overflow events;
+* ``output_tuples`` — result cardinality contributed by operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Stats:
+    """Mutable counter bundle threaded through interpreters and operators."""
+
+    predicate_evals: int = 0
+    tuples_visited: int = 0
+    hash_inserts: int = 0
+    hash_probes: int = 0
+    comparisons: int = 0
+    oid_derefs: int = 0
+    partitions_spilled: int = 0
+    output_tuples: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total_work(self) -> int:
+        """A single scalar summarizing operator effort, for quick ratios."""
+        return (
+            self.predicate_evals
+            + self.tuples_visited
+            + self.hash_inserts
+            + self.hash_probes
+            + self.comparisons
+            + self.oid_derefs
+        )
+
+    def __add__(self, other: "Stats") -> "Stats":
+        if not isinstance(other, Stats):
+            return NotImplemented
+        merged = Stats()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{f.name}={getattr(self, f.name)}" for f in fields(self) if getattr(self, f.name)
+        )
+        return f"Stats({parts})"

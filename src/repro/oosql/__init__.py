@@ -1,0 +1,9 @@
+"""OOSQL: the paper's declarative, orthogonal SQL-like source language."""
+
+from repro.oosql import ast
+from repro.oosql.lexer import tokenize
+from repro.oosql.parser import Parser, parse
+from repro.oosql.pretty import pretty
+from repro.oosql.typecheck import OOSQLTypeChecker
+
+__all__ = ["OOSQLTypeChecker", "Parser", "ast", "parse", "pretty", "tokenize"]

@@ -1,0 +1,191 @@
+"""AST for OOSQL — the paper's declarative source language (Section 2).
+
+OOSQL is *orthogonal*: select-from-where blocks, quantifiers, set
+comparisons, path expressions, tuple and set constructors may appear in any
+clause, provided they are correctly typed.  Names (:class:`Ident`) stay
+unresolved here — whether an identifier is an iteration variable or a base
+table is decided by the translator against the scope and schema, mirroring
+how the paper treats ``SUPPLIER`` and ``s`` uniformly in the text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.datamodel.errors import DataModelError
+
+#: Binary operator vocabulary (surface names, before translation):
+#: arithmetic, scalar comparison, set comparison, boolean, set algebra.
+BINARY_OPS = frozenset(
+    {
+        "+", "-", "*", "/", "mod",
+        "=", "!=", "<", "<=", ">", ">=",
+        "in", "not in", "subset", "subseteq", "superset", "superseteq",
+        "contains", "disjoint",
+        "and", "or",
+        "union", "intersect", "minus",
+    }
+)
+
+AGGREGATES = ("count", "sum", "min", "max", "avg")
+
+
+class Node:
+    """Base class for OOSQL AST nodes (frozen dataclasses)."""
+
+    __slots__ = ()
+
+    def children(self) -> Iterator["Node"]:
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
+            value = getattr(self, field.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+                    elif isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], Node):
+                        yield item[1]
+
+    def walk(self) -> Iterator["Node"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __str__(self) -> str:
+        from repro.oosql.pretty import pretty
+
+        return pretty(self)
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """String, int, float, bool, or null constant."""
+
+    value: Union[None, bool, int, float, str]
+
+
+@dataclass(frozen=True)
+class Ident(Node):
+    """An unresolved name: iteration variable or base-table reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Path(Node):
+    """Attribute access ``e.a`` (chains form path expressions)."""
+
+    base: Node
+    attr: str
+
+
+@dataclass(frozen=True)
+class TupleCons(Node):
+    """Tuple construction ``(a = e1, b = e2)`` as in Example Query 1."""
+
+    fields: Tuple[Tuple[str, Node], ...]
+
+    def __post_init__(self) -> None:
+        names = [n for n, _ in self.fields]
+        if len(names) != len(set(names)):
+            raise DataModelError(f"duplicate attribute in tuple constructor: {names}")
+
+
+@dataclass(frozen=True)
+class SetCons(Node):
+    """Set construction ``{e1, ..., en}``."""
+
+    elements: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    """Any binary operator (see :data:`BINARY_OPS`)."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise DataModelError(f"unknown OOSQL binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    operand: Node
+
+
+@dataclass(frozen=True)
+class Neg(Node):
+    """Unary arithmetic minus."""
+
+    operand: Node
+
+
+@dataclass(frozen=True)
+class Quantifier(Node):
+    """``exists x in e : p`` / ``forall x in e : p``.
+
+    The predicate is optional for ``exists`` (the paper's Example Query 3.2
+    writes ``exists x in (select ...)`` for a non-emptiness test); a missing
+    predicate means ``true``.
+    """
+
+    kind: str  # "exists" | "forall"
+    var: str
+    source: Node
+    pred: Optional[Node]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exists", "forall"):
+            raise DataModelError(f"unknown quantifier {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """``count(e)``, ``sum(e)``, ``min/max/avg(e)``."""
+
+    func: str
+    source: Node
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATES:
+            raise DataModelError(f"unknown aggregate {self.func!r}")
+
+
+@dataclass(frozen=True)
+class Flatten(Node):
+    """``flatten(e)`` — multiple union of a set of sets.
+
+    Needed to type queries like the paper's Example Query 3.1, whose inner
+    block produces a *set of sets* of parts that is compared against a flat
+    set of parts (the paper leaves the coercion implicit; OOSQL here makes
+    it explicit and type-safe).
+    """
+
+    source: Node
+
+
+@dataclass(frozen=True)
+class SFW(Node):
+    """A select-from-where block.
+
+    ``bindings`` is the from-clause: one or more ``var in expr`` entries
+    (multiple entries denote nested iteration, leftmost outermost).
+    ``where`` is optional; a missing where-clause means ``true``.
+    """
+
+    select: Node
+    bindings: Tuple[Tuple[str, Node], ...]
+    where: Optional[Node]
+
+    def __post_init__(self) -> None:
+        if not self.bindings:
+            raise DataModelError("select block needs at least one from-binding")
+        names = [n for n, _ in self.bindings]
+        if len(names) != len(set(names)):
+            raise DataModelError(f"duplicate from-clause variable: {names}")

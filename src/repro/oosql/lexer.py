@@ -1,0 +1,97 @@
+"""Hand-rolled lexer for OOSQL.
+
+Produces a flat list of :class:`~repro.oosql.tokens.Token`, terminated by an
+``eof`` token.  Comments run from ``--`` to end of line, SQL style.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datamodel.errors import OOSQLSyntaxError
+from repro.oosql.tokens import KEYWORDS, PUNCTUATION, Token
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = text[i]
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+
+        start_col = column()
+
+        # string literal
+        if ch == '"':
+            j = i + 1
+            chars: List[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise OOSQLSyntaxError("unterminated string literal", line, start_col)
+                chars.append(text[j])
+                j += 1
+            if j >= n:
+                raise OOSQLSyntaxError("unterminated string literal", line, start_col)
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            i = j + 1
+            continue
+
+        # number
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+                tokens.append(Token("float", text[i:j], line, start_col))
+            else:
+                tokens.append(Token("int", text[i:j], line, start_col))
+            i = j
+            continue
+
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, line, start_col))
+            else:
+                tokens.append(Token("ident", word, line, start_col))
+            i = j
+            continue
+
+        # punctuation (longest match first)
+        for punct in PUNCTUATION:
+            if text.startswith(punct, i):
+                tokens.append(Token("punct", punct, line, start_col))
+                i += len(punct)
+                break
+        else:
+            raise OOSQLSyntaxError(f"unexpected character {ch!r}", line, start_col)
+
+    tokens.append(Token("eof", "", line, column()))
+    return tokens

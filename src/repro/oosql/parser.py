@@ -1,0 +1,307 @@
+"""Recursive-descent parser for OOSQL.
+
+Grammar (precedence from loosest to tightest)::
+
+    expr        := or_expr
+    or_expr     := and_expr ('or' and_expr)*
+    and_expr    := not_expr ('and' not_expr)*
+    not_expr    := 'not' not_expr | comparison
+    comparison  := set_expr (comp_op set_expr)?
+    comp_op     := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+                 | 'in' | 'not' 'in' | 'subset' | 'subseteq'
+                 | 'superset' | 'superseteq' | 'contains' | 'disjoint'
+    set_expr    := additive (('union'|'intersect'|'minus') additive)*
+    additive    := multiplic (('+'|'-') multiplic)*
+    multiplic   := unary (('*'|'/'|'mod') unary)*
+    unary       := '-' unary | postfix
+    postfix     := primary ('.' IDENT)*
+    primary     := literal | IDENT | aggregate | quantifier | sfw
+                 | '(' IDENT '=' ... ')'          -- tuple constructor
+                 | '(' expr ')' | '{' exprs? '}'
+    sfw         := 'select' expr 'from' binding (',' binding)*
+                   ('where' expr)?
+    binding     := IDENT 'in' set_expr
+    quantifier  := ('exists'|'forall') IDENT 'in' set_expr (':' expr)?
+
+Notes mirroring the paper's usage:
+
+* ``(a = e, ...)`` is always a *tuple constructor* (Example Query 1); a
+  parenthesized equality must drop the parentheses or flip its operands;
+* ``exists x in e`` without a body is the non-emptiness test of Example
+  Query 3.2;
+* a quantifier body extends as far right as possible — parenthesize to
+  limit it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.datamodel.errors import OOSQLSyntaxError
+from repro.oosql import ast as Q
+from repro.oosql.lexer import tokenize
+from repro.oosql.tokens import Token
+
+_COMPARE_PUNCT = ("=", "!=", "<>", "<=", ">=", "<", ">")
+_SETCMP_KEYWORDS = ("subset", "subseteq", "superset", "superseteq", "contains", "disjoint")
+
+
+class Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens: List[Token] = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> OOSQLSyntaxError:
+        token = token or self.peek()
+        return OOSQLSyntaxError(f"{message}, found {token.describe()}", token.line, token.column)
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(text):
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise self.error(f"expected keyword {word!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error("expected identifier")
+        return self.advance().text
+
+    # -- entry point --------------------------------------------------------------
+    def parse(self) -> Q.Node:
+        expr = self.parse_expr()
+        token = self.peek()
+        if token.kind != "eof":
+            raise self.error("unexpected trailing input")
+        return expr
+
+    # -- precedence levels -----------------------------------------------------------
+    def parse_expr(self) -> Q.Node:
+        return self.parse_or()
+
+    def parse_or(self) -> Q.Node:
+        left = self.parse_and()
+        while self.peek().is_keyword("or"):
+            self.advance()
+            left = Q.BinOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Q.Node:
+        left = self.parse_not()
+        while self.peek().is_keyword("and"):
+            self.advance()
+            left = Q.BinOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Q.Node:
+        if self.peek().is_keyword("not") and not self.peek(1).is_keyword("in"):
+            self.advance()
+            return Q.Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Q.Node:
+        left = self.parse_set_expr()
+        token = self.peek()
+        if token.kind == "punct" and token.text in _COMPARE_PUNCT:
+            self.advance()
+            op = "!=" if token.text in ("!=", "<>") else token.text
+            return Q.BinOp(op, left, self.parse_set_expr())
+        if token.is_keyword("in"):
+            self.advance()
+            return Q.BinOp("in", left, self.parse_set_expr())
+        if token.is_keyword("not") and self.peek(1).is_keyword("in"):
+            self.advance()
+            self.advance()
+            return Q.BinOp("not in", left, self.parse_set_expr())
+        if token.kind == "keyword" and token.text in _SETCMP_KEYWORDS:
+            self.advance()
+            return Q.BinOp(token.text, left, self.parse_set_expr())
+        return left
+
+    def parse_set_expr(self) -> Q.Node:
+        left = self.parse_additive()
+        while True:
+            token = self.peek()
+            if token.kind == "keyword" and token.text in ("union", "intersect", "minus"):
+                self.advance()
+                left = Q.BinOp(token.text, left, self.parse_additive())
+            else:
+                return left
+
+    def parse_additive(self) -> Q.Node:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.text in ("+", "-"):
+                self.advance()
+                left = Q.BinOp(token.text, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Q.Node:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if (token.kind == "punct" and token.text in ("*", "/")) or token.is_keyword("mod"):
+                self.advance()
+                left = Q.BinOp(token.text, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Q.Node:
+        if self.peek().is_punct("-"):
+            self.advance()
+            return Q.Neg(self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Q.Node:
+        expr = self.parse_primary()
+        while self.peek().is_punct("."):
+            self.advance()
+            token = self.peek()
+            if token.kind not in ("ident", "keyword"):
+                raise self.error("expected attribute name after '.'")
+            expr = Q.Path(expr, self.advance().text)
+        return expr
+
+    # -- primaries --------------------------------------------------------------------
+    def parse_primary(self) -> Q.Node:
+        token = self.peek()
+
+        if token.kind == "string":
+            self.advance()
+            return Q.Literal(token.text)
+        if token.kind == "int":
+            self.advance()
+            return Q.Literal(int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return Q.Literal(float(token.text))
+        if token.is_keyword("true"):
+            self.advance()
+            return Q.Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Q.Literal(False)
+        if token.is_keyword("null"):
+            self.advance()
+            return Q.Literal(None)
+
+        if token.kind == "keyword" and token.text in Q.AGGREGATES:
+            self.advance()
+            self.expect_punct("(")
+            source = self.parse_expr()
+            self.expect_punct(")")
+            return Q.Aggregate(token.text, source)
+
+        if token.is_keyword("flatten"):
+            self.advance()
+            self.expect_punct("(")
+            source = self.parse_expr()
+            self.expect_punct(")")
+            return Q.Flatten(source)
+
+        if token.is_keyword("exists") or token.is_keyword("forall"):
+            return self.parse_quantifier()
+
+        if token.is_keyword("select"):
+            return self.parse_sfw()
+
+        if token.kind == "ident":
+            self.advance()
+            return Q.Ident(token.text)
+
+        if token.is_punct("("):
+            # tuple constructor iff it starts "( ident = " — Example Query 1 style
+            if self.peek(1).kind == "ident" and self.peek(2).is_punct("="):
+                return self.parse_tuple()
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+
+        if token.is_punct("{"):
+            return self.parse_set()
+
+        raise self.error("expected an expression")
+
+    def parse_tuple(self) -> Q.Node:
+        self.expect_punct("(")
+        fields: List[Tuple[str, Q.Node]] = []
+        while True:
+            name = self.expect_ident()
+            self.expect_punct("=")
+            fields.append((name, self.parse_expr()))
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct(")")
+        return Q.TupleCons(tuple(fields))
+
+    def parse_set(self) -> Q.Node:
+        self.expect_punct("{")
+        elements: List[Q.Node] = []
+        if not self.peek().is_punct("}"):
+            while True:
+                elements.append(self.parse_expr())
+                if self.peek().is_punct(","):
+                    self.advance()
+                    continue
+                break
+        self.expect_punct("}")
+        return Q.SetCons(tuple(elements))
+
+    def parse_quantifier(self) -> Q.Node:
+        token = self.advance()  # exists | forall
+        var = self.expect_ident()
+        self.expect_keyword("in")
+        source = self.parse_set_expr()
+        pred: Optional[Q.Node] = None
+        if self.peek().is_punct(":"):
+            self.advance()
+            pred = self.parse_expr()
+        elif token.text == "forall":
+            raise self.error("forall requires a ': predicate' body")
+        return Q.Quantifier(token.text, var, source, pred)
+
+    def parse_sfw(self) -> Q.Node:
+        self.expect_keyword("select")
+        select = self.parse_expr()
+        self.expect_keyword("from")
+        bindings: List[Tuple[str, Q.Node]] = []
+        while True:
+            var = self.expect_ident()
+            self.expect_keyword("in")
+            bindings.append((var, self.parse_set_expr()))
+            if self.peek().is_punct(","):
+                self.advance()
+                continue
+            break
+        where: Optional[Q.Node] = None
+        if self.peek().is_keyword("where"):
+            self.advance()
+            where = self.parse_expr()
+        return Q.SFW(select, tuple(bindings), where)
+
+
+def parse(text: str) -> Q.Node:
+    """Parse one OOSQL expression (usually a select block)."""
+    return Parser(text).parse()

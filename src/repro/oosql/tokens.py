@@ -1,0 +1,64 @@
+"""Token definitions for the OOSQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Reserved words, lowercase.  OOSQL keywords are case-insensitive.
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "in",
+        "exists",
+        "forall",
+        "and",
+        "or",
+        "not",
+        "union",
+        "intersect",
+        "minus",
+        "subset",
+        "subseteq",
+        "superset",
+        "superseteq",
+        "contains",
+        "disjoint",
+        "mod",
+        "true",
+        "false",
+        "null",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "avg",
+        "flatten",
+        "except",
+    }
+)
+
+#: Multi-character punctuation, longest first so the lexer can scan greedily.
+PUNCTUATION = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", "{", "}", "[", "]", ",", ".", ":", "+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str  # "keyword" | "ident" | "int" | "float" | "string" | "punct" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return f"{self.kind} {self.text!r}"

@@ -1,0 +1,218 @@
+"""Static type checker for OOSQL.
+
+OOSQL is orthogonal "provided [expressions] are correctly typed" (Section 2)
+— this checker enforces that proviso at the source level, before
+translation, with schema-aware name resolution:
+
+* an :class:`~repro.oosql.ast.Ident` resolves to an in-scope iteration
+  variable first, then to a base table (class extension);
+* path expressions dereference object references implicitly
+  (``d.supplier.sname``), exactly like the ADL checker;
+* ``=`` / ``!=`` work on any pair of unifiable types (scalar or set —
+  the translator later picks the scalar or set-comparison form);
+* quantifier and select-from-where blocks introduce scopes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.datamodel.errors import TypeCheckError
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AnyType,
+    OidType,
+    SetType,
+    TupleType,
+    Type,
+    is_comparable,
+    is_numeric,
+    unify,
+)
+from repro.oosql import ast as Q
+
+
+class OOSQLTypeChecker:
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self.schema = schema
+
+    def check(self, node: Q.Node, env: Optional[Mapping[str, Type]] = None) -> Type:
+        return self._check(node, dict(env or {}))
+
+    # -- helpers ---------------------------------------------------------------
+    def _set_elem(self, node: Q.Node, env: Dict[str, Type], what: str) -> Type:
+        t = self._check(node, env)
+        if isinstance(t, AnyType):
+            return ANY
+        if not isinstance(t, SetType):
+            raise TypeCheckError(f"{what} must be a set, got {t!r} in {node}")
+        return t.element
+
+    def _bool(self, node: Q.Node, env: Dict[str, Type], what: str) -> None:
+        t = self._check(node, env)
+        if not BOOL.is_assignable_from(t):
+            raise TypeCheckError(f"{what} must be boolean, got {t!r} in {node}")
+
+    # -- the checker ---------------------------------------------------------------
+    def _check(self, node: Q.Node, env: Dict[str, Type]) -> Type:
+        if isinstance(node, Q.Literal):
+            if node.value is None:
+                return ANY
+            if isinstance(node.value, bool):
+                return BOOL
+            if isinstance(node.value, int):
+                return INT
+            if isinstance(node.value, float):
+                return FLOAT
+            if isinstance(node.value, str):
+                return STRING
+            raise TypeCheckError(f"unsupported literal {node.value!r}")
+
+        if isinstance(node, Q.Ident):
+            if node.name in env:
+                return env[node.name]
+            if self.schema is not None and self.schema.has_extent(node.name):
+                return self.schema.extent_type(node.name)
+            raise TypeCheckError(f"unknown name {node.name!r} (not a variable or base table)")
+
+        if isinstance(node, Q.Path):
+            base = self._check(node.base, env)
+            if isinstance(base, AnyType):
+                return ANY
+            if isinstance(base, OidType):
+                if self.schema is None or base.class_name is None:
+                    raise TypeCheckError(f"cannot dereference untyped oid in {node}")
+                base = self.schema.object_type(base.class_name)
+            if not isinstance(base, TupleType):
+                raise TypeCheckError(f"attribute {node.attr!r} on non-object type {base!r}")
+            return base.field(node.attr)
+
+        if isinstance(node, Q.TupleCons):
+            return TupleType({n: self._check(e, env) for n, e in node.fields})
+
+        if isinstance(node, Q.SetCons):
+            element: Type = ANY
+            for item in node.elements:
+                element = unify(element, self._check(item, env), "set constructor")
+            return SetType(element)
+
+        if isinstance(node, Q.BinOp):
+            return self._check_binop(node, env)
+
+        if isinstance(node, Q.Not):
+            self._bool(node.operand, env, "'not' operand")
+            return BOOL
+
+        if isinstance(node, Q.Neg):
+            t = self._check(node.operand, env)
+            if not (isinstance(t, AnyType) or is_numeric(t)):
+                raise TypeCheckError(f"unary minus on non-numeric {t!r}")
+            return t
+
+        if isinstance(node, Q.Quantifier):
+            element = self._set_elem(node.source, env, f"{node.kind} range")
+            if node.pred is not None:
+                inner = dict(env)
+                inner[node.var] = element
+                self._bool(node.pred, inner, f"{node.kind} body")
+            return BOOL
+
+        if isinstance(node, Q.Aggregate):
+            element = self._set_elem(node.source, env, "aggregate operand")
+            if node.func == "count":
+                return INT
+            if isinstance(element, AnyType):
+                return FLOAT if node.func == "avg" else ANY
+            if node.func in ("sum", "avg") and not is_numeric(element):
+                raise TypeCheckError(f"{node.func} over non-numeric {element!r}")
+            if node.func in ("min", "max") and not is_comparable(element):
+                raise TypeCheckError(f"{node.func} over non-comparable {element!r}")
+            return FLOAT if node.func == "avg" else element
+
+        if isinstance(node, Q.Flatten):
+            element = self._set_elem(node.source, env, "flatten operand")
+            if isinstance(element, AnyType):
+                return SetType(ANY)
+            if not isinstance(element, SetType):
+                raise TypeCheckError(f"flatten needs a set of sets, got element {element!r}")
+            return element
+
+        if isinstance(node, Q.SFW):
+            inner = dict(env)
+            for var, source in node.bindings:
+                element = self._set_elem(source, inner, f"from-clause of {var!r}")
+                inner[var] = element
+            if node.where is not None:
+                self._bool(node.where, inner, "where-clause")
+            return SetType(self._check(node.select, inner))
+
+        raise TypeCheckError(f"no typing rule for {type(node).__name__}")
+
+    def _check_binop(self, node: Q.BinOp, env: Dict[str, Type]) -> Type:
+        op = node.op
+        left = self._check(node.left, env)
+        right = self._check(node.right, env)
+
+        if op in ("and", "or"):
+            for t, side in ((left, node.left), (right, node.right)):
+                if not BOOL.is_assignable_from(t):
+                    raise TypeCheckError(f"'{op}' operand must be boolean, got {t!r} in {side}")
+            return BOOL
+
+        if op in ("+", "-", "*", "/", "mod"):
+            for t in (left, right):
+                if not (isinstance(t, AnyType) or is_numeric(t)):
+                    raise TypeCheckError(f"arithmetic {op!r} on non-numeric {t!r}")
+            if op == "/":
+                return FLOAT
+            out = unify(left, right, f"arithmetic {op}")
+            return out if not isinstance(out, AnyType) else INT
+
+        if op in ("=", "!="):
+            unify(left, right, f"comparison {op}")
+            return BOOL
+
+        if op in ("<", "<=", ">", ">="):
+            unify(left, right, f"comparison {op}")
+            for t in (left, right):
+                if not (isinstance(t, AnyType) or is_comparable(t)):
+                    raise TypeCheckError(f"ordering {op} on non-comparable {t!r}")
+            return BOOL
+
+        if op in ("in", "not in"):
+            if isinstance(right, AnyType):
+                return BOOL
+            if not isinstance(right, SetType):
+                raise TypeCheckError(f"right operand of 'in' must be a set, got {right!r}")
+            unify(left, right.element, "membership")
+            return BOOL
+
+        if op == "contains":
+            if isinstance(left, AnyType):
+                return BOOL
+            if not isinstance(left, SetType):
+                raise TypeCheckError(f"left operand of 'contains' must be a set, got {left!r}")
+            unify(right, left.element, "containment")
+            return BOOL
+
+        if op in ("subset", "subseteq", "superset", "superseteq", "disjoint"):
+            for t in (left, right):
+                if not isinstance(t, (SetType, AnyType)):
+                    raise TypeCheckError(f"set comparison {op} on non-set {t!r}")
+            unify(left, right, f"set comparison {op}")
+            return BOOL
+
+        if op in ("union", "intersect", "minus"):
+            out = unify(left, right, f"set operation {op}")
+            if isinstance(out, AnyType):
+                return SetType(ANY)
+            if not isinstance(out, SetType):
+                raise TypeCheckError(f"set operation {op} on non-sets: {left!r}, {right!r}")
+            return out
+
+        raise TypeCheckError(f"no typing rule for operator {op!r}")

@@ -1,0 +1,264 @@
+"""Static reduction of ``P(x, ∅)`` — the paper's Table 3 analysis.
+
+Section 5.2.2's result: unnesting-by-grouping loses dangling outer tuples
+in the join, and whether that is a bug depends on the value the
+between-blocks predicate takes when the subquery is empty:
+
+* ``P(x, ∅)`` statically **false** — dangling tuples must be excluded
+  anyway; the grouping rewrite is *correct*;
+* statically **true** — *all* dangling tuples belong in the result; the
+  plain grouping rewrite is wrong, but repairable (outerjoin / nestjoin);
+* **unknown** (run-time dependent, e.g. ``x.c ⊆ Y'`` which holds iff
+  ``x.c = ∅``) — only an operator that keeps empty groups (nestjoin,
+  outerjoin) is safe.
+
+:func:`classify_empty` substitutes the empty set for the subquery and runs
+a three-valued partial evaluator over the predicate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.adl import ast as A
+from repro.rewrite.common import replace_subexpr
+
+
+class TriBool(enum.Enum):
+    """Three-valued static truth."""
+
+    FALSE = "false"
+    TRUE = "true"
+    UNKNOWN = "?"
+
+    def __invert__(self) -> "TriBool":
+        if self is TriBool.TRUE:
+            return TriBool.FALSE
+        if self is TriBool.FALSE:
+            return TriBool.TRUE
+        return TriBool.UNKNOWN
+
+    def __and__(self, other: "TriBool") -> "TriBool":
+        if TriBool.FALSE in (self, other):
+            return TriBool.FALSE
+        if self is TriBool.TRUE and other is TriBool.TRUE:
+            return TriBool.TRUE
+        return TriBool.UNKNOWN
+
+    def __or__(self, other: "TriBool") -> "TriBool":
+        if TriBool.TRUE in (self, other):
+            return TriBool.TRUE
+        if self is TriBool.FALSE and other is TriBool.FALSE:
+            return TriBool.FALSE
+        return TriBool.UNKNOWN
+
+
+_EMPTY = A.SetExpr(())
+
+
+def classify_empty(pred: A.Expr, subquery: A.Expr) -> TriBool:
+    """Value of ``pred`` with ``∅`` substituted for ``subquery``.
+
+    This is exactly the paper's test for whether the grouping technique is
+    safe: "the unnesting technique used here is guaranteed to deliver
+    correct results only if P(x, ∅) can be statically reduced to false."
+    """
+    return reduce_static(replace_subexpr(pred, subquery, _EMPTY))
+
+
+def is_statically_empty(expr: A.Expr) -> Optional[bool]:
+    """Is the (set-valued) expression statically the empty set?
+
+    ``True``/``False`` when decidable, ``None`` when unknown.  Iterators
+    over the empty set produce the empty set; everything data-dependent is
+    unknown.
+    """
+    if isinstance(expr, A.SetExpr):
+        return len(expr.elements) == 0
+    if isinstance(expr, A.Literal):
+        if isinstance(expr.value, frozenset):
+            return len(expr.value) == 0
+        return None
+    if isinstance(expr, (A.Select, A.Map, A.Project, A.Rename, A.Flatten, A.Unnest, A.Nest)):
+        return True if is_statically_empty(expr.source) else None
+    if isinstance(expr, (A.CartProd, A.Join, A.SemiJoin, A.AntiJoin)):
+        if is_statically_empty(expr.left):
+            return True
+        if isinstance(expr, (A.CartProd, A.Join)) and is_statically_empty(expr.right):
+            return True
+        return None
+    if isinstance(expr, A.NestJoin):
+        return True if is_statically_empty(expr.left) else None
+    if isinstance(expr, A.Union):
+        left = is_statically_empty(expr.left)
+        right = is_statically_empty(expr.right)
+        if left and right:
+            return True
+        if left is False or right is False:
+            return False
+        return None
+    if isinstance(expr, A.Intersect):
+        if is_statically_empty(expr.left) or is_statically_empty(expr.right):
+            return True
+        return None
+    if isinstance(expr, A.Difference):
+        return True if is_statically_empty(expr.left) else None
+    return None
+
+
+def _static_int(expr: A.Expr) -> Optional[int]:
+    if isinstance(expr, A.Literal) and isinstance(expr.value, int) and not isinstance(expr.value, bool):
+        return expr.value
+    if isinstance(expr, A.Aggregate) and expr.func == "count":
+        emptiness = is_statically_empty(expr.source)
+        if emptiness:
+            return 0
+        return None
+    return None
+
+
+def reduce_static(pred: A.Expr) -> TriBool:
+    """Three-valued partial evaluation of a boolean expression."""
+    if isinstance(pred, A.Literal):
+        if pred.value is True:
+            return TriBool.TRUE
+        if pred.value is False:
+            return TriBool.FALSE
+        return TriBool.UNKNOWN
+
+    if isinstance(pred, A.Not):
+        return ~reduce_static(pred.operand)
+
+    if isinstance(pred, A.And):
+        return reduce_static(pred.left) & reduce_static(pred.right)
+
+    if isinstance(pred, A.Or):
+        return reduce_static(pred.left) | reduce_static(pred.right)
+
+    if isinstance(pred, A.IsEmpty):
+        emptiness = is_statically_empty(pred.operand)
+        if emptiness is None:
+            return TriBool.UNKNOWN
+        return TriBool.TRUE if emptiness else TriBool.FALSE
+
+    if isinstance(pred, A.Exists):
+        # ∃ over the empty set is false regardless of the body
+        if is_statically_empty(pred.source):
+            return TriBool.FALSE
+        body = reduce_static(pred.pred)
+        if body is TriBool.FALSE:
+            return TriBool.FALSE
+        return TriBool.UNKNOWN
+
+    if isinstance(pred, A.Forall):
+        # ∀ over the empty set is true regardless of the body
+        if is_statically_empty(pred.source):
+            return TriBool.TRUE
+        body = reduce_static(pred.pred)
+        if body is TriBool.TRUE:
+            return TriBool.TRUE
+        return TriBool.UNKNOWN
+
+    if isinstance(pred, A.SetCompare):
+        return _reduce_setcompare(pred)
+
+    if isinstance(pred, A.Compare):
+        return _reduce_compare(pred)
+
+    return TriBool.UNKNOWN
+
+
+def _reduce_setcompare(pred: A.SetCompare) -> TriBool:
+    op = pred.op
+    left_empty = is_statically_empty(pred.left)
+    right_empty = is_statically_empty(pred.right)
+
+    if op == "in":
+        # e ∈ ∅ is false
+        if right_empty:
+            return TriBool.FALSE
+        return TriBool.UNKNOWN
+    if op == "notin":
+        if right_empty:
+            return TriBool.TRUE
+        return TriBool.UNKNOWN
+    if op in ("ni", "notni"):
+        # x.c ∋ ∅ asks whether ∅ is a member of x.c — run-time dependent
+        # (Table 3's last row); only an empty left side decides it.
+        if left_empty:
+            return TriBool.FALSE if op == "ni" else TriBool.TRUE
+        return TriBool.UNKNOWN
+    if op == "subset":
+        # x.c ⊂ ∅ is false (nothing is a proper subset of the empty set):
+        # Table 3, first row
+        if right_empty:
+            return TriBool.FALSE
+        if left_empty:
+            return TriBool.TRUE if right_empty is False else TriBool.UNKNOWN
+        return TriBool.UNKNOWN
+    if op == "subseteq":
+        # x.c ⊆ ∅ iff x.c = ∅: run-time dependent (Table 3 row 2)
+        if left_empty:
+            return TriBool.TRUE
+        if right_empty and left_empty is False:
+            return TriBool.FALSE
+        return TriBool.UNKNOWN
+    if op == "seteq":
+        if left_empty and right_empty:
+            return TriBool.TRUE
+        if (left_empty and right_empty is False) or (right_empty and left_empty is False):
+            return TriBool.FALSE
+        return TriBool.UNKNOWN
+    if op == "setneq":
+        return ~_reduce_setcompare(A.SetCompare("seteq", pred.left, pred.right))
+    if op == "supseteq":
+        # x.c ⊇ ∅ is true (Table 3 row 4)
+        if right_empty:
+            return TriBool.TRUE
+        if left_empty and right_empty is False:
+            return TriBool.FALSE
+        return TriBool.UNKNOWN
+    if op == "supset":
+        # x.c ⊃ ∅ iff x.c ≠ ∅: run-time dependent (Table 3 row 5)
+        if left_empty:
+            return TriBool.FALSE
+        if right_empty and left_empty is False:
+            return TriBool.TRUE
+        return TriBool.UNKNOWN
+    if op == "disjoint":
+        if left_empty or right_empty:
+            return TriBool.TRUE
+        return TriBool.UNKNOWN
+    return TriBool.UNKNOWN
+
+
+def _reduce_compare(pred: A.Compare) -> TriBool:
+    left_int = _static_int(pred.left)
+    right_int = _static_int(pred.right)
+    if left_int is None or right_int is None:
+        left_lit = pred.left.value if isinstance(pred.left, A.Literal) else None
+        right_lit = pred.right.value if isinstance(pred.right, A.Literal) else None
+        if isinstance(pred.left, A.Literal) and isinstance(pred.right, A.Literal):
+            try:
+                outcome = {
+                    "=": left_lit == right_lit,
+                    "!=": left_lit != right_lit,
+                    "<": left_lit < right_lit,  # type: ignore[operator]
+                    "<=": left_lit <= right_lit,  # type: ignore[operator]
+                    ">": left_lit > right_lit,  # type: ignore[operator]
+                    ">=": left_lit >= right_lit,  # type: ignore[operator]
+                }[pred.op]
+            except TypeError:
+                return TriBool.UNKNOWN
+            return TriBool.TRUE if outcome else TriBool.FALSE
+        return TriBool.UNKNOWN
+    outcome = {
+        "=": left_int == right_int,
+        "!=": left_int != right_int,
+        "<": left_int < right_int,
+        "<=": left_int <= right_int,
+        ">": left_int > right_int,
+        ">=": left_int >= right_int,
+    }[pred.op]
+    return TriBool.TRUE if outcome else TriBool.FALSE

@@ -1,0 +1,159 @@
+"""Characterization of nested queries — the paper's first future-work item.
+
+Section 7: "First, we need a precise characterization of nested queries
+requiring grouping or not."  This module provides that characterization
+for the two-block query format of Section 5.1, combining the structural
+facts (correlation, operand kinds) with the Table 3 analysis:
+
+* ``FLAT`` — no subquery over a base table at all (attribute nesting
+  only, or constants): the paper leaves such queries as they are;
+* ``UNCORRELATED`` — the inner block is a constant (Section 3: treated
+  as such, evaluated once);
+* ``RELATIONAL`` — the predicate between blocks reduces to a (negated)
+  existential prefix over the base table: semijoin/antijoin territory,
+  no grouping required;
+* ``GROUPING_SAFE`` — grouping is required but ``P(x, ∅)`` is statically
+  false: the flat [GaWo87] join query is correct;
+* ``GROUPING_UNSAFE`` — grouping is required and dangling tuples matter
+  (``P(x, ∅)`` true or run-time dependent): only a dangling-preserving
+  operator (nestjoin, repaired outerjoin) is correct.
+
+The verdict is *predictive*: ``tests/rewrite/test_characterize.py`` checks
+it against what the optimizer actually does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adl import ast as A
+from repro.adl.freevars import free_vars
+from repro.rewrite.analysis import TriBool, classify_empty
+from repro.rewrite.common import (
+    QueryBlock,
+    RewriteContext,
+    first_correlated_block,
+    match_query_block,
+    mentions_extent,
+)
+
+
+class NestingClass(enum.Enum):
+    """The characterization verdict."""
+
+    FLAT = "flat"
+    UNCORRELATED = "uncorrelated"
+    RELATIONAL = "relational"
+    GROUPING_SAFE = "grouping-safe"
+    GROUPING_UNSAFE = "grouping-unsafe"
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """Verdict plus the evidence that produced it."""
+
+    verdict: NestingClass
+    reason: str
+    block: Optional[QueryBlock] = None
+    empty_value: Optional[TriBool] = None
+
+    def requires_grouping(self) -> bool:
+        return self.verdict in (NestingClass.GROUPING_SAFE, NestingClass.GROUPING_UNSAFE)
+
+    def requires_dangling_preservation(self) -> bool:
+        return self.verdict is NestingClass.GROUPING_UNSAFE
+
+
+def _existential_prefix(pred: A.Expr, block_node: A.Expr) -> bool:
+    """Does the between-blocks predicate expand into a single (negated)
+    quantifier prefix *over the block*?  Those are Rule 1's territory — no
+    grouping.  Per the paper's Table 1 discussion: "expanding operators ∈
+    and ⊇ leads to a (negated) existential quantifier expression that is
+    suited for unnesting"; the list below adds the symmetric ``Y' ⊆ x.c``
+    (Rewriting Example 2), disjointness, and the Table 2 forms."""
+    node = pred
+    if isinstance(node, A.Not):
+        node = node.operand
+    if isinstance(node, (A.Exists, A.Forall)) and node.source == block_node:
+        return True
+    if isinstance(node, A.SetCompare):
+        # x.c ∈ Y'  ≡ ∃y ∈ Y' • ... ;  x.c ⊇ Y' ≡ ∀y ∈ Y' • y ∈ x.c
+        if node.op in ("in", "notin", "supseteq") and node.right == block_node:
+            return True
+        # Y' ⊆ x.c ≡ ∀y ∈ Y' • y ∈ x.c (Rewriting Example 2)
+        if node.op == "subseteq" and node.left == block_node:
+            return True
+        # disjointness quantifies over either side (Table 2, row 3)
+        if node.op == "disjoint" and block_node in (node.left, node.right):
+            return True
+    # emptiness/count tests expand to a (negated) existential prefix
+    if isinstance(node, A.IsEmpty) and node.operand == block_node:
+        return True
+    if isinstance(node, A.Compare) and node.op in ("=", "!=", "<", "<=", ">", ">="):
+        for side in (node.left, node.right):
+            if isinstance(side, A.Aggregate) and side.func == "count" and side.source == block_node:
+                other = node.right if side is node.left else node.left
+                if isinstance(other, A.Literal) and other.value in (0, 1):
+                    return True
+    return False
+
+
+def characterize_select(expr: A.Expr, ctx: Optional[RewriteContext] = None) -> Characterization:
+    """Characterize a two-block selection ``σ[x : P(x, Y')](X)``.
+
+    Accepts any expression; non-selections and selections without nested
+    base-table blocks come back ``FLAT``.
+    """
+    if not isinstance(expr, A.Select):
+        return Characterization(NestingClass.FLAT, "not a selection")
+
+    # any subquery block over a base table inside the predicate?
+    block = first_correlated_block(expr.pred, expr.var)
+    if block is None:
+        # maybe an *uncorrelated* one
+        for node in expr.pred.walk():
+            candidate = match_query_block(node)
+            if candidate is not None and mentions_extent(candidate.source):
+                if expr.var not in free_vars(candidate.node):
+                    return Characterization(
+                        NestingClass.UNCORRELATED,
+                        "inner block does not reference the outer variable: a constant",
+                        candidate,
+                    )
+        if any(isinstance(n, A.ExtentRef) for n in expr.pred.walk()):
+            # a bare quantifier over an extent (∃y ∈ Y • p) is relational
+            for node in expr.pred.walk():
+                if isinstance(node, (A.Exists, A.Forall)) and mentions_extent(node.source):
+                    return Characterization(
+                        NestingClass.RELATIONAL,
+                        "quantifier over a base table: Rule 1 applies directly",
+                    )
+        return Characterization(
+            NestingClass.FLAT, "no base-table subquery in the predicate"
+        )
+
+    if _existential_prefix(expr.pred, block.node):
+        return Characterization(
+            NestingClass.RELATIONAL,
+            "between-blocks predicate reduces to a (negated) existential prefix",
+            block,
+        )
+
+    verdict = classify_empty(expr.pred, block.node)
+    if verdict is TriBool.FALSE:
+        return Characterization(
+            NestingClass.GROUPING_SAFE,
+            "P(x, ∅) statically false: dangling-tuple loss is harmless (Table 3)",
+            block,
+            verdict,
+        )
+    reason = (
+        "P(x, ∅) statically true: every dangling tuple belongs in the result"
+        if verdict is TriBool.TRUE
+        else "P(x, ∅) run-time dependent"
+    )
+    return Characterization(
+        NestingClass.GROUPING_UNSAFE, reason + " (Table 3)", block, verdict
+    )

@@ -1,0 +1,118 @@
+"""The rewrite engine: rules, phases, and fixpoint application.
+
+A :class:`Rule` is a named pure function ``(expr, ctx) -> Expr | None``
+that tries to rewrite *the root* of the given expression.  The engine
+lifts root rules to whole trees (top-down, first match), and runs rule
+sets to a fixpoint with a step budget as a termination backstop.
+
+Rules never mutate; every firing is recorded in a
+:class:`~repro.rewrite.trace.RewriteTrace` so the derivation can be
+replayed against the paper's rewriting examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adl import ast as A
+from repro.datamodel.errors import RewriteError
+from repro.rewrite.common import RewriteContext
+from repro.rewrite.trace import RewriteTrace
+
+RuleFn = Callable[[A.Expr, RewriteContext], Optional[A.Expr]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named root-rewrite."""
+
+    name: str
+    fn: RuleFn
+
+    def apply(self, expr: A.Expr, ctx: RewriteContext) -> Optional[A.Expr]:
+        return self.fn(expr, ctx)
+
+
+def rule(name: str) -> Callable[[RuleFn], Rule]:
+    """Decorator: ``@rule("name")`` turns a function into a :class:`Rule`."""
+
+    def wrap(fn: RuleFn) -> Rule:
+        return Rule(name, fn)
+
+    return wrap
+
+
+class RewriteEngine:
+    """Applies rule sets to expressions, to a fixpoint, with tracing."""
+
+    def __init__(self, ctx: Optional[RewriteContext] = None, max_steps: int = 2000) -> None:
+        self.ctx = ctx or RewriteContext()
+        self.max_steps = max_steps
+
+    # -- single pass ---------------------------------------------------------
+    def apply_once(
+        self, expr: A.Expr, rules: Sequence[Rule]
+    ) -> Optional[Tuple[str, A.Expr]]:
+        """Try every rule at every node (pre-order); first hit wins.
+
+        Returns ``(rule_name, new_whole_expr)`` or ``None`` if nothing fired.
+        """
+        for r in rules:
+            rewritten = r.apply(expr, self.ctx)
+            if rewritten is not None and rewritten != expr:
+                return r.name, rewritten
+
+        # descend: rebuild around the first child that rewrites
+        hit: List[Optional[str]] = [None]
+
+        def try_child(child: A.Expr) -> A.Expr:
+            if hit[0] is not None:
+                return child
+            result = self.apply_once(child, rules)
+            if result is None:
+                return child
+            hit[0] = result[0]
+            return result[1]
+
+        new_expr = expr.map_children(try_child)
+        if hit[0] is not None:
+            return hit[0], new_expr
+        return None
+
+    # -- fixpoint -------------------------------------------------------------
+    def run(
+        self,
+        expr: A.Expr,
+        rules: Sequence[Rule],
+        trace: Optional[RewriteTrace] = None,
+        phase: str = "",
+    ) -> A.Expr:
+        """Apply ``rules`` repeatedly until none fires anywhere."""
+        steps = 0
+        current = expr
+        while True:
+            result = self.apply_once(current, rules)
+            if result is None:
+                return current
+            steps += 1
+            if steps > self.max_steps:
+                raise RewriteError(
+                    f"rewrite did not terminate within {self.max_steps} steps "
+                    f"(phase {phase or 'unnamed'}; last rule {result[0]})"
+                )
+            name, new_expr = result
+            if trace is not None:
+                trace.record(name, current, new_expr, phase)
+            current = new_expr
+
+    def run_phases(
+        self,
+        expr: A.Expr,
+        phases: Iterable[Tuple[str, Sequence[Rule]]],
+        trace: Optional[RewriteTrace] = None,
+    ) -> A.Expr:
+        current = expr
+        for phase_name, rules in phases:
+            current = self.run(current, rules, trace, phase_name)
+        return current

@@ -1,0 +1,155 @@
+"""Unnesting into relational join operators: the paper's Rule 1 and Rule 2.
+
+Rule 1 (UNNESTING QUANTIFIER EXPRESSIONS): with ``x`` not free in ``Y``::
+
+    σ[x : ∃y ∈ Y • p](X)   ≡   X ⋉⟨x,y : p⟩ Y
+    σ[x : ¬∃y ∈ Y • p](X)  ≡   X ▷⟨x,y : p⟩ Y
+
+Rule 2 (NESTING IN THE MAP OPERATOR)::
+
+    ⊔(α[x : α[y : x o y](σ[y : p](Y))](X))   ≡   X ⋈⟨x,y : p⟩ Y
+
+Both are *the* unnesting steps — everything in Tables 1/2 and the
+quantifier toolkit exists to massage predicates into these shapes.  A
+conjunction variant peels quantified conjuncts off mixed predicates
+(``σ[x : r ∧ ∃y ∈ Y • p](X) ≡ σ[x : r](X ⋉⟨x,y : p⟩ Y)``), so selections
+whose where-clause mixes local tests with subqueries unnest too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.adl import ast as A
+from repro.adl.freevars import free_vars
+from repro.rewrite.common import RewriteContext, is_uncorrelated_table
+from repro.rewrite.engine import rule
+
+
+def _match_quantified(pred: A.Expr, outer_var: str) -> Optional[Tuple[bool, A.Exists]]:
+    """Match ``∃y ∈ Y • p`` or ``¬∃y ∈ Y • p`` with ``Y`` an uncorrelated
+    base-table expression.  Returns ``(negated, exists_node)``."""
+    negated = False
+    node = pred
+    if isinstance(node, A.Not):
+        negated = True
+        node = node.operand
+    if not isinstance(node, A.Exists):
+        return None
+    if not is_uncorrelated_table(node.source, outer_var):
+        return None
+    return negated, node
+
+
+@rule("rule1-semijoin-antijoin")
+def rule1(expr: A.Expr, ctx: RewriteContext) -> Optional[A.Expr]:
+    """Rule 1 with the whole predicate a (negated) existential quantifier."""
+    if not isinstance(expr, A.Select):
+        return None
+    match = _match_quantified(expr.pred, expr.var)
+    if match is None:
+        return None
+    negated, exists = match
+    cls = A.AntiJoin if negated else A.SemiJoin
+    return cls(expr.source, exists.source, expr.var, exists.var, exists.pred)
+
+
+def _conjuncts(pred: A.Expr) -> List[A.Expr]:
+    if isinstance(pred, A.And):
+        return _conjuncts(pred.left) + _conjuncts(pred.right)
+    return [pred]
+
+
+def _conjoin(parts: List[A.Expr]) -> A.Expr:
+    out = parts[-1]
+    for part in reversed(parts[:-1]):
+        out = A.And(part, out)
+    return out
+
+
+@rule("rule1-conjunct")
+def rule1_conjunct(expr: A.Expr, ctx: RewriteContext) -> Optional[A.Expr]:
+    """Peel one quantified conjunct off a mixed selection predicate:
+
+    ``σ[x : r ∧ (¬)∃y ∈ Y • p](X)  ≡  σ[x : r](X (⋉|▷)⟨x,y : p⟩ Y)``.
+    """
+    if not isinstance(expr, A.Select):
+        return None
+    parts = _conjuncts(expr.pred)
+    if len(parts) < 2:
+        return None
+    for index, part in enumerate(parts):
+        match = _match_quantified(part, expr.var)
+        if match is None:
+            continue
+        negated, exists = match
+        cls = A.AntiJoin if negated else A.SemiJoin
+        joined = cls(expr.source, exists.source, expr.var, exists.var, exists.pred)
+        remaining = parts[:index] + parts[index + 1 :]
+        return A.Select(expr.var, _conjoin(remaining), joined)
+    return None
+
+
+@rule("rule2-map-join")
+def rule2(expr: A.Expr, ctx: RewriteContext) -> Optional[A.Expr]:
+    """Rule 2: a flattened nested map that concatenates its two variables
+    is a join.  Accepts an optional selection under the inner map."""
+    if not isinstance(expr, A.Flatten):
+        return None
+    outer = expr.source
+    if not isinstance(outer, A.Map):
+        return None
+    inner = outer.body
+    if not isinstance(inner, A.Map):
+        return None
+    # unwrap an optional inner selection σ[y : p](Y)
+    if isinstance(inner.source, A.Select) and inner.source.var == inner.var:
+        pred = inner.source.pred
+        source = inner.source.source
+    else:
+        pred = A.Literal(True)
+        source = inner.source
+    if inner.body != A.Concat(A.Var(outer.var), A.Var(inner.var)):
+        return None
+    if not is_uncorrelated_table(source, outer.var):
+        return None
+    if outer.var in free_vars(source):
+        return None
+    return A.Join(outer.source, source, outer.var, inner.var, pred)
+
+
+@rule("push-right-selection")
+def push_right_selection(expr: A.Expr, ctx: RewriteContext) -> Optional[A.Expr]:
+    """Move right-operand-only conjuncts of a join predicate into a
+    selection on the right operand::
+
+        X ⋉⟨x,y : p ∧ r(y)⟩ Y  ≡  X ⋉⟨x,y : p⟩ σ[y : r](Y)
+
+    Sound for join, semijoin, antijoin and nestjoin alike: filtering the
+    right operand by a predicate over right attributes only commutes with
+    match-finding.  (The dual left-side push is *not* sound for the
+    antijoin — a failing left-only conjunct means "no match", i.e. the
+    tuple *survives* — so only the right side is pushed.)  This produces
+    the paper's Example Query 5 plan shape with
+    ``σ[p : p.color = "red"](PART)`` as the semijoin operand.
+    """
+    if not isinstance(expr, (A.Join, A.SemiJoin, A.AntiJoin, A.NestJoin)):
+        return None
+    parts = _conjuncts(expr.pred)
+    if len(parts) < 2:
+        return None
+    rvar_only = [
+        p for p in parts if free_vars(p) <= {expr.rvar} and expr.rvar in free_vars(p)
+    ]
+    if not rvar_only:
+        return None
+    remaining = [p for p in parts if p not in rvar_only]
+    if not remaining:
+        # keep at least `true` as the join predicate
+        remaining = [A.Literal(True)]
+    new_right = A.Select(expr.rvar, _conjoin(rvar_only), expr.right)
+    return dataclasses.replace(expr, right=new_right, pred=_conjoin(remaining))
+
+
+JOIN_RULES = (rule1, rule1_conjunct, rule2, push_right_selection)

@@ -1,0 +1,253 @@
+"""The optimization strategy of Section 4 — options, priorities, rollback.
+
+The paper's rewrite strategy:
+
+1. *"Try to rewrite to the various relational join operators (join,
+   antijoin, or semijoin)."*  — set-comparison expansion (Tables 1/2), the
+   quantifier toolkit, Rule 1 / Rule 2; plus grouping **when Table 3 proves
+   it safe** (grouping yields flat relational join queries, Section 5.2.2).
+2. *"If the above is not possible, try to flatten set-valued attributes"*
+   — the μ option, only when re-nesting can be skipped.
+3. *"If the above is not possible, try to rewrite to one of the newly
+   defined operators"* — the nestjoin.
+4. *"If none of the above works, leave the query as it is"* — nested loops.
+
+Each option is attempted as a *pipeline from the normalized query*; an
+attempt is accepted iff it reaches the paper's goal — no base table inside
+an iterator parameter (:func:`~repro.rewrite.common.is_set_oriented`).
+Failed attempts are rolled back, which operationalizes the paper's warning
+that e.g. quantifier expansion "has a negative effect on performance" when
+it cannot complete.  A combined relational→nestjoin pipeline handles mixed
+queries whose subqueries need different options.  The option order is a
+parameter so the ablation benchmark can permute priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adl import ast as A
+from repro.adl.typecheck import TypeChecker
+from repro.datamodel.schema import Schema
+from repro.rewrite.common import RewriteContext, is_set_oriented, nested_extent_count
+from repro.rewrite.engine import RewriteEngine, Rule
+from repro.rewrite.rules_grouping import GROUPING_SAFE_RULES
+from repro.rewrite.rules_join import JOIN_RULES, push_right_selection
+from repro.rewrite.rules_materialize import MATERIALIZE_RULES
+from repro.rewrite.rules_nestjoin import NESTJOIN_RULES
+from repro.rewrite.rules_quantifier import QUANTIFIER_RULES
+from repro.rewrite.rules_setcmp import SETCMP_RULES
+from repro.rewrite.rules_simplify import CLEANUP_RULES, SIMPLIFY_RULES
+from repro.rewrite.rules_unnest import UNNEST_RULES
+from repro.rewrite.trace import RewriteTrace
+
+#: Relational-phase rule set: expansions + quantifier toolkit + Rule 1/2,
+#: with cleanup interleaved so intermediate forms stay canonical.
+RELATIONAL_RULES: Tuple[Rule, ...] = tuple(
+    list(JOIN_RULES) + list(SETCMP_RULES) + list(QUANTIFIER_RULES) + list(CLEANUP_RULES)
+)
+
+#: Final polish: cleanup plus right-operand selection pushdown, safe after
+#: every pipeline (it is what gives Example Query 5 its paper-exact shape).
+POLISH_RULES: Tuple[Rule, ...] = tuple(list(CLEANUP_RULES) + [push_right_selection])
+
+#: The paper's priority order (Section 4 + the Section 5 summary: "use
+#: relational join operators whenever possible" — pure quantifier rewriting
+#: first, then Table-3-guarded grouping, which also yields flat relational
+#: join queries, then attribute unnesting, then the nestjoin).
+DEFAULT_PRIORITY: Tuple[str, ...] = (
+    "relational", "grouping", "unnest", "nestjoin", "combined"
+)
+
+
+@dataclass
+class Attempt:
+    """One optimization pipeline attempt and its outcome."""
+
+    option: str
+    expr: A.Expr
+    trace: RewriteTrace
+    set_oriented: bool
+    nested_extents: int
+
+
+@dataclass
+class OptimizationResult:
+    """The outcome of :func:`optimize`."""
+
+    original: A.Expr
+    normalized: A.Expr
+    chosen: Attempt
+    attempts: List[Attempt] = field(default_factory=list)
+
+    @property
+    def expr(self) -> A.Expr:
+        return self.chosen.expr
+
+    @property
+    def option(self) -> str:
+        return self.chosen.option
+
+    @property
+    def set_oriented(self) -> bool:
+        return self.chosen.set_oriented
+
+    @property
+    def trace(self) -> RewriteTrace:
+        return self.chosen.trace
+
+    def render(self) -> str:
+        lines = [f"option: {self.option} (set-oriented: {self.set_oriented})"]
+        lines.append(self.chosen.trace.render())
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """Applies the Section 4 strategy to translated ADL queries."""
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        priority: Sequence[str] = DEFAULT_PRIORITY,
+        max_steps: int = 2000,
+        introduce_materialize: bool = False,
+    ) -> None:
+        checker = TypeChecker(schema) if schema is not None else None
+        self.ctx = RewriteContext(checker=checker)
+        self.engine = RewriteEngine(self.ctx, max_steps=max_steps)
+        self.priority = tuple(priority)
+        self.introduce_materialize = introduce_materialize
+        unknown = set(self.priority) - set(self._PIPELINES)
+        if unknown:
+            raise ValueError(f"unknown optimization options: {sorted(unknown)}")
+
+    # -- pipelines -------------------------------------------------------------
+    def _run_relational(self, expr: A.Expr, trace: RewriteTrace) -> A.Expr:
+        out = self.engine.run(expr, RELATIONAL_RULES, trace, "relational")
+        return self.engine.run(out, POLISH_RULES, trace, "cleanup")
+
+    def _run_grouping(self, expr: A.Expr, trace: RewriteTrace) -> A.Expr:
+        """Table-3-guarded [GaWo87] grouping, applied *before* quantifier
+        expansion can destroy the query-block shape, then relational rules
+        for whatever remains."""
+        out = self.engine.run(expr, GROUPING_SAFE_RULES, trace, "grouping")
+        out = self.engine.run(out, RELATIONAL_RULES, trace, "relational")
+        return self.engine.run(out, POLISH_RULES, trace, "cleanup")
+
+    def _run_unnest(self, expr: A.Expr, trace: RewriteTrace) -> A.Expr:
+        out = self.engine.run(expr, UNNEST_RULES, trace, "unnest")
+        out = self.engine.run(out, RELATIONAL_RULES, trace, "relational")
+        return self.engine.run(out, POLISH_RULES, trace, "cleanup")
+
+    def _run_nestjoin(self, expr: A.Expr, trace: RewriteTrace) -> A.Expr:
+        out = self.engine.run(expr, NESTJOIN_RULES, trace, "nestjoin")
+        return self.engine.run(out, POLISH_RULES, trace, "cleanup")
+
+    def _run_combined(self, expr: A.Expr, trace: RewriteTrace) -> A.Expr:
+        """Mixed queries: some subqueries need the nestjoin, others are
+        Rule-1 material.  The nestjoin must go first — quantifier expansion
+        would otherwise destroy the query-block shapes it matches on — and
+        the relational rules then unnest the remaining quantified
+        conjuncts over the nestjoin result."""
+        out = self.engine.run(expr, NESTJOIN_RULES + CLEANUP_RULES, trace, "nestjoin")
+        out = self.engine.run(out, RELATIONAL_RULES, trace, "relational")
+        out = self.engine.run(out, NESTJOIN_RULES + CLEANUP_RULES, trace, "nestjoin")
+        out = self.engine.run(out, RELATIONAL_RULES, trace, "relational")
+        return self.engine.run(out, POLISH_RULES, trace, "cleanup")
+
+    _PIPELINES = {
+        "relational": _run_relational,
+        "grouping": _run_grouping,
+        "unnest": _run_unnest,
+        "nestjoin": _run_nestjoin,
+        "combined": _run_combined,
+    }
+
+    def _finalize(self, attempt: Attempt) -> Attempt:
+        """Optional post-pass: make path expressions explicit ([BlMG93])
+        so the planner can use the assembly algorithm.  Purely physical —
+        it never changes set-orientation or semantics."""
+        if not self.introduce_materialize:
+            return attempt
+        rewritten = self.engine.run(
+            attempt.expr, MATERIALIZE_RULES, attempt.trace, "materialize"
+        )
+        if rewritten is attempt.expr:
+            return attempt
+        return Attempt(
+            attempt.option,
+            rewritten,
+            attempt.trace,
+            is_set_oriented(rewritten),
+            nested_extent_count(rewritten),
+        )
+
+    # -- the strategy ------------------------------------------------------------
+    def optimize(self, expr: A.Expr) -> OptimizationResult:
+        normalize_trace = RewriteTrace(expr)
+        normalized = self.engine.run(expr, SIMPLIFY_RULES, normalize_trace, "normalize")
+
+        attempts: List[Attempt] = []
+        if is_set_oriented(normalized):
+            # already meets the goal (e.g. only set-valued-attribute nesting,
+            # which the paper deliberately leaves nested)
+            chosen = self._finalize(
+                Attempt("none-needed", normalized, normalize_trace, True, 0)
+            )
+            return OptimizationResult(expr, normalized, chosen, [chosen])
+
+        for option in self.priority:
+            trace = RewriteTrace(expr)
+            trace.steps.extend(normalize_trace.steps)
+            candidate = self._PIPELINES[option](self, normalized, trace)
+            attempt = Attempt(
+                option,
+                candidate,
+                trace,
+                is_set_oriented(candidate),
+                nested_extent_count(candidate),
+            )
+            attempts.append(attempt)
+            if attempt.set_oriented:
+                return OptimizationResult(
+                    expr, normalized, self._finalize(attempt), attempts
+                )
+
+        # option 4: nested loops — keep the best partial unnesting (fewest
+        # base tables left inside iterators; ties: fewest rewrite steps)
+        fallback = Attempt(
+            "nested-loop", normalized, normalize_trace, False, nested_extent_count(normalized)
+        )
+        attempts.append(fallback)
+        chosen = min(attempts, key=lambda a: (a.nested_extents, len(a.trace.steps)))
+        if chosen.nested_extents == fallback.nested_extents:
+            chosen = fallback  # no attempt improved matters: leave the query as is
+        chosen = Attempt(
+            f"nested-loop/{chosen.option}" if chosen is not fallback else "nested-loop",
+            chosen.expr,
+            chosen.trace,
+            chosen.set_oriented,
+            chosen.nested_extents,
+        )
+        return OptimizationResult(expr, normalized, chosen, attempts)
+
+
+def optimize(
+    expr: A.Expr,
+    schema: Optional[Schema] = None,
+    priority: Sequence[str] = DEFAULT_PRIORITY,
+) -> OptimizationResult:
+    """One-shot Section 4 optimization of an ADL expression."""
+    return Optimizer(schema, priority).optimize(expr)
+
+
+def optimize_oosql(
+    text: str,
+    schema: Optional[Schema] = None,
+    priority: Sequence[str] = DEFAULT_PRIORITY,
+) -> OptimizationResult:
+    """Parse, type-check, translate and optimize OOSQL query text."""
+    from repro.translate.translator import compile_oosql
+
+    return optimize(compile_oosql(text, schema), schema, priority)

@@ -1,0 +1,55 @@
+"""Rewrite traces — every derivation step, in the paper's notation.
+
+The paper presents its rewriting examples as chains of ≡-steps; the engine
+records the same chain so tests can assert on intermediate forms and the
+benchmark output can print derivations next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.adl import ast as A
+from repro.adl.pretty import pretty
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One rule firing: the whole expression before and after."""
+
+    rule: str
+    before: A.Expr
+    after: A.Expr
+    phase: str = ""
+
+    def render(self) -> str:
+        tag = f"[{self.phase}:{self.rule}]" if self.phase else f"[{self.rule}]"
+        return f"≡ {pretty(self.after)}    {tag}"
+
+
+@dataclass
+class RewriteTrace:
+    """The full derivation: the input plus every step."""
+
+    start: A.Expr
+    steps: List[RewriteStep] = field(default_factory=list)
+
+    def record(self, rule: str, before: A.Expr, after: A.Expr, phase: str = "") -> None:
+        self.steps.append(RewriteStep(rule, before, after, phase))
+
+    @property
+    def result(self) -> A.Expr:
+        return self.steps[-1].after if self.steps else self.start
+
+    @property
+    def rules_fired(self) -> List[str]:
+        return [step.rule for step in self.steps]
+
+    def render(self) -> str:
+        lines = [f"  {pretty(self.start)}"]
+        lines.extend(f"  {step.render()}" for step in self.steps)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.steps)

@@ -1,0 +1,18 @@
+"""Paged storage simulator: heap files, the object store, and indexes."""
+
+from repro.storage.index import HashIndex, attribute_index, element_index
+from repro.storage.pages import HeapFile, IOCounter, Page, estimate_size
+from repro.storage.store import DEFAULT_PAGE_SIZE, Database, MemoryDatabase
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "Database",
+    "HashIndex",
+    "HeapFile",
+    "IOCounter",
+    "MemoryDatabase",
+    "Page",
+    "attribute_index",
+    "element_index",
+    "estimate_size",
+]

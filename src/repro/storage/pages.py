@@ -1,0 +1,170 @@
+"""A simulated paged heap file with I/O accounting.
+
+The paper's performance argument — tuple-oriented nested loops versus
+set-oriented joins, PNHL's memory budget, assembly's pointer locality — is
+about *access patterns*.  This module provides the minimal substrate that
+makes access patterns observable: records live on fixed-capacity pages, and
+every page fetch goes through a counter.  There is no real disk; "I/O" is
+the unit benchmark harnesses report.
+
+Record sizes are estimated structurally (atoms cost a word, strings their
+length, tuples/sets the sum of their parts) so that clustering a set-valued
+attribute with its parent tuple — the paper's storage assumption in
+Section 3 — visibly fattens pages and raises scan cost, exactly the effect
+that makes "unnest then re-nest" expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.datamodel.errors import StorageError
+from repro.datamodel.values import Oid, Value, VTuple
+
+#: Simulated bytes per atom slot.
+_WORD = 8
+
+
+def estimate_size(value: Value) -> int:
+    """Structural size estimate (simulated bytes) of a stored value."""
+    if value is None or isinstance(value, (bool, int, float)):
+        return _WORD
+    if isinstance(value, str):
+        return _WORD + len(value)
+    if isinstance(value, Oid):
+        return 2 * _WORD
+    if isinstance(value, VTuple):
+        return _WORD + sum(_WORD + estimate_size(v) for v in value.values())
+    if isinstance(value, frozenset):
+        return _WORD + sum(estimate_size(v) for v in value)
+    raise StorageError(f"cannot size non-value {value!r}")
+
+
+class IOCounter:
+    """Mutable counters shared by every file of one store."""
+
+    __slots__ = ("pages_read", "pages_written", "records_read")
+
+    def __init__(self) -> None:
+        self.pages_read = 0
+        self.pages_written = 0
+        self.records_read = 0
+
+    def reset(self) -> None:
+        self.pages_read = 0
+        self.pages_written = 0
+        self.records_read = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "records_read": self.records_read,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IOCounter(read={self.pages_read}, written={self.pages_written}, "
+            f"records={self.records_read})"
+        )
+
+
+class Page:
+    """One fixed-capacity page holding whole records (no spanning)."""
+
+    __slots__ = ("page_id", "capacity", "used", "records")
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        self.page_id = page_id
+        self.capacity = capacity
+        self.used = 0
+        self.records: List[VTuple] = []
+
+    def fits(self, size: int) -> bool:
+        return not self.records or self.used + size <= self.capacity
+
+    def append(self, record: VTuple, size: int) -> int:
+        """Store a record, returning its slot number."""
+        self.records.append(record)
+        self.used += size
+        return len(self.records) - 1
+
+    def get(self, slot: int) -> VTuple:
+        try:
+            return self.records[slot]
+        except IndexError:
+            raise StorageError(f"page {self.page_id} has no slot {slot}") from None
+
+
+class HeapFile:
+    """An append-only sequence of pages holding one extent's records.
+
+    A record larger than the page capacity gets a page of its own (records
+    never span pages; a huge clustered set simply makes one oversized page,
+    which keeps the cost model simple and monotone).
+    """
+
+    def __init__(self, name: str, page_size: int, io: IOCounter) -> None:
+        if page_size <= 0:
+            raise StorageError("page size must be positive")
+        self.name = name
+        self.page_size = page_size
+        self.io = io
+        self.pages: List[Page] = []
+
+    # -- writing -----------------------------------------------------------
+    def append(self, record: VTuple) -> Tuple[int, int]:
+        """Append a record; returns its ``(page_id, slot)`` address."""
+        size = estimate_size(record)
+        if not self.pages or not self.pages[-1].fits(size):
+            self.pages.append(Page(len(self.pages), self.page_size))
+            self.io.pages_written += 1
+        page = self.pages[-1]
+        slot = page.append(record, size)
+        return page.page_id, slot
+
+    # -- reading -----------------------------------------------------------
+    def scan(self) -> Iterator[VTuple]:
+        """Full scan: one page read per page, one record read per record."""
+        for page in self.pages:
+            self.io.pages_read += 1
+            for record in page.records:
+                self.io.records_read += 1
+                yield record
+
+    def fetch(self, page_id: int, slot: int) -> VTuple:
+        """Random access by address — one page read."""
+        try:
+            page = self.pages[page_id]
+        except IndexError:
+            raise StorageError(f"file {self.name!r} has no page {page_id}") from None
+        self.io.pages_read += 1
+        self.io.records_read += 1
+        return page.get(slot)
+
+    def fetch_clustered(self, addresses: List[Tuple[int, int]]) -> List[VTuple]:
+        """Fetch many records, charging each distinct page once.
+
+        This models the *assembly* access pattern of the materialize
+        operator: sort the outstanding references by page, then sweep.
+        """
+        out: List[VTuple] = []
+        last_page: Optional[int] = None
+        for page_id, slot in sorted(addresses):
+            if page_id != last_page:
+                self.io.pages_read += 1
+                last_page = page_id
+            self.io.records_read += 1
+            out.append(self.pages[page_id].get(slot) if page_id < len(self.pages) else self._missing(page_id))
+        return out
+
+    def _missing(self, page_id: int) -> VTuple:
+        raise StorageError(f"file {self.name!r} has no page {page_id}")
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(p.records) for p in self.pages)

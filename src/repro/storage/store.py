@@ -1,0 +1,201 @@
+"""The object store: class extents on paged heap files plus an oid index.
+
+Implements the paper's logical-design mapping at the physical level:
+
+* every class extension is a :class:`~repro.storage.pages.HeapFile` of
+  (possibly complex) tuples — set-valued attributes are stored *clustered*
+  with their parent tuple (the Section 3 assumption that makes unnesting
+  them undesirable);
+* every object carries an ``oid`` field; the store keeps an oid →
+  ``(extent, page, slot)`` map, so oids behave like physical pointers —
+  the property that makes the materialize/assembly operator of Section 6.2
+  interesting;
+* reference attributes hold :class:`~repro.datamodel.values.Oid` values.
+
+The store satisfies the small protocol the ADL interpreter needs
+(:meth:`extent`, :meth:`deref`) and adds the paged accessors
+(:meth:`scan`, :meth:`fetch_many`) the physical operators use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.datamodel.errors import SchemaError, StorageError, UnknownExtentError
+from repro.datamodel.schema import OID_ATTR, Schema
+from repro.datamodel.values import Oid, Value, VTuple
+from repro.storage.pages import HeapFile, IOCounter
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class Database:
+    """Schema + extents + oid index.
+
+    ``page_size`` controls the simulated page capacity; benchmarks vary it
+    to expose I/O behaviour, unit tests leave the default.
+    """
+
+    def __init__(self, schema: Schema, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.schema = schema
+        self.io = IOCounter()
+        self._page_size = page_size
+        self._files: Dict[str, HeapFile] = {}
+        self._oid_index: Dict[Oid, Tuple[str, int, int]] = {}
+        self._next_oid: Dict[str, int] = {}
+        self._extent_cache: Dict[str, frozenset] = {}
+        for name in schema.extent_names:
+            self._files[name] = HeapFile(name, page_size, self.io)
+
+    # -- population ---------------------------------------------------------
+    def new_oid(self, class_name: str) -> Oid:
+        number = self._next_oid.get(class_name, 0)
+        self._next_oid[class_name] = number + 1
+        return Oid(class_name, number)
+
+    def insert(self, class_name: str, attributes: Mapping[str, Value]) -> Oid:
+        """Create one object; returns its fresh oid.
+
+        The attribute set must exactly match the class definition — objects
+        with missing or extra fields would break the typed algebra.
+        """
+        cdef = self.schema.class_def(class_name)
+        declared = set(cdef.attributes)
+        given = set(attributes)
+        if declared != given:
+            missing = declared - given
+            extra = given - declared
+            parts = []
+            if missing:
+                parts.append(f"missing {sorted(missing)}")
+            if extra:
+                parts.append(f"unexpected {sorted(extra)}")
+            raise SchemaError(f"insert into {class_name}: {', '.join(parts)}")
+        oid = self.new_oid(class_name)
+        fields = {OID_ATTR: oid}
+        fields.update(attributes)
+        record = VTuple(fields)
+        page_id, slot = self._files[cdef.extent].append(record)
+        self._oid_index[oid] = (cdef.extent, page_id, slot)
+        self._extent_cache.pop(cdef.extent, None)
+        return oid
+
+    def insert_many(self, class_name: str, rows: Iterable[Mapping[str, Value]]) -> List[Oid]:
+        return [self.insert(class_name, row) for row in rows]
+
+    # -- interpreter protocol --------------------------------------------------
+    def extent(self, name: str) -> frozenset:
+        """The extent as a set value (no I/O charge — logical access).
+
+        The naive interpreter and the rewrite tests use this; physical
+        operators use :meth:`scan`, which charges page reads.
+        """
+        if name not in self._files:
+            raise UnknownExtentError(name)
+        if name not in self._extent_cache:
+            rows = []
+            for page in self._files[name].pages:
+                rows.extend(page.records)
+            self._extent_cache[name] = frozenset(rows)
+        return self._extent_cache[name]
+
+    def deref(self, oid: Oid) -> VTuple:
+        """Follow a pointer (logical access, no I/O charge)."""
+        try:
+            extent_name, page_id, slot = self._oid_index[oid]
+        except KeyError:
+            raise StorageError(f"dangling oid {oid!r}") from None
+        return self._files[extent_name].pages[page_id].records[slot]
+
+    # -- physical access (counted) ------------------------------------------------
+    def scan(self, name: str) -> Iterator[VTuple]:
+        if name not in self._files:
+            raise UnknownExtentError(name)
+        return self._files[name].scan()
+
+    def fetch(self, oid: Oid) -> VTuple:
+        """Pointer dereference charged as a random page read."""
+        try:
+            extent_name, page_id, slot = self._oid_index[oid]
+        except KeyError:
+            raise StorageError(f"dangling oid {oid!r}") from None
+        return self._files[extent_name].fetch(page_id, slot)
+
+    def fetch_many(self, oids: Iterable[Oid]) -> List[VTuple]:
+        """Assembly-style batched dereference: distinct pages charged once.
+
+        Oids must all reference the same class; mixing classes would hide
+        per-file locality, which is the thing being measured.
+        """
+        oid_list = list(oids)
+        if not oid_list:
+            return []
+        by_extent: Dict[str, List[Tuple[int, int]]] = {}
+        order: List[Tuple[str, int, int]] = []
+        for oid in oid_list:
+            try:
+                extent_name, page_id, slot = self._oid_index[oid]
+            except KeyError:
+                raise StorageError(f"dangling oid {oid!r}") from None
+            by_extent.setdefault(extent_name, []).append((page_id, slot))
+            order.append((extent_name, page_id, slot))
+        fetched: Dict[Tuple[str, int, int], VTuple] = {}
+        for extent_name, addresses in by_extent.items():
+            records = self._files[extent_name].fetch_clustered(addresses)
+            for address, record in zip(sorted(addresses), records):
+                fetched[(extent_name,) + address] = record
+        return [fetched[key] for key in order]
+
+    # -- introspection ---------------------------------------------------------------
+    def extent_size(self, name: str) -> int:
+        if name not in self._files:
+            raise UnknownExtentError(name)
+        return self._files[name].record_count
+
+    def page_count(self, name: str) -> int:
+        if name not in self._files:
+            raise UnknownExtentError(name)
+        return self._files[name].page_count
+
+    def reset_io(self) -> None:
+        self.io.reset()
+
+
+class MemoryDatabase:
+    """A schema-less dict-backed database for algebra-level tests.
+
+    Satisfies the interpreter protocol (:meth:`extent` / :meth:`deref`)
+    without any schema or paging.  Handy for property tests that generate
+    arbitrary relations, like the Figure 2 tables.
+    """
+
+    def __init__(self, extents: Optional[Mapping[str, Iterable[VTuple]]] = None) -> None:
+        self.schema: Optional[Schema] = None
+        self._extents: Dict[str, frozenset] = {}
+        self._objects: Dict[Oid, VTuple] = {}
+        if extents:
+            for name, rows in extents.items():
+                self.set_extent(name, rows)
+
+    def set_extent(self, name: str, rows: Iterable[VTuple]) -> None:
+        rows = frozenset(rows)
+        self._extents[name] = rows
+        for row in rows:
+            if isinstance(row, VTuple) and OID_ATTR in row and isinstance(row[OID_ATTR], Oid):
+                self._objects[row[OID_ATTR]] = row
+
+    def extent(self, name: str) -> frozenset:
+        try:
+            return self._extents[name]
+        except KeyError:
+            raise UnknownExtentError(name) from None
+
+    def deref(self, oid: Oid) -> VTuple:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise StorageError(f"dangling oid {oid!r}") from None
+
+    @property
+    def extent_names(self) -> List[str]:
+        return list(self._extents)

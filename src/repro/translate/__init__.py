@@ -1,0 +1,5 @@
+"""Translation phase: OOSQL → ADL (Section 3)."""
+
+from repro.translate.translator import Translator, compile_oosql, translate
+
+__all__ = ["Translator", "compile_oosql", "translate"]

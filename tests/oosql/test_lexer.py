@@ -1,0 +1,80 @@
+"""Unit tests for the OOSQL lexer."""
+
+import pytest
+
+from repro.datamodel import OOSQLSyntaxError
+from repro.oosql import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("SELECT Select select") == [("keyword", "select")] * 3
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("SUPPLIER sname") == [("ident", "SUPPLIER"), ("ident", "sname")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 940101") == [
+            ("int", "42"),
+            ("float", "3.14"),
+            ("int", "940101"),
+        ]
+
+    def test_integer_followed_by_dot_attr_is_not_float(self):
+        # "1.x" should not lex as a float
+        assert kinds("1 . x")[0] == ("int", "1")
+
+    def test_strings(self):
+        assert kinds('"red" ""') == [("string", "red"), ("string", "")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(OOSQLSyntaxError, match="unterminated"):
+            tokenize('"red')
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(OOSQLSyntaxError):
+            tokenize('"red\n"')
+
+    def test_punctuation_longest_match(self):
+        assert kinds("<= >= <> != < > =") == [
+            ("punct", "<="),
+            ("punct", ">="),
+            ("punct", "<>"),
+            ("punct", "!="),
+            ("punct", "<"),
+            ("punct", ">"),
+            ("punct", "="),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("select -- a comment\nfrom") == [
+            ("keyword", "select"),
+            ("keyword", "from"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(OOSQLSyntaxError, match="unexpected"):
+            tokenize("select @")
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("select\n  from")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        assert kinds("parts_supplied _x") == [
+            ("ident", "parts_supplied"),
+            ("ident", "_x"),
+        ]
+
+    def test_set_keywords(self):
+        text = "subset subseteq superset superseteq contains disjoint"
+        assert all(k == "keyword" for k, _ in kinds(text))

@@ -1,0 +1,185 @@
+"""Unit tests for the OOSQL parser."""
+
+import pytest
+
+from repro.datamodel import OOSQLSyntaxError
+from repro.oosql import ast as Q
+from repro.oosql import parse
+
+
+class TestPrimaries:
+    def test_literals(self):
+        assert parse("42") == Q.Literal(42)
+        assert parse("3.5") == Q.Literal(3.5)
+        assert parse('"red"') == Q.Literal("red")
+        assert parse("true") == Q.Literal(True)
+        assert parse("false") == Q.Literal(False)
+        assert parse("null") == Q.Literal(None)
+
+    def test_identifier(self):
+        assert parse("SUPPLIER") == Q.Ident("SUPPLIER")
+
+    def test_path_expression(self):
+        assert parse("d.supplier.sname") == Q.Path(
+            Q.Path(Q.Ident("d"), "supplier"), "sname"
+        )
+
+    def test_set_constructor(self):
+        assert parse("{1, 2}") == Q.SetCons((Q.Literal(1), Q.Literal(2)))
+        assert parse("{}") == Q.SetCons(())
+
+    def test_tuple_constructor(self):
+        node = parse("(a = 1, b = x)")
+        assert node == Q.TupleCons((("a", Q.Literal(1)), ("b", Q.Ident("x"))))
+
+    def test_parenthesized_expression(self):
+        assert parse("(1 + 2)") == Q.BinOp("+", Q.Literal(1), Q.Literal(2))
+
+    def test_aggregates(self):
+        assert parse("count(X)") == Q.Aggregate("count", Q.Ident("X"))
+        assert parse("sum(x.prices)") == Q.Aggregate("sum", Q.Path(Q.Ident("x"), "prices"))
+
+    def test_flatten(self):
+        assert parse("flatten(X)") == Q.Flatten(Q.Ident("X"))
+
+
+class TestOperators:
+    def test_precedence_arithmetic(self):
+        assert parse("1 + 2 * 3") == Q.BinOp(
+            "+", Q.Literal(1), Q.BinOp("*", Q.Literal(2), Q.Literal(3))
+        )
+
+    def test_unary_minus(self):
+        assert parse("-x") == Q.Neg(Q.Ident("x"))
+
+    def test_comparison(self):
+        assert parse("x < 3") == Q.BinOp("<", Q.Ident("x"), Q.Literal(3))
+        assert parse("x <> 3") == Q.BinOp("!=", Q.Ident("x"), Q.Literal(3))
+        assert parse("x != 3") == Q.BinOp("!=", Q.Ident("x"), Q.Literal(3))
+
+    def test_membership(self):
+        assert parse("x in Y") == Q.BinOp("in", Q.Ident("x"), Q.Ident("Y"))
+        assert parse("x not in Y") == Q.BinOp("not in", Q.Ident("x"), Q.Ident("Y"))
+
+    def test_set_comparisons(self):
+        for op in ("subset", "subseteq", "superset", "superseteq", "contains", "disjoint"):
+            assert parse(f"A {op} B") == Q.BinOp(op, Q.Ident("A"), Q.Ident("B"))
+
+    def test_set_algebra_binds_tighter_than_comparison(self):
+        node = parse("A subseteq B union C")
+        assert node == Q.BinOp(
+            "subseteq", Q.Ident("A"), Q.BinOp("union", Q.Ident("B"), Q.Ident("C"))
+        )
+
+    def test_boolean_precedence(self):
+        node = parse("a = 1 or b = 2 and c = 3")
+        assert isinstance(node, Q.BinOp) and node.op == "or"
+        assert isinstance(node.right, Q.BinOp) and node.right.op == "and"
+
+    def test_not(self):
+        node = parse("not a = 1")
+        assert node == Q.Not(Q.BinOp("=", Q.Ident("a"), Q.Literal(1)))
+
+    def test_not_in_vs_not_prefix(self):
+        # "not (x in Y)" and "x not in Y" parse differently but mean the same
+        prefix = parse("not x in Y")
+        infix = parse("x not in Y")
+        assert prefix == Q.Not(Q.BinOp("in", Q.Ident("x"), Q.Ident("Y")))
+        assert infix == Q.BinOp("not in", Q.Ident("x"), Q.Ident("Y"))
+
+
+class TestQuantifiers:
+    def test_exists_with_body(self):
+        node = parse("exists x in X : x.a = 1")
+        assert node == Q.Quantifier(
+            "exists", "x", Q.Ident("X"), Q.BinOp("=", Q.Path(Q.Ident("x"), "a"), Q.Literal(1))
+        )
+
+    def test_exists_without_body_is_nonemptiness(self):
+        node = parse("exists x in X")
+        assert node == Q.Quantifier("exists", "x", Q.Ident("X"), None)
+
+    def test_forall_requires_body(self):
+        with pytest.raises(OOSQLSyntaxError):
+            parse("forall x in X")
+
+    def test_forall(self):
+        node = parse("forall x in X : x.a = 1")
+        assert node.kind == "forall"
+
+    def test_quantifier_body_extends_right(self):
+        node = parse("exists x in X : x.a = 1 and x.b = 2")
+        assert isinstance(node, Q.Quantifier)
+        assert isinstance(node.pred, Q.BinOp) and node.pred.op == "and"
+
+
+class TestSFW:
+    def test_minimal(self):
+        node = parse("select s from s in SUPPLIER")
+        assert node == Q.SFW(Q.Ident("s"), (("s", Q.Ident("SUPPLIER")),), None)
+
+    def test_with_where(self):
+        node = parse('select s from s in SUPPLIER where s.sname = "s1"')
+        assert node.where is not None
+
+    def test_multiple_bindings(self):
+        node = parse("select 1 from x in X, y in Y where x.a = y.a")
+        assert [v for v, _ in node.bindings] == ["x", "y"]
+
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(Exception):
+            parse("select 1 from x in X, x in Y")
+
+    def test_nested_in_from(self):
+        node = parse("select d from d in (select e from e in D) where d.a = 1")
+        assert isinstance(node.bindings[0][1], Q.SFW)
+
+    def test_nested_in_select(self):
+        node = parse("select (select p from p in s.parts) from s in SUPPLIER")
+        assert isinstance(node.select, Q.SFW)
+
+    def test_nested_in_where(self):
+        node = parse("select s from s in S where s.parts superseteq (select t from t in T)")
+        assert isinstance(node.where.right, Q.SFW)
+
+    def test_iteration_over_attribute(self):
+        node = parse("select p from p in s.parts_supplied")
+        assert node.bindings[0][1] == Q.Path(Q.Ident("s"), "parts_supplied")
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(OOSQLSyntaxError, match="trailing"):
+            parse("1 2")
+
+    def test_missing_from(self):
+        with pytest.raises(OOSQLSyntaxError):
+            parse("select s where x")
+
+    def test_missing_expression(self):
+        with pytest.raises(OOSQLSyntaxError):
+            parse("select from x in X")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(OOSQLSyntaxError):
+            parse("(1 + 2")
+
+    def test_error_carries_position(self):
+        with pytest.raises(OOSQLSyntaxError) as err:
+            parse("select s\nfrom s inn SUPPLIER")
+        assert err.value.line == 2
+
+    def test_empty_input(self):
+        with pytest.raises(OOSQLSyntaxError):
+            parse("")
+
+
+class TestPaperQueries:
+    """All four Section 2 example queries must parse."""
+
+    def test_example_queries_parse(self):
+        from repro.workload.queries import OOSQL_EXAMPLES
+
+        for name, text in OOSQL_EXAMPLES.items():
+            node = parse(text)
+            assert isinstance(node, Q.SFW), name

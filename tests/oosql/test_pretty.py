@@ -1,0 +1,42 @@
+"""The OOSQL pretty printer must emit re-parseable, equivalent text."""
+
+import pytest
+
+from repro.oosql import parse, pretty
+
+ROUNDTRIP_QUERIES = [
+    "select s from s in SUPPLIER",
+    'select s.sname from s in SUPPLIER where s.sname = "s1"',
+    "select (a = 1, b = s.sname) from s in SUPPLIER",
+    "select p from p in PART where p.price + 1 * 2 > 3",
+    "select d from d in DELIVERY where exists x in d.supply : x.quantity > 10",
+    "select s from s in S where forall p in P : p.a in s.parts",
+    "select x from x in X where x.c subseteq {1, 2} union {3}",
+    "select x from x in X where not x.a = 1 and x.b != 2",
+    "select x from x in (select y from y in Y where y.a = 1) where x.b = 2",
+    "select count(s.parts) from s in SUPPLIER",
+    "select flatten(select t.parts from t in T) from s in S",
+    "select x from x in X where x.c contains 1",
+    "select x from x in X, y in Y where x.a = y.a",
+    "select x from x in X where x.a not in {1}",
+    "select -x.a from x in X",
+    "select x from x in X where x.s disjoint y.s",
+]
+
+
+@pytest.mark.parametrize("text", ROUNDTRIP_QUERIES)
+def test_roundtrip_fixpoint(text):
+    """parse(pretty(parse(t))) == parse(t), and pretty is a fixpoint."""
+    first = parse(text)
+    printed = pretty(first)
+    second = parse(printed)
+    assert first == second
+    assert pretty(second) == printed
+
+
+def test_example_queries_roundtrip():
+    from repro.workload.queries import OOSQL_EXAMPLES
+
+    for name, text in OOSQL_EXAMPLES.items():
+        node = parse(text)
+        assert parse(pretty(node)) == node, name

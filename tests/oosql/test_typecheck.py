@@ -1,0 +1,164 @@
+"""Unit tests for the OOSQL type checker."""
+
+import pytest
+
+from repro.datamodel import BOOL, FLOAT, INT, STRING, SetType, TupleType, TypeCheckError
+from repro.oosql import OOSQLTypeChecker, parse
+
+
+@pytest.fixture(scope="module")
+def checker():
+    from repro.workload.paper_db import example_schema
+
+    return OOSQLTypeChecker(example_schema())
+
+
+def check(checker, text, env=None):
+    return checker.check(parse(text), env or {})
+
+
+class TestLiteralAndNames:
+    def test_literals(self, checker):
+        assert check(checker, "42") == INT
+        assert check(checker, "2.5") == FLOAT
+        assert check(checker, '"x"') == STRING
+        assert check(checker, "true") == BOOL
+
+    def test_extent_resolution(self, checker):
+        t = check(checker, "PART")
+        assert isinstance(t, SetType)
+        assert isinstance(t.element, TupleType)
+        assert "pname" in t.element.fields
+
+    def test_unknown_name(self, checker):
+        with pytest.raises(TypeCheckError, match="unknown name"):
+            check(checker, "GHOST")
+
+    def test_variable_shadows_extent(self, checker):
+        # a variable named PART in scope wins over the base table
+        assert check(checker, "PART", {"PART": INT}) == INT
+
+
+class TestPaths:
+    def test_attribute_access(self, checker):
+        t = check(checker, "select p.pname from p in PART")
+        assert t == SetType(STRING)
+
+    def test_path_through_reference_dereferences(self, checker):
+        t = check(checker, "select d.supplier.sname from d in DELIVERY")
+        assert t == SetType(STRING)
+
+    def test_missing_attribute(self, checker):
+        with pytest.raises(TypeCheckError):
+            check(checker, "select p.ghost from p in PART")
+
+    def test_attribute_on_atom(self, checker):
+        with pytest.raises(TypeCheckError):
+            check(checker, "select p.pname.more from p in PART")
+
+
+class TestOperators:
+    def test_arithmetic(self, checker):
+        assert check(checker, "1 + 2") == INT
+        assert check(checker, "1 + 2.5") == FLOAT
+        assert check(checker, "1 / 2") == FLOAT
+
+    def test_arithmetic_on_strings_rejected(self, checker):
+        with pytest.raises(TypeCheckError):
+            check(checker, '"a" + "b"')
+
+    def test_comparison_requires_unifiable(self, checker):
+        assert check(checker, "1 = 2") == BOOL
+        with pytest.raises(TypeCheckError):
+            check(checker, '1 = "x"')
+
+    def test_ordering_rejects_bool(self, checker):
+        with pytest.raises(TypeCheckError):
+            check(checker, "true < false")
+
+    def test_boolean_connectives(self, checker):
+        assert check(checker, "1 = 1 and 2 = 2 or not 3 = 3") == BOOL
+        with pytest.raises(TypeCheckError):
+            check(checker, "1 and true")
+
+    def test_membership(self, checker):
+        assert check(checker, "1 in {1, 2}") == BOOL
+        with pytest.raises(TypeCheckError):
+            check(checker, "1 in 2")
+        with pytest.raises(TypeCheckError):
+            check(checker, '"x" in {1}')
+
+    def test_contains(self, checker):
+        assert check(checker, "{1, 2} contains 1") == BOOL
+        with pytest.raises(TypeCheckError):
+            check(checker, "1 contains 1")
+
+    def test_set_comparisons(self, checker):
+        assert check(checker, "{1} subseteq {1, 2}") == BOOL
+        with pytest.raises(TypeCheckError):
+            check(checker, "{1} subseteq 1")
+        with pytest.raises(TypeCheckError):
+            check(checker, '{1} subseteq {"x"}')
+
+    def test_set_algebra(self, checker):
+        assert check(checker, "{1} union {2}") == SetType(INT)
+        with pytest.raises(TypeCheckError):
+            check(checker, '{1} union {"x"}')
+
+    def test_set_equality_allowed(self, checker):
+        assert check(checker, "{1} = {2}") == BOOL
+
+
+class TestBlocks:
+    def test_sfw_type(self, checker):
+        t = check(checker, 'select (n = p.pname) from p in PART where p.color = "red"')
+        assert t == SetType(TupleType({"n": STRING}))
+
+    def test_where_must_be_boolean(self, checker):
+        with pytest.raises(TypeCheckError, match="boolean"):
+            check(checker, "select p from p in PART where p.price")
+
+    def test_from_must_be_set(self, checker):
+        with pytest.raises(TypeCheckError, match="set"):
+            check(checker, "select x from x in 1")
+
+    def test_iteration_over_reference_set(self, checker):
+        # parts_supplied holds oids; iterating gives oid-typed variable,
+        # whose attributes dereference implicitly
+        t = check(checker, "select p.pname from p in s.parts_supplied",
+                  {"s": checker.schema.object_type("Supplier")})
+        assert t == SetType(STRING)
+
+    def test_quantifiers(self, checker):
+        assert check(checker, "exists p in PART : p.price > 10") == BOOL
+        assert check(checker, "forall p in PART : p.price > 0") == BOOL
+        with pytest.raises(TypeCheckError):
+            check(checker, "exists p in PART : p.price")
+
+    def test_multiple_bindings_scope_left_to_right(self, checker):
+        t = check(
+            checker,
+            "select (s = x.sname, p = y.pname) from x in SUPPLIER, y in PART",
+        )
+        assert t == SetType(TupleType({"s": STRING, "p": STRING}))
+
+    def test_aggregates(self, checker):
+        assert check(checker, "count(PART)") == INT
+        assert check(checker, "sum(select p.price from p in PART)") == INT
+        assert check(checker, "avg(select p.price from p in PART)") == FLOAT
+        with pytest.raises(TypeCheckError):
+            check(checker, "sum(select p.pname from p in PART)")
+        with pytest.raises(TypeCheckError):
+            check(checker, "min(SUPPLIER)")
+
+    def test_flatten(self, checker):
+        t = check(checker, "flatten(select s.parts_supplied from s in SUPPLIER)")
+        assert isinstance(t, SetType)
+        with pytest.raises(TypeCheckError):
+            check(checker, "flatten(PART)")
+
+    def test_paper_examples_type_check(self, checker):
+        from repro.workload.queries import OOSQL_EXAMPLES
+
+        for name, text in OOSQL_EXAMPLES.items():
+            checker.check(parse(text))  # must not raise

@@ -1,0 +1,64 @@
+"""Hypothesis strategies for generating small complex-object databases.
+
+The rewrite-equivalence properties need databases shaped like the paper's
+Figure 2 world: a flat table ``Y(d, e)`` and a nested table ``X(a, c)``
+where ``c`` is a set of ``(d, e)``-tuples (possibly empty — empty sets are
+where the bugs live, so they are generated often).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.datamodel import VTuple
+from repro.storage import MemoryDatabase
+
+#: Small key domain so joins actually match.
+keys = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def y_rows(draw, max_size: int = 6):
+    rows = draw(
+        st.lists(
+            st.builds(lambda d, e: VTuple(d=d, e=e), keys, keys),
+            max_size=max_size,
+            unique=True,
+        )
+    )
+    return rows
+
+
+@st.composite
+def member_sets(draw, max_size: int = 3):
+    members = draw(
+        st.frozensets(st.builds(lambda d, e: VTuple(d=d, e=e), keys, keys), max_size=max_size)
+    )
+    return members
+
+
+@st.composite
+def x_rows(draw, max_size: int = 5):
+    rows = []
+    size = draw(st.integers(min_value=0, max_value=max_size))
+    for i in range(size):
+        a = draw(keys)
+        c = draw(member_sets())
+        rows.append(VTuple(a=a, i=i, c=c))
+    return rows
+
+
+@st.composite
+def xy_database(draw):
+    return MemoryDatabase({"X": draw(x_rows()), "Y": draw(y_rows())})
+
+
+@st.composite
+def flat_xy_database(draw):
+    """Two flat tables with disjoint attribute names, for join properties."""
+    xs = draw(
+        st.lists(st.builds(lambda a, b: VTuple(a=a, b=b), keys, keys),
+                 max_size=6, unique=True)
+    )
+    ys = draw(y_rows())
+    return MemoryDatabase({"X": xs, "Y": ys})

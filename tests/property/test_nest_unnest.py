@@ -1,0 +1,100 @@
+"""Properties of nest/unnest — the paper's Section 4 caveats, verified.
+
+"nest and unnest are each others inverse only for PNF relations ... that
+have no empty set-valued attributes" [RoKS88]: we verify both the positive
+direction (ν then μ over flat relations is the identity; μ then ν over
+PNF-without-empties is the identity) and the *failure* cases the paper
+warns about (empty sets vanish; non-PNF relations do not round-trip).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adl import builders as B
+from repro.datamodel import VTuple, vset
+from repro.engine.interpreter import Interpreter
+from repro.storage import MemoryDatabase
+
+from tests.property.strategies import keys, y_rows
+
+
+@given(rows=y_rows())
+@settings(max_examples=50, deadline=None)
+def test_unnest_inverts_nest_on_flat_relations(rows):
+    """μ_g(ν_{e→g}(Y)) == Y for every flat relation Y.
+
+    Nesting a flat relation always produces PNF with no empty sets, so the
+    inverse direction is unconditional.
+    """
+    db = MemoryDatabase({"Y": rows})
+    interp = Interpreter(db)
+    roundtrip = B.unnest(B.nest(B.extent("Y"), ["e"], "g"), "g")
+    assert interp.eval(roundtrip) == frozenset(rows)
+
+
+@given(rows=y_rows())
+@settings(max_examples=50, deadline=None)
+def test_nest_groups_partition_the_input(rows):
+    db = MemoryDatabase({"Y": rows})
+    interp = Interpreter(db)
+    nested = interp.eval(B.nest(B.extent("Y"), ["e"], "g"))
+    # group keys are unique and groups are non-empty
+    seen_keys = [t["d"] for t in nested]
+    assert len(seen_keys) == len(set(seen_keys))
+    assert all(t["g"] for t in nested)
+    # total member count is preserved
+    assert sum(len(t["g"]) for t in nested) == len(rows)
+
+
+@given(
+    groups=st.dictionaries(
+        keys,
+        st.frozensets(st.builds(lambda e: VTuple(e=e), keys), min_size=1, max_size=3),
+        min_size=0,
+        max_size=4,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_nest_inverts_unnest_on_pnf_without_empties(groups):
+    """ν(μ(N)) == N when N is PNF (atomic attrs key the relation) and no
+    set-valued attribute is empty — the paper's positive case."""
+    rows = [VTuple(d=d, g=members) for d, members in groups.items()]
+    db = MemoryDatabase({"N": rows})
+    interp = Interpreter(db)
+    roundtrip = B.nest(B.unnest(B.extent("N"), "g"), ["e"], "g")
+    assert interp.eval(roundtrip) == frozenset(rows)
+
+
+def test_empty_sets_break_the_inverse():
+    """The paper's first caveat: a tuple with an empty set-valued attribute
+    is dropped by μ and cannot be restored by ν."""
+    rows = [VTuple(d=1, g=vset(VTuple(e=1))), VTuple(d=2, g=frozenset())]
+    db = MemoryDatabase({"N": rows})
+    interp = Interpreter(db)
+    roundtrip = interp.eval(B.nest(B.unnest(B.extent("N"), "g"), ["e"], "g"))
+    assert roundtrip != frozenset(rows)
+    assert {t["d"] for t in roundtrip} == {1}  # d=2 is gone
+
+
+def test_non_pnf_relations_break_the_inverse():
+    """The paper's second caveat: when the atomic attributes do not key the
+    relation (non-PNF), ν merges groups that μ can no longer tell apart."""
+    rows = [
+        VTuple(d=1, g=vset(VTuple(e=1))),
+        VTuple(d=1, g=vset(VTuple(e=2))),  # same d, different group: non-PNF
+    ]
+    db = MemoryDatabase({"N": rows})
+    interp = Interpreter(db)
+    roundtrip = interp.eval(B.nest(B.unnest(B.extent("N"), "g"), ["e"], "g"))
+    assert roundtrip != frozenset(rows)
+    assert len(roundtrip) == 1  # merged into a single group
+
+
+@given(rows=y_rows())
+@settings(max_examples=30, deadline=None)
+def test_unnest_cardinality(rows):
+    """|μ_g(ν(Y))| == |Y| and nesting never increases cardinality."""
+    db = MemoryDatabase({"Y": rows})
+    interp = Interpreter(db)
+    nested = interp.eval(B.nest(B.extent("Y"), ["e"], "g"))
+    assert len(nested) <= max(len(rows), 1)

@@ -1,0 +1,151 @@
+"""Property tests: physical operators vs the reference interpreter, and
+algebraic laws of the join family."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.engine.interpreter import Interpreter
+from repro.engine.planner import Executor
+from repro.engine.pnhl import pnhl_join, unnest_join_nest
+from repro.engine.stats import Stats
+
+from tests.property.strategies import flat_xy_database, xy_database
+
+CORR = B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "d"))
+
+
+class TestJoinFamilyLaws:
+    @given(db=flat_xy_database())
+    @settings(max_examples=40, deadline=None)
+    def test_semijoin_antijoin_partition(self, db):
+        """X ⋉ Y and X ▷ Y partition X, for any predicate."""
+        interp = Interpreter(db)
+        semi = interp.eval(B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        anti = interp.eval(B.antijoin(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        assert semi | anti == interp.eval(B.extent("X"))
+        assert not (semi & anti)
+
+    @given(db=flat_xy_database())
+    @settings(max_examples=40, deadline=None)
+    def test_semijoin_is_projected_join(self, db):
+        """⋉ = π_left(⋈) — the paper's definition of the semijoin."""
+        interp = Interpreter(db)
+        semi = interp.eval(B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        join = interp.eval(B.join(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        projected = frozenset(t.subscript(("a", "b")) for t in join)
+        assert semi == projected
+
+    @given(db=flat_xy_database())
+    @settings(max_examples=40, deadline=None)
+    def test_antijoin_is_left_minus_semijoin(self, db):
+        """▷ = left − ⋉ — the paper's definition of the antijoin."""
+        interp = Interpreter(db)
+        left = interp.eval(B.extent("X"))
+        semi = interp.eval(B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        anti = interp.eval(B.antijoin(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        assert anti == left - semi
+
+    @given(db=flat_xy_database())
+    @settings(max_examples=40, deadline=None)
+    def test_nestjoin_flattens_to_join(self, db):
+        """Unnesting the nestjoin's group attribute recovers the join
+        (minus dangling tuples) — Definition 1's relationship to ⋈."""
+        interp = Interpreter(db)
+        nj = B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y", CORR, "g")
+        flattened = interp.eval(B.unnest(nj, "g"))
+        join = interp.eval(B.join(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        assert flattened == join
+
+    @given(db=flat_xy_database())
+    @settings(max_examples=40, deadline=None)
+    def test_nestjoin_preserves_left_cardinality(self, db):
+        interp = Interpreter(db)
+        nj = interp.eval(B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y", CORR, "g"))
+        assert len(nj) == len(interp.eval(B.extent("X")))
+
+    @given(db=flat_xy_database())
+    @settings(max_examples=40, deadline=None)
+    def test_outerjoin_extends_join(self, db):
+        interp = Interpreter(db)
+        oj = interp.eval(B.outerjoin(B.extent("X"), B.extent("Y"), "x", "y", CORR,
+                                     ["d", "e"]))
+        join = interp.eval(B.join(B.extent("X"), B.extent("Y"), "x", "y", CORR))
+        assert join <= oj
+        dangling = oj - join
+        assert all(t["d"] is None and t["e"] is None for t in dangling)
+
+
+class TestPlannerAgreesWithInterpreter:
+    @given(db=flat_xy_database())
+    @settings(max_examples=30, deadline=None)
+    def test_all_join_kinds(self, db):
+        interp = Interpreter(db)
+        executor = Executor(db)
+        for expr in (
+            B.join(B.extent("X"), B.extent("Y"), "x", "y", CORR),
+            B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", CORR),
+            B.antijoin(B.extent("X"), B.extent("Y"), "x", "y", CORR),
+            B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y", CORR, "g"),
+        ):
+            assert executor.execute(expr) == interp.eval(expr)
+
+    @given(db=xy_database())
+    @settings(max_examples=30, deadline=None)
+    def test_membership_join(self, db):
+        member = B.member(
+            B.tup(d=B.attr(B.var("y"), "d"), e=B.attr(B.var("y"), "e")),
+            B.attr(B.var("x"), "c"),
+        )
+        expr = B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", member)
+        assert Executor(db).execute(expr) == Interpreter(db).eval(expr)
+
+    @given(db=xy_database())
+    @settings(max_examples=30, deadline=None)
+    def test_restructuring_pipeline(self, db):
+        expr = B.project(B.unnest(B.sel(
+            "x", B.neg(B.is_empty(B.attr(B.var("x"), "c"))), B.extent("X")
+        ), "c"), "a", "d")
+        assert Executor(db).execute(expr) == Interpreter(db).eval(expr)
+
+
+def _pnhl_inputs(db):
+    """Rename Y's attributes so member ∘ inner concatenation cannot clash."""
+    from repro.datamodel import VTuple
+
+    outer = list(db.extent("X"))
+    inner = [VTuple(d2=y["d"], e2=y["e"]) for y in db.extent("Y")]
+    return outer, inner, (lambda m: m["d"]), (lambda y: y["d2"])
+
+
+class TestPNHLProperties:
+    @given(db=xy_database())
+    @settings(max_examples=30, deadline=None)
+    def test_budget_invariance(self, db):
+        """PNHL output is identical for every memory budget."""
+        outer, inner, member_key, inner_key = _pnhl_inputs(db)
+        reference = pnhl_join(outer, "c", inner, member_key, inner_key)
+        for budget in (1, 2, 3):
+            assert (
+                pnhl_join(outer, "c", inner, member_key, inner_key,
+                          memory_budget=budget)
+                == reference
+            )
+
+    @given(db=xy_database())
+    @settings(max_examples=30, deadline=None)
+    def test_pnhl_preserves_outer_cardinality(self, db):
+        outer, inner, member_key, inner_key = _pnhl_inputs(db)
+        out = pnhl_join(outer, "c", inner, member_key, inner_key)
+        assert len(out) == len(outer)
+
+    @given(db=xy_database())
+    @settings(max_examples=30, deadline=None)
+    def test_baseline_result_is_pnhl_restricted_to_nonempty(self, db):
+        """unnest–join–nest equals PNHL minus the empty-group tuples —
+        the precise statement of the paper's restructuring caveat."""
+        outer, inner, member_key, inner_key = _pnhl_inputs(db)
+        full = pnhl_join(outer, "c", inner, member_key, inner_key)
+        base = unnest_join_nest(outer, "c", inner, member_key, inner_key)
+        assert base == frozenset(t for t in full if t["c"])

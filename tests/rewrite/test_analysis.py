@@ -1,0 +1,171 @@
+"""Unit tests for the Table 3 ``P(x, ∅)`` static analysis."""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.rewrite.analysis import (
+    TriBool,
+    classify_empty,
+    is_statically_empty,
+    reduce_static,
+)
+
+EMPTY = B.setexpr()
+C = B.attr(B.var("x"), "c")
+SUB = B.sel("y", B.eq(B.attr(B.var("x"), "a"), B.attr(B.var("y"), "a")), B.extent("Y"))
+
+
+class TestTable3:
+    """The exact rows of Table 3: P(x, Y') with Y' = ∅."""
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("subset", TriBool.FALSE),     # x.c ⊂ ∅ : false
+            ("subseteq", TriBool.UNKNOWN),  # x.c ⊆ ∅ : ?
+            ("seteq", TriBool.UNKNOWN),     # x.c = ∅ : ?
+            ("supseteq", TriBool.TRUE),     # x.c ⊇ ∅ : true
+            ("supset", TriBool.UNKNOWN),    # x.c ⊃ ∅ : ?
+            ("ni", TriBool.UNKNOWN),        # x.c ∋ ∅ : ?
+        ],
+    )
+    def test_rows(self, op, expected):
+        pred = A.SetCompare(op, C, SUB)
+        assert classify_empty(pred, SUB) is expected
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("subset", TriBool.TRUE),
+            ("subseteq", TriBool.UNKNOWN),
+            ("seteq", TriBool.UNKNOWN),
+            ("supseteq", TriBool.FALSE),
+            ("supset", TriBool.UNKNOWN),
+            ("ni", TriBool.UNKNOWN),
+        ],
+    )
+    def test_negated_rows(self, op, expected):
+        """Negated predicates are treated the same way (paper: 'Negated
+        predicates are treated in the same way'); ¬ flips TRUE/FALSE."""
+        pred = A.Not(A.SetCompare(op, C, SUB))
+        assert classify_empty(pred, SUB) is expected
+
+
+class TestTable2Predicates:
+    def test_emptiness_test_is_true(self):
+        pred = B.is_empty(SUB)
+        assert classify_empty(pred, SUB) is TriBool.TRUE
+
+    def test_count_eq_zero_is_true(self):
+        pred = B.eq(B.count(SUB), 0)
+        assert classify_empty(pred, SUB) is TriBool.TRUE
+
+    def test_count_gt_zero_is_false(self):
+        pred = B.gt(B.count(SUB), 0)
+        assert classify_empty(pred, SUB) is TriBool.FALSE
+
+    def test_membership_in_empty_is_false(self):
+        pred = B.member(B.attr(B.var("x"), "a"), SUB)
+        assert classify_empty(pred, SUB) is TriBool.FALSE
+
+    def test_disjoint_with_empty_is_true(self):
+        pred = B.disjoint(C, SUB)
+        assert classify_empty(pred, SUB) is TriBool.TRUE
+
+    def test_runtime_dependent_count(self):
+        # the paper's example: x.c = count(Y') is run-time dependent
+        pred = B.eq(B.attr(B.var("x"), "cnt"), B.count(SUB))
+        assert classify_empty(pred, SUB) is TriBool.UNKNOWN
+
+
+class TestQuantifiersOverEmpty:
+    def test_exists_false(self):
+        pred = B.exists("y", SUB, B.lit(True))
+        assert classify_empty(pred, SUB) is TriBool.FALSE
+
+    def test_forall_true(self):
+        pred = B.forall("y", SUB, B.lit(False))
+        assert classify_empty(pred, SUB) is TriBool.TRUE
+
+    def test_exists_with_false_body(self):
+        pred = B.exists("y", B.extent("Y"), B.lit(False))
+        assert reduce_static(pred) is TriBool.FALSE
+
+    def test_forall_with_true_body(self):
+        pred = B.forall("y", B.extent("Y"), B.lit(True))
+        assert reduce_static(pred) is TriBool.TRUE
+
+    def test_exists_nonempty_unknown(self):
+        pred = B.exists("y", B.extent("Y"), B.lit(True))
+        assert reduce_static(pred) is TriBool.UNKNOWN
+
+
+class TestThreeValuedLogic:
+    U, T, F = TriBool.UNKNOWN, TriBool.TRUE, TriBool.FALSE
+
+    def test_negation(self):
+        assert ~self.T is self.F and ~self.F is self.T and ~self.U is self.U
+
+    def test_conjunction(self):
+        assert (self.F & self.U) is self.F
+        assert (self.T & self.U) is self.U
+        assert (self.T & self.T) is self.T
+
+    def test_disjunction(self):
+        assert (self.T | self.U) is self.T
+        assert (self.F | self.U) is self.U
+        assert (self.F | self.F) is self.F
+
+    def test_compound_classification(self):
+        # (x.c ⊇ Y') ∧ (x.c ⊂ Y') with Y' = ∅ : true ∧ false = false
+        pred = A.And(A.SetCompare("supseteq", C, SUB), A.SetCompare("subset", C, SUB))
+        assert classify_empty(pred, SUB) is TriBool.FALSE
+
+    def test_or_with_true_branch(self):
+        pred = A.Or(A.SetCompare("subseteq", C, SUB), A.SetCompare("supseteq", C, SUB))
+        assert classify_empty(pred, SUB) is TriBool.TRUE
+
+
+class TestStaticEmptiness:
+    def test_literal_empty_set(self):
+        assert is_statically_empty(EMPTY) is True
+        assert is_statically_empty(B.setexpr(1)) is False
+
+    def test_iterators_propagate_emptiness(self):
+        assert is_statically_empty(B.sel("x", B.lit(True), EMPTY)) is True
+        assert is_statically_empty(B.amap("x", B.var("x"), EMPTY)) is True
+        assert is_statically_empty(B.unnest(EMPTY, "c")) is True
+
+    def test_joins_propagate(self):
+        assert is_statically_empty(B.join(EMPTY, B.extent("Y"), "x", "y", B.lit(True))) is True
+        assert is_statically_empty(B.join(B.extent("X"), EMPTY, "x", "y", B.lit(True))) is True
+        assert is_statically_empty(B.semijoin(EMPTY, B.extent("Y"), "x", "y", B.lit(True))) is True
+
+    def test_union_needs_both(self):
+        assert is_statically_empty(B.union(EMPTY, EMPTY)) is True
+        assert is_statically_empty(B.union(EMPTY, B.setexpr(1))) is False
+        assert is_statically_empty(B.union(EMPTY, B.extent("Y"))) is None
+
+    def test_intersect_needs_one(self):
+        assert is_statically_empty(B.intersect(EMPTY, B.extent("Y"))) is True
+
+    def test_extent_unknown(self):
+        assert is_statically_empty(B.extent("Y")) is None
+
+    def test_empty_literal_frozenset(self):
+        assert is_statically_empty(B.lit(frozenset())) is True
+        assert is_statically_empty(B.lit(frozenset({1}))) is False
+
+
+class TestConstantFolding:
+    def test_literal_comparisons(self):
+        assert reduce_static(B.eq(1, 1)) is TriBool.TRUE
+        assert reduce_static(B.lt(2, 1)) is TriBool.FALSE
+        assert reduce_static(B.eq(B.lit("a"), B.lit("a"))) is TriBool.TRUE
+
+    def test_incomparable_literals_unknown(self):
+        assert reduce_static(B.lt(B.lit("a"), B.lit(1))) is TriBool.UNKNOWN
+
+    def test_non_literal_unknown(self):
+        assert reduce_static(B.eq(B.attr(B.var("x"), "a"), 1)) is TriBool.UNKNOWN

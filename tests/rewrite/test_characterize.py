@@ -1,0 +1,159 @@
+"""Tests for the nested-query characterization (future-work item 1).
+
+The verdict must both match the paper's discussion per query shape and
+*predict* what the optimizer does: RELATIONAL queries end in relational
+join operators, GROUPING_* queries end in a nestjoin (or safe grouping),
+and the unsafe class is exactly where raw grouping produces wrong answers.
+"""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.typecheck import TypeChecker
+from repro.engine.interpreter import Interpreter
+from repro.rewrite.analysis import TriBool
+from repro.rewrite.characterize import (
+    Characterization,
+    NestingClass,
+    characterize_select,
+)
+from repro.rewrite.common import RewriteContext
+from repro.rewrite.rules_grouping import unnest_by_grouping
+from repro.rewrite.strategy import Optimizer
+from repro.workload.paper_db import figure2_catalog, figure2_database
+from repro.workload.queries import figure1_query, figure2_variant_supseteq
+
+X, Y = B.var("x"), B.var("y")
+CORR = B.eq(B.attr(X, "a"), B.attr(Y, "d"))
+SUB = B.sel("y", CORR, B.extent("Y"))
+
+
+def q(pred):
+    return B.sel("x", pred, B.extent("X"))
+
+
+class TestVerdicts:
+    def test_flat_queries(self):
+        verdict = characterize_select(q(B.gt(B.attr(X, "a"), 1)))
+        assert verdict.verdict is NestingClass.FLAT
+
+    def test_attribute_nesting_is_flat(self):
+        pred = B.exists("m", B.attr(X, "c"), B.eq(B.attr(B.var("m"), "d"), 1))
+        assert characterize_select(q(pred)).verdict is NestingClass.FLAT
+
+    def test_non_select_is_flat(self):
+        assert characterize_select(B.extent("X")).verdict is NestingClass.FLAT
+
+    def test_uncorrelated_block(self):
+        sub = B.sel("y", B.gt(B.attr(Y, "e"), 1), B.extent("Y"))
+        pred = B.subseteq(B.attr(X, "c"), sub)
+        out = characterize_select(q(pred))
+        assert out.verdict is NestingClass.UNCORRELATED
+
+    def test_bare_quantifier_is_relational(self):
+        out = characterize_select(q(B.exists("y", B.extent("Y"), CORR)))
+        assert out.verdict is NestingClass.RELATIONAL
+
+    def test_membership_against_block_is_relational(self):
+        pred = B.member(B.attr(X, "m"), SUB)
+        out = characterize_select(q(pred))
+        assert out.verdict is NestingClass.RELATIONAL
+
+    def test_count_zero_is_relational(self):
+        out = characterize_select(q(B.eq(B.count(SUB), 0)))
+        assert out.verdict is NestingClass.RELATIONAL
+
+    def test_isempty_is_relational(self):
+        out = characterize_select(q(B.is_empty(SUB)))
+        assert out.verdict is NestingClass.RELATIONAL
+
+    def test_subset_is_grouping_safe(self):
+        out = characterize_select(q(B.subset(B.attr(X, "c"), SUB)))
+        assert out.verdict is NestingClass.GROUPING_SAFE
+        assert out.empty_value is TriBool.FALSE
+        assert out.requires_grouping()
+        assert not out.requires_dangling_preservation()
+
+    def test_subseteq_is_grouping_unsafe(self):
+        out = characterize_select(q(B.subseteq(B.attr(X, "c"), SUB)))
+        assert out.verdict is NestingClass.GROUPING_UNSAFE
+        assert out.empty_value is TriBool.UNKNOWN
+        assert out.requires_dangling_preservation()
+
+    def test_supseteq_is_relational(self):
+        """Table 1's remark: expanding ⊇ leads to a single (negated)
+        existential prefix — quantifier unnesting applies, no grouping."""
+        out = characterize_select(q(B.supseteq(B.attr(X, "c"), SUB)))
+        assert out.verdict is NestingClass.RELATIONAL
+
+    def test_block_subseteq_attr_is_relational(self):
+        """Rewriting Example 2's shape: Y' ⊆ x.c quantifies over Y'."""
+        out = characterize_select(q(B.subseteq(SUB, B.attr(X, "c"))))
+        assert out.verdict is NestingClass.RELATIONAL
+
+    def test_disjoint_is_relational(self):
+        out = characterize_select(q(B.disjoint(B.attr(X, "c"), SUB)))
+        assert out.verdict is NestingClass.RELATIONAL
+
+    def test_aggregate_comparison_is_grouping(self):
+        # count(Y') = x.k : grouping needed, run-time dependent on ∅
+        pred = B.eq(B.count(SUB), B.attr(X, "a"))
+        out = characterize_select(q(pred))
+        assert out.verdict is NestingClass.GROUPING_UNSAFE
+
+
+class TestVerdictsPredictOptimizer:
+    """The characterization must agree with the strategy's behaviour."""
+
+    CASES = [
+        (q(B.exists("y", B.extent("Y"), CORR)), NestingClass.RELATIONAL, "relational"),
+        (q(B.member(B.attr(X, "m"), SUB)), NestingClass.RELATIONAL, "relational"),
+        (q(B.eq(B.count(SUB), 0)), NestingClass.RELATIONAL, "relational"),
+        (q(B.subset(B.attr(X, "c"), SUB)), NestingClass.GROUPING_SAFE, "grouping"),
+        (figure1_query(), NestingClass.GROUPING_UNSAFE, "nestjoin"),
+        (figure2_variant_supseteq(), NestingClass.RELATIONAL, "relational"),
+    ]
+
+    @pytest.mark.parametrize("query,expected_class,expected_option",
+                             CASES, ids=[str(i) for i in range(len(CASES))])
+    def test_prediction(self, query, expected_class, expected_option):
+        out = characterize_select(query)
+        assert out.verdict is expected_class
+        result = Optimizer(figure2_catalog()).optimize(query)
+        assert result.option == expected_option
+
+    def test_unsafe_class_is_where_grouping_actually_breaks(self):
+        """For grouping-classified queries: GROUPING_UNSAFE ⟺ raw
+        grouping gives a wrong answer on the Figure 2 instance."""
+        ctx = RewriteContext(checker=TypeChecker(figure2_catalog()))
+        db = figure2_database()
+        interp = Interpreter(db)
+        for pred, expect_broken in [
+            (B.subset(B.attr(X, "c"), B.sel("y", CORR, B.extent("Y"))), False),
+            (B.subseteq(B.attr(X, "c"), B.sel("y", CORR, B.extent("Y"))), True),
+        ]:
+            query = q(pred)
+            out = characterize_select(query)
+            assert out.requires_grouping()
+            rewritten = unnest_by_grouping(query, ctx)
+            broken = interp.eval(rewritten) != interp.eval(query)
+            assert broken == expect_broken
+            assert out.requires_dangling_preservation() == expect_broken
+
+    def test_relational_verdict_routes_around_broken_grouping(self):
+        """⊇ would break under grouping, but the characterization sends it
+        down the quantifier path — where the optimizer indeed produces a
+        correct antijoin."""
+        ctx = RewriteContext(checker=TypeChecker(figure2_catalog()))
+        db = figure2_database()
+        interp = Interpreter(db)
+        query = figure2_variant_supseteq()
+        assert characterize_select(query).verdict is NestingClass.RELATIONAL
+        # grouping would be wrong...
+        buggy = unnest_by_grouping(query, ctx)
+        assert interp.eval(buggy) != interp.eval(query)
+        # ...but the optimizer's relational plan is right
+        result = Optimizer(figure2_catalog()).optimize(query)
+        assert result.option == "relational"
+        assert interp.eval(result.expr) == interp.eval(query)

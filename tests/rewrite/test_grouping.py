@@ -1,0 +1,176 @@
+"""Unnesting by grouping: the Complex Object bug (Figure 2) and its repairs.
+
+These tests reproduce Section 5.2.2 exactly: the [GaWo87] grouping rewrite
+produces a *wrong* answer on the Figure 2 instance (the dangling tuple
+``(a=2, c=∅)`` is lost in the join), the Table 3 guard refuses to fire on
+such predicates, and both repairs — outerjoin and nestjoin — restore the
+nested semantics.
+"""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.typecheck import TypeChecker
+from repro.datamodel import VTuple
+from repro.engine.interpreter import Interpreter
+from repro.rewrite.common import RewriteContext, is_set_oriented
+from repro.rewrite.rules_grouping import (
+    grouping_outerjoin,
+    grouping_safe,
+    unnest_by_grouping,
+)
+from repro.workload.paper_db import figure2_catalog, figure2_database
+from repro.workload.queries import figure1_query, figure2_variant_supseteq
+
+
+@pytest.fixture()
+def ctx():
+    return RewriteContext(checker=TypeChecker(figure2_catalog()))
+
+
+@pytest.fixture()
+def db():
+    return figure2_database()
+
+
+class TestComplexObjectBug:
+    """Figure 2, replayed."""
+
+    def test_nested_query_keeps_dangling_tuple(self, db):
+        result = Interpreter(db).eval(figure1_query())
+        assert {t["a"] for t in result} == {1, 2}  # (a=2, c=∅): ∅ ⊆ ∅ holds
+
+    def test_grouping_rewrite_loses_dangling_tuple(self, ctx, db):
+        """The bug, live: the join query drops (a=2, c=∅)."""
+        buggy = unnest_by_grouping(figure1_query(), ctx)
+        assert buggy is not None
+        result = Interpreter(db).eval(buggy)
+        assert {t["a"] for t in result} == {1}  # WRONG: 2 is gone
+
+    def test_bug_is_exactly_the_dangling_tuples(self, ctx, db):
+        nested = Interpreter(db).eval(figure1_query())
+        buggy = Interpreter(db).eval(unnest_by_grouping(figure1_query(), ctx))
+        lost = nested - buggy
+        assert all(t["c"] == frozenset() for t in lost)
+
+    def test_supseteq_variant_also_buggy(self, ctx, db):
+        """The paper's ⊇ variant: 'All tuples x ∈ X for which ... Y' is
+        equal to the empty set should be included ... but are lost'."""
+        query = figure2_variant_supseteq()
+        nested = Interpreter(db).eval(query)
+        buggy = Interpreter(db).eval(unnest_by_grouping(query, ctx))
+        # only the dangling tuple qualifies (∅ ⊇ ∅); a=1 misses (d=1,e=3)
+        assert {t["a"] for t in nested} == {2}
+        # and the join query loses exactly that tuple: the answer is empty
+        assert buggy == frozenset()
+
+    def test_buggy_rewrite_is_set_oriented(self, ctx):
+        """The rewrite does achieve the structural goal — that is the
+        temptation; it is the semantics that break."""
+        buggy = unnest_by_grouping(figure1_query(), ctx)
+        assert is_set_oriented(buggy)
+
+    def test_pipeline_shape(self, ctx):
+        """π over σ over ν over ⋈ — the paper's four-step pipeline."""
+        buggy = unnest_by_grouping(figure1_query(), ctx)
+        assert isinstance(buggy, A.Project)
+        select = buggy.source
+        assert isinstance(select, A.Select)
+        nest = select.source
+        assert isinstance(nest, A.Nest)
+        assert isinstance(nest.source, A.Join)
+
+
+class TestTable3Guard:
+    def test_guard_refuses_subseteq(self, ctx):
+        """P(x, ∅) for ⊆ is '?': the safe rule must not fire."""
+        assert grouping_safe.apply(figure1_query(), ctx) is None
+
+    def test_guard_refuses_supseteq(self, ctx):
+        """P(x, ∅) for ⊇ is 'true': dangling tuples belong in the result."""
+        assert grouping_safe.apply(figure2_variant_supseteq(), ctx) is None
+
+    def test_guard_accepts_subset(self, ctx, db):
+        """P(x, ∅) for ⊂ is statically false: grouping is safe."""
+        x, y = B.var("x"), B.var("y")
+        query = B.sel(
+            "x",
+            B.subset(B.attr(x, "c"),
+                     B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y"))),
+            B.extent("X"),
+        )
+        rewritten = grouping_safe.apply(query, ctx)
+        assert rewritten is not None
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+    def test_guard_accepts_membership(self, ctx, db):
+        """x.m ∈ Y' with Y' = ∅ is false: grouping safe."""
+        db.set_extent("X2", [VTuple(a=1, m=VTuple(d=1, e=1)), VTuple(a=2, m=VTuple(d=9, e=9))])
+        from repro.datamodel import Catalog, INT, SetType, TupleType
+
+        member = TupleType({"d": INT, "e": INT})
+        catalog = Catalog({
+            "X2": SetType(TupleType({"a": INT, "m": member})),
+            "Y": SetType(member),
+        })
+        ctx2 = RewriteContext(checker=TypeChecker(catalog))
+        x, y = B.var("x"), B.var("y")
+        query = B.sel(
+            "x",
+            B.member(B.attr(x, "m"),
+                     B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y"))),
+            B.extent("X2"),
+        )
+        rewritten = grouping_safe.apply(query, ctx2)
+        assert rewritten is not None
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+    def test_needs_schema(self, db):
+        assert unnest_by_grouping(figure1_query(), RewriteContext()) is None
+
+
+class TestOuterjoinRepair:
+    @pytest.mark.parametrize("query_builder", [figure1_query, figure2_variant_supseteq])
+    def test_outerjoin_repair_matches_nested_semantics(self, ctx, db, query_builder):
+        query = query_builder()
+        repaired = grouping_outerjoin.apply(query, ctx)
+        assert repaired is not None
+        interp = Interpreter(db)
+        assert interp.eval(repaired) == interp.eval(query)
+
+    def test_repair_uses_outerjoin(self, ctx):
+        repaired = grouping_outerjoin.apply(figure1_query(), ctx)
+        assert any(isinstance(n, A.OuterJoin) for n in repaired.walk())
+
+    def test_repair_is_set_oriented(self, ctx):
+        repaired = grouping_outerjoin.apply(figure1_query(), ctx)
+        assert is_set_oriented(repaired)
+
+
+class TestNonIdentityBlocks:
+    def test_block_with_map_result(self, ctx, db):
+        """α[y : G](σ[y : Q](Y)) blocks group correctly (G applied lazily)."""
+        x, y = B.var("x"), B.var("y")
+        sub = B.amap(
+            "y", B.tup(d=B.attr(y, "d"), e=B.attr(y, "e")),
+            B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y")),
+        )
+        query = B.sel("x", B.subset(B.attr(x, "c"), sub), B.extent("X"))
+        rewritten = grouping_safe.apply(query, ctx)
+        assert rewritten is not None
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+    def test_attribute_clash_declines(self, ctx):
+        """X and Y sharing attribute names cannot be joined by concat."""
+        x, y = B.var("x"), B.var("y")
+        query = B.sel(
+            "x",
+            B.subset(B.attr(x, "c"),
+                     B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "a")), B.extent("X"))),
+            B.extent("X"),
+        )
+        assert grouping_safe.apply(query, ctx) is None

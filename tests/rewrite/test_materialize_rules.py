@@ -1,0 +1,145 @@
+"""Tests for materialize introduction (the [BlMG93] path-expression rules)."""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.typecheck import TypeChecker
+from repro.engine.interpreter import Interpreter
+from repro.engine.planner import Executor
+from repro.rewrite.common import RewriteContext
+from repro.rewrite.engine import RewriteEngine
+from repro.rewrite.rules_materialize import (
+    MATERIALIZE_RULES,
+    materialize_map,
+    materialize_select,
+)
+from repro.rewrite.strategy import Optimizer
+from repro.translate import compile_oosql
+from repro.workload.paper_db import example_database, example_schema
+
+D = B.var("d")
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return example_schema()
+
+
+@pytest.fixture(scope="module")
+def ctx(schema):
+    return RewriteContext(checker=TypeChecker(schema))
+
+
+@pytest.fixture()
+def db():
+    return example_database()
+
+
+def select_query():
+    # σ[d : d.supplier.sname = "s1"](DELIVERY)
+    return B.sel(
+        "d",
+        B.eq(B.attr(D, "supplier", "sname"), "s1"),
+        B.extent("DELIVERY"),
+    )
+
+
+def map_query():
+    # α[d : (n = d.supplier.sname, t = d.date)](DELIVERY)
+    return B.amap(
+        "d",
+        B.tup(n=B.attr(D, "supplier", "sname"), t=B.attr(D, "date")),
+        B.extent("DELIVERY"),
+    )
+
+
+class TestSelectRule:
+    def test_fires_and_shapes(self, ctx):
+        out = materialize_select.apply(select_query(), ctx)
+        assert isinstance(out, A.Project)
+        select = out.source
+        assert isinstance(select, A.Select)
+        assert isinstance(select.source, A.Materialize)
+        assert select.source.class_name == "Supplier"
+        # the path now goes through the materialized object
+        assert any(
+            isinstance(n, A.AttrAccess) and n.attr == "sname"
+            and isinstance(n.base, A.AttrAccess) and n.base.attr == "__supplier_obj"
+            for n in select.pred.walk()
+        )
+
+    def test_projection_restores_schema(self, ctx, db):
+        out = materialize_select.apply(select_query(), ctx)
+        interp = Interpreter(db)
+        assert interp.eval(out) == interp.eval(select_query())
+
+    def test_requires_schema(self):
+        assert materialize_select.apply(select_query(), RewriteContext()) is None
+
+    def test_bare_reference_comparison_not_materialized(self, ctx):
+        # d.supplier = d2-oid needs no object: no firing
+        query = B.sel("d", B.eq(B.attr(D, "supplier"), B.attr(D, "supplier")),
+                      B.extent("DELIVERY"))
+        assert materialize_select.apply(query, ctx) is None
+
+    def test_non_reference_paths_ignored(self, ctx):
+        query = B.sel("d", B.eq(B.attr(D, "date"), 940101), B.extent("DELIVERY"))
+        assert materialize_select.apply(query, ctx) is None
+
+
+class TestMapRule:
+    def test_fires_and_preserves_semantics(self, ctx, db):
+        out = materialize_map.apply(map_query(), ctx)
+        assert isinstance(out, A.Map)
+        assert isinstance(out.source, A.Materialize)
+        interp = Interpreter(db)
+        assert interp.eval(out) == interp.eval(map_query())
+
+    def test_whole_tuple_use_declines(self, ctx):
+        # body returns d itself: the extra attribute would leak
+        query = B.amap("d", B.tup(v=D, n=B.attr(D, "supplier", "sname")),
+                       B.extent("DELIVERY"))
+        assert materialize_map.apply(query, ctx) is None
+
+    def test_shadowed_variable_untouched(self, ctx):
+        # the only d.supplier.sname sits under a binder rebinding d
+        inner = B.exists("d", B.extent("DELIVERY"),
+                         B.eq(B.attr(D, "supplier", "sname"), "s1"))
+        query = B.amap("d", B.tup(flag=inner, t=B.attr(D, "date")),
+                       B.extent("DELIVERY"))
+        out = materialize_map.apply(query, ctx)
+        assert out is None  # nothing rewritable at this level
+
+
+class TestEngineIntegration:
+    def test_fixpoint_terminates_and_preserves(self, ctx, db):
+        engine = RewriteEngine(ctx)
+        for query in (select_query(), map_query()):
+            out = engine.run(query, MATERIALIZE_RULES)
+            interp = Interpreter(db)
+            assert interp.eval(out) == interp.eval(query)
+            assert any(isinstance(n, A.Materialize) for n in out.walk())
+
+    def test_optimizer_flag(self, schema, db):
+        adl = compile_oosql(
+            'select d.date from d in DELIVERY where d.supplier.sname = "s1"',
+            schema,
+        )
+        plain = Optimizer(schema).optimize(adl)
+        assert not any(isinstance(n, A.Materialize) for n in plain.expr.walk())
+
+        with_mat = Optimizer(schema, introduce_materialize=True).optimize(adl)
+        assert any(isinstance(n, A.Materialize) for n in with_mat.expr.walk())
+        interp = Interpreter(db)
+        assert interp.eval(with_mat.expr) == interp.eval(adl)
+
+    def test_planner_uses_assembly(self, schema, db):
+        adl = compile_oosql(
+            'select d.date from d in DELIVERY where d.supplier.sname = "s1"',
+            schema,
+        )
+        result = Optimizer(schema, introduce_materialize=True).optimize(adl)
+        plan_text = Executor(db).explain(result.expr)
+        assert "Materialize(assembly)" in plan_text
+        assert Executor(db).execute(result.expr) == Interpreter(db).eval(adl)

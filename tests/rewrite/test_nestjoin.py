@@ -1,0 +1,174 @@
+"""Unit tests for the nestjoin rewrites (Section 6.1)."""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.typecheck import TypeChecker
+from repro.datamodel import VTuple
+from repro.engine.interpreter import Interpreter
+from repro.rewrite.common import RewriteContext, is_set_oriented
+from repro.rewrite.rules_nestjoin import nestjoin_select_clause, nestjoin_where
+from repro.workload.paper_db import (
+    figure2_catalog,
+    figure2_database,
+    figure3_database,
+    figure3_tables,
+    section4_catalog,
+    section4_database,
+)
+from repro.workload.queries import (
+    example_query_6,
+    figure1_query,
+    figure2_variant_supseteq,
+    figure3_nestjoin,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return RewriteContext(checker=TypeChecker(figure2_catalog()))
+
+
+@pytest.fixture()
+def db():
+    return figure2_database()
+
+
+class TestWhereClauseNestjoin:
+    @pytest.mark.parametrize("query_builder", [figure1_query, figure2_variant_supseteq])
+    def test_preserves_nested_semantics(self, ctx, db, query_builder):
+        """Unlike grouping, the nestjoin rewrite is correct for every P —
+        including the Figure 2 predicates where grouping is buggy."""
+        query = query_builder()
+        rewritten = nestjoin_where.apply(query, ctx)
+        assert rewritten is not None
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+    def test_shape_projection_select_nestjoin(self, ctx):
+        rewritten = nestjoin_where.apply(figure1_query(), ctx)
+        assert isinstance(rewritten, A.Project)
+        assert isinstance(rewritten.source, A.Select)
+        assert isinstance(rewritten.source.source, A.NestJoin)
+
+    def test_is_set_oriented(self, ctx):
+        rewritten = nestjoin_where.apply(figure1_query(), ctx)
+        assert is_set_oriented(rewritten)
+
+    def test_needs_schema(self):
+        assert nestjoin_where.apply(figure1_query(), RewriteContext()) is None
+
+    def test_uncorrelated_block_not_unnested(self, ctx):
+        """Uncorrelated subqueries are constants (Section 3): leave them."""
+        x, y = B.var("x"), B.var("y")
+        query = B.sel(
+            "x",
+            B.subseteq(B.attr(x, "c"),
+                       B.sel("y", B.eq(B.attr(y, "d"), 1), B.extent("Y"))),
+            B.extent("X"),
+        )
+        assert nestjoin_where.apply(query, ctx) is None
+
+    def test_attribute_nesting_not_unnested(self, ctx):
+        """A quantifier over a set-valued attribute is not a base-table
+        block: nestjoin does not apply (the paper leaves these nested)."""
+        x = B.var("x")
+        query = B.sel(
+            "x", B.exists("m", B.attr(x, "c"), B.eq(B.attr(B.var("m"), "d"), 1)),
+            B.extent("X"),
+        )
+        assert nestjoin_where.apply(query, ctx) is None
+
+    def test_deeply_nested_block_found(self, ctx, db):
+        """The block may sit under boolean structure and aggregates."""
+        x, y = B.var("x"), B.var("y")
+        sub = B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y"))
+        query = B.sel(
+            "x", B.conj(B.gt(B.count(sub), 1), B.lt(B.attr(x, "a"), 10)),
+            B.extent("X"),
+        )
+        rewritten = nestjoin_where.apply(query, ctx)
+        assert rewritten is not None
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+
+class TestSelectClauseNestjoin:
+    def test_example_query_6(self):
+        """Example Query 6 rewrites to the paper's nestjoin + map."""
+        ctx = RewriteContext(checker=TypeChecker(section4_catalog()))
+        db = section4_database()
+        query = example_query_6()
+        rewritten = nestjoin_select_clause.apply(query, ctx)
+        assert rewritten is not None
+        assert isinstance(rewritten, A.Map)
+        assert isinstance(rewritten.source, A.NestJoin)
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+    def test_block_result_rides_into_nestjoin(self, ctx, db):
+        """α[y : G]-blocks put G into the nestjoin's function parameter."""
+        x, y = B.var("x"), B.var("y")
+        sub = B.amap("y", B.attr(y, "e"),
+                     B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y")))
+        query = B.amap("x", B.tup(k=B.attr(x, "a"), es=sub), B.extent("X"))
+        rewritten = nestjoin_select_clause.apply(query, ctx)
+        assert rewritten is not None
+        nj = rewritten.source
+        assert isinstance(nj, A.NestJoin)
+        assert nj.result == B.attr(B.var("y"), "e")
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+    def test_dangling_tuples_keep_empty_groups(self, ctx, db):
+        x, y = B.var("x"), B.var("y")
+        sub = B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y"))
+        query = B.amap("x", B.tup(k=B.attr(x, "a"), ys=sub), B.extent("X"))
+        rewritten = nestjoin_select_clause.apply(query, ctx)
+        out = Interpreter(db).eval(rewritten)
+        by_k = {t["k"]: t["ys"] for t in out}
+        assert by_k[2] == frozenset()  # (a=2) has no matches but survives
+
+
+class TestFigure3:
+    def test_figure3_nestjoin_output(self):
+        """The Figure 3 example: equijoin on the second attribute, dangling
+        (a=3, b=3) keeps an empty group."""
+        db = figure3_database()
+        out = Interpreter(db).eval(figure3_nestjoin())
+        x_rows, y_rows = figure3_tables()
+        by_ab = {(t["a"], t["b"]): t["ys"] for t in out}
+        assert len(by_ab) == 3
+        matches_b1 = frozenset(y for y in y_rows if y["d"] == 1)
+        assert by_ab[(1, 1)] == matches_b1
+        assert by_ab[(2, 1)] == matches_b1
+        assert by_ab[(3, 3)] == frozenset()  # dangling: kept, empty group
+
+    def test_figure3_left_tuples_all_survive(self):
+        db = figure3_database()
+        out = Interpreter(db).eval(figure3_nestjoin())
+        assert len(out) == 3  # Definition 1: one output tuple per left tuple
+
+
+class TestMixedWithRelational:
+    def test_second_block_unnests_after_first(self, ctx, db):
+        """Two correlated blocks: the where-rule fires twice (via fixpoint)."""
+        from repro.rewrite.engine import RewriteEngine
+        from repro.rewrite.rules_nestjoin import NESTJOIN_RULES
+        from repro.rewrite.rules_simplify import CLEANUP_RULES
+
+        x, y = B.var("x"), B.var("y")
+        sub1 = B.sel("y", B.eq(B.attr(x, "a"), B.attr(y, "d")), B.extent("Y"))
+        sub2 = B.sel("y", B.lt(B.attr(x, "a"), B.attr(y, "e")), B.extent("Y"))
+        query = B.sel(
+            "x", B.conj(B.subseteq(B.attr(x, "c"), sub1), B.is_empty(sub2)),
+            B.extent("X"),
+        )
+        engine = RewriteEngine(ctx)
+        out = engine.run(query, NESTJOIN_RULES + CLEANUP_RULES)
+        assert is_set_oriented(out)
+        nestjoins = [n for n in out.walk() if isinstance(n, A.NestJoin)]
+        assert len(nestjoins) == 2
+        interp = Interpreter(db)
+        assert interp.eval(out) == interp.eval(query)

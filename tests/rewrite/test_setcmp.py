@@ -1,0 +1,171 @@
+"""Table 1 / Table 2 expansion tests: every row, checked by evaluation.
+
+Each set comparison operator expands to a quantifier expression; the two
+forms must agree on every database.  Exhaustive small-world evaluation
+covers each row on all pairs of subsets of a 3-element universe —
+3-set × 3-set = 256 combinations per operator.
+"""
+
+import itertools
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.engine.interpreter import Interpreter
+from repro.rewrite.common import RewriteContext
+from repro.rewrite.rules_setcmp import (
+    SETCMP_RULES,
+    count_zero,
+    empty_test,
+    expand_guarded,
+    expand_setcompare,
+)
+from repro.storage import MemoryDatabase
+
+CTX = RewriteContext()
+DB = MemoryDatabase({})
+INTERP = Interpreter(DB)
+
+UNIVERSE = [1, 2, 3]
+ALL_SUBSETS = [
+    frozenset(combo)
+    for size in range(len(UNIVERSE) + 1)
+    for combo in itertools.combinations(UNIVERSE, size)
+]
+
+#: The operators of Table 1 (plus Table 2's disjoint), paired with the
+#: Python ground truth.
+GROUND_TRUTH = {
+    "in": lambda c, y: c in y,
+    "notin": lambda c, y: c not in y,
+    "subset": lambda c, y: c < y,
+    "subseteq": lambda c, y: c <= y,
+    "seteq": lambda c, y: c == y,
+    "setneq": lambda c, y: c != y,
+    "supseteq": lambda c, y: c >= y,
+    "supset": lambda c, y: c > y,
+    "disjoint": lambda c, y: not (c & y),
+}
+
+SET_OPS = [op for op in GROUND_TRUTH if op not in ("in", "notin")]
+
+
+class TestTable1Expansions:
+    @pytest.mark.parametrize("op", SET_OPS)
+    def test_set_against_set_exhaustive(self, op):
+        for c, y in itertools.product(ALL_SUBSETS, repeat=2):
+            original = A.SetCompare(op, B.lit(c), B.lit(y))
+            expanded = expand_setcompare(original)
+            got = INTERP.eval(expanded)
+            want = GROUND_TRUTH[op](c, y)
+            assert got == want, f"{op}: c={set(c)}, Y'={set(y)}: {got} != {want}"
+            # the expansion must agree with the interpreter's own operator too
+            assert INTERP.eval(original) == want
+
+    @pytest.mark.parametrize("op", ["in", "notin"])
+    def test_membership_exhaustive(self, op):
+        for element in UNIVERSE + [99]:
+            for y in ALL_SUBSETS:
+                original = A.SetCompare(op, B.lit(element), B.lit(y))
+                expanded = expand_setcompare(original)
+                assert INTERP.eval(expanded) == GROUND_TRUTH[op](element, y)
+
+    def test_ni_expansion(self):
+        # x.c ∋ Y' ≡ ∃z ∈ x.c • z = Y'
+        for inner in ALL_SUBSETS:
+            c = frozenset({frozenset({1}), frozenset()})
+            original = A.SetCompare("ni", B.lit(c), B.lit(inner))
+            expanded = expand_setcompare(original)
+            assert INTERP.eval(expanded) == (inner in c)
+
+    def test_expansion_contains_no_setcompare_except_membership(self):
+        # expansions bottom out in ∈/∉ over the set-valued side and scalar =
+        expanded = expand_setcompare(B.subseteq(B.var("c"), B.var("y")))
+        for node in expanded.walk():
+            assert not isinstance(node, A.SetCompare) or node.op in ("in", "notin")
+
+    def test_fresh_variables_avoid_capture(self):
+        # operands already using y/z must not collide with expansion vars
+        c = B.attr(B.var("z"), "c")
+        y_prime = B.sel("y", B.eq(B.var("y"), B.var("z")), B.extent("Y"))
+        expanded = expand_setcompare(A.SetCompare("subseteq", c, y_prime))
+        from repro.adl.freevars import free_vars
+
+        assert free_vars(expanded) == {"z"}
+
+
+class TestGuards:
+    def test_guard_requires_extent(self):
+        # both operands extent-free: no rewrite
+        expr = B.subseteq(B.attr(B.var("x"), "c"), B.attr(B.var("x"), "d"))
+        assert expand_guarded.apply(expr, CTX) is None
+
+    def test_guard_fires_with_extent_on_right(self):
+        expr = B.subseteq(B.attr(B.var("x"), "c"), B.sel("y", B.lit(True), B.extent("Y")))
+        assert expand_guarded.apply(expr, CTX) is not None
+
+    def test_guard_fires_with_extent_on_left(self):
+        expr = B.subseteq(B.sel("y", B.lit(True), B.extent("Y")), B.attr(B.var("x"), "c"))
+        assert expand_guarded.apply(expr, CTX) is not None
+
+    def test_membership_guard_looks_right_only(self):
+        expr = B.member(B.sel("y", B.lit(True), B.extent("Y")), B.attr(B.var("x"), "c"))
+        assert expand_guarded.apply(expr, CTX) is None
+
+
+class TestTable2:
+    def test_isempty_to_not_exists(self):
+        expr = B.is_empty(B.sel("y", B.lit(True), B.extent("Y")))
+        out = empty_test.apply(expr, CTX)
+        assert isinstance(out, A.Not) and isinstance(out.operand, A.Exists)
+
+    def test_seteq_empty_literal(self):
+        sub = B.sel("y", B.lit(True), B.extent("Y"))
+        out = empty_test.apply(A.SetCompare("seteq", sub, B.setexpr()), CTX)
+        assert isinstance(out, A.Not)
+        out = empty_test.apply(A.SetCompare("setneq", sub, B.setexpr()), CTX)
+        assert isinstance(out, A.Exists)
+
+    def test_empty_test_requires_extent(self):
+        assert empty_test.apply(B.is_empty(B.attr(B.var("x"), "c")), CTX) is None
+
+    def test_count_zero_variants(self):
+        sub = B.sel("y", B.lit(True), B.extent("Y"))
+        negatives = [
+            B.eq(B.count(sub), 0),
+            B.eq(B.lit(0), B.count(sub)),
+            B.le(B.count(sub), 0),
+            B.lt(B.count(sub), 1),
+        ]
+        for expr in negatives:
+            out = count_zero.apply(expr, CTX)
+            assert isinstance(out, A.Not), expr
+        positives = [
+            B.neq(B.count(sub), 0),
+            B.gt(B.count(sub), 0),
+            B.ge(B.count(sub), 1),
+            B.lt(B.lit(0), B.count(sub)),
+        ]
+        for expr in positives:
+            out = count_zero.apply(expr, CTX)
+            assert isinstance(out, A.Exists), expr
+
+    def test_count_other_literals_ignored(self):
+        sub = B.sel("y", B.lit(True), B.extent("Y"))
+        assert count_zero.apply(B.eq(B.count(sub), 5), CTX) is None
+
+    def test_count_requires_extent(self):
+        assert count_zero.apply(B.eq(B.count(B.attr(B.var("x"), "c")), 0), CTX) is None
+
+    def test_table2_semantics_on_data(self):
+        from repro.datamodel import VTuple
+
+        db = MemoryDatabase({"Y": [VTuple(a=1)]})
+        interp = Interpreter(db)
+        sub_nonempty = B.sel("y", B.lit(True), B.extent("Y"))
+        sub_empty = B.sel("y", B.lit(False), B.extent("Y"))
+        for sub, want in ((sub_nonempty, False), (sub_empty, True)):
+            expr = B.eq(B.count(sub), 0)
+            out = count_zero.apply(expr, CTX)
+            assert interp.eval(out) == interp.eval(expr) == want

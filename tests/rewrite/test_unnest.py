@@ -1,0 +1,132 @@
+"""Unit tests for the attribute-unnesting option (Example Query 4)."""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.typecheck import TypeChecker
+from repro.engine.interpreter import Interpreter
+from repro.rewrite.common import RewriteContext
+from repro.rewrite.rules_unnest import unnest_attribute
+from repro.workload.paper_db import section4_catalog, section4_database
+from repro.workload.queries import example_query_4
+
+
+@pytest.fixture()
+def ctx():
+    return RewriteContext(checker=TypeChecker(section4_catalog()))
+
+
+@pytest.fixture()
+def db():
+    return section4_database(dangling_refs=2)
+
+
+class TestExampleQuery4:
+    def test_fires_and_preserves_semantics(self, ctx, db):
+        query = example_query_4()
+        rewritten = unnest_attribute.apply(query, ctx)
+        assert rewritten is not None
+        assert isinstance(rewritten, A.Project)
+        assert isinstance(rewritten.source, A.Select)
+        assert isinstance(rewritten.source.source, A.Unnest)
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)
+
+    def test_finds_the_violators(self, db, ctx):
+        query = example_query_4()
+        out = Interpreter(db).eval(unnest_attribute.apply(query, ctx))
+        # the two 'bad*' suppliers reference non-existing parts
+        assert len(out) == 2
+
+    def test_empty_parts_suppliers_correctly_excluded(self, ctx):
+        """∃ over ∅ is false: supplier s4 (no parts) is not a violator, and
+        dropping it via μ is exactly right (the paper's justification)."""
+        db = section4_database(dangling_refs=0)
+        query = example_query_4()
+        rewritten = unnest_attribute.apply(query, ctx)
+        assert Interpreter(db).eval(rewritten) == frozenset()
+
+
+class TestGuards:
+    def make_query(self, project_attrs=("eid",), quantified_attr="parts",
+                   inner_pred=None):
+        s, z = B.var("s"), B.var("z")
+        pred = inner_pred if inner_pred is not None else B.eq(
+            B.attr(z, "pid"), B.attr(z, "pid")
+        )
+        return B.project(
+            B.sel("s", B.exists("z", B.attr(s, quantified_attr), pred), B.extent("SUPPLIER")),
+            *project_attrs,
+        )
+
+    def test_requires_projection_dropping_the_attribute(self, ctx):
+        """If the result still needs the set-valued attribute, re-nesting
+        would be required: the rule must decline (Section 4)."""
+        s, z, p = B.var("s"), B.var("z"), B.var("p")
+        pred = B.exists("z", B.attr(s, "parts"),
+                        B.neg(B.exists("p", B.extent("PART"),
+                                       B.eq(z, B.subscript(p, "pid")))))
+        query = B.project(B.sel("s", pred, B.extent("SUPPLIER")), "eid", "parts")
+        assert unnest_attribute.apply(query, ctx) is None
+
+    def test_requires_exists_not_forall(self, ctx):
+        """∀ over an empty set is true — dropping empty-set tuples via μ
+        would be wrong, so the rule only matches ∃."""
+        s, z = B.var("s"), B.var("z")
+        query = B.project(
+            B.sel("s", B.forall("z", B.attr(s, "parts"), B.lit(True)), B.extent("SUPPLIER")),
+            "eid",
+        )
+        assert unnest_attribute.apply(query, ctx) is None
+
+    def test_declines_whole_tuple_use_of_outer_var(self, ctx):
+        s, z = B.var("s"), B.var("z")
+        # predicate uses s as a whole tuple: not expressible after μ
+        pred = B.eq(B.var("s"), B.var("s"))
+        query = B.project(
+            B.sel("s", B.exists("z", B.attr(s, "parts"), pred), B.extent("SUPPLIER")),
+            "eid",
+        )
+        assert unnest_attribute.apply(query, ctx) is None
+
+    def test_declines_use_of_flattened_attribute(self, ctx):
+        s, z = B.var("s"), B.var("z")
+        # predicate mentions s.parts itself, which μ removes
+        pred = B.member(B.var("z"), B.attr(s, "parts"))
+        query = B.project(
+            B.sel("s", B.exists("z", B.attr(s, "parts"), pred), B.extent("SUPPLIER")),
+            "eid",
+        )
+        assert unnest_attribute.apply(query, ctx) is None
+
+    def test_declines_without_schema(self):
+        assert unnest_attribute.apply(example_query_4(), RewriteContext()) is None
+
+    def test_declines_atomic_member_sets(self, ctx):
+        """μ needs tuple-valued members: a set of oids cannot be unnested."""
+        from repro.datamodel import Catalog, INT, OidType, SetType, TupleType
+
+        catalog = Catalog({
+            "S": SetType(TupleType({"eid": INT, "refs": SetType(OidType("Part"))}))
+        })
+        ctx2 = RewriteContext(checker=TypeChecker(catalog))
+        s = B.var("s")
+        query = B.project(
+            B.sel("s", B.exists("z", B.attr(s, "refs"), B.lit(True)), B.extent("S")),
+            "eid",
+        )
+        assert unnest_attribute.apply(query, ctx2) is None
+
+    def test_other_attributes_of_outer_var_allowed(self, ctx, db):
+        """Attribute uses s.a with a ≠ c survive the rewrite (become u.a)."""
+        s, z = B.var("s"), B.var("z")
+        pred = B.neq(B.attr(s, "sname"), B.lit("s1"))
+        query = B.project(
+            B.sel("s", B.exists("z", B.attr(s, "parts"), pred), B.extent("SUPPLIER")),
+            "eid",
+        )
+        rewritten = unnest_attribute.apply(query, ctx)
+        assert rewritten is not None
+        interp = Interpreter(db)
+        assert interp.eval(rewritten) == interp.eval(query)

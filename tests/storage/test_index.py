@@ -1,0 +1,38 @@
+"""Unit tests for hash indexes."""
+
+import pytest
+
+from repro.datamodel import StorageError, VTuple, vset
+from repro.storage import HashIndex, attribute_index, element_index
+
+
+class TestAttributeIndex:
+    def test_lookup(self):
+        rows = [VTuple(a=1, b="x"), VTuple(a=1, b="y"), VTuple(a=2, b="z")]
+        idx = attribute_index(rows, "a")
+        assert sorted(r["b"] for r in idx.lookup(1)) == ["x", "y"]
+        assert idx.lookup(9) == []
+
+    def test_contains_and_len(self):
+        idx = attribute_index([VTuple(a=1), VTuple(a=2)], "a")
+        assert 1 in idx and 3 not in idx
+        assert len(idx) == 2
+
+
+class TestElementIndex:
+    def test_indexes_each_member(self):
+        rows = [VTuple(name="s1", parts=vset(1, 2)), VTuple(name="s2", parts=vset(2))]
+        idx = element_index(rows, "parts")
+        assert sorted(r["name"] for r in idx.lookup(2)) == ["s1", "s2"]
+        assert [r["name"] for r in idx.lookup(1)] == ["s1"]
+
+    def test_rejects_non_set_keys(self):
+        with pytest.raises(StorageError):
+            element_index([VTuple(parts=3)], "parts")
+
+
+class TestHashIndexGeneric:
+    def test_custom_key_function(self):
+        rows = [VTuple(a=1, b=2), VTuple(a=2, b=1)]
+        idx = HashIndex(rows, key=lambda r: r["a"] + r["b"])
+        assert len(idx.lookup(3)) == 2

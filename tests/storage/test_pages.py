@@ -1,0 +1,107 @@
+"""Unit tests for the paged heap-file simulator."""
+
+import pytest
+
+from repro.datamodel import StorageError, VTuple, vset
+from repro.storage import HeapFile, IOCounter, estimate_size
+
+
+class TestEstimateSize:
+    def test_atoms_cost_a_word(self):
+        assert estimate_size(1) == 8
+        assert estimate_size(None) == 8
+        assert estimate_size(True) == 8
+
+    def test_strings_cost_length(self):
+        assert estimate_size("abcd") == 8 + 4
+
+    def test_clustered_sets_fatten_records(self):
+        small = VTuple(a=1, c=frozenset())
+        big = VTuple(a=1, c=vset(*(VTuple(d=i) for i in range(10))))
+        assert estimate_size(big) > estimate_size(small)
+
+    def test_rejects_non_values(self):
+        with pytest.raises(StorageError):
+            estimate_size([1, 2])
+
+
+class TestHeapFile:
+    def make(self, page_size=100):
+        return HeapFile("X", page_size, IOCounter())
+
+    def test_append_and_scan_roundtrip(self):
+        hf = self.make()
+        rows = [VTuple(a=i) for i in range(10)]
+        for row in rows:
+            hf.append(row)
+        assert list(hf.scan()) == rows
+
+    def test_scan_counts_page_reads(self):
+        hf = self.make(page_size=40)
+        for i in range(10):
+            hf.append(VTuple(a=i))
+        pages = hf.page_count
+        assert pages > 1  # small pages force splits
+        list(hf.scan())
+        assert hf.io.pages_read == pages
+        assert hf.io.records_read == 10
+
+    def test_fetch_by_address(self):
+        hf = self.make()
+        addr = hf.append(VTuple(a=42))
+        assert hf.fetch(*addr) == VTuple(a=42)
+        assert hf.io.pages_read == 1
+
+    def test_fetch_bad_page(self):
+        hf = self.make()
+        with pytest.raises(StorageError):
+            hf.fetch(99, 0)
+
+    def test_fetch_bad_slot(self):
+        hf = self.make()
+        page_id, _slot = hf.append(VTuple(a=1))
+        with pytest.raises(StorageError):
+            hf.fetch(page_id, 5)
+
+    def test_oversized_record_gets_own_page(self):
+        hf = self.make(page_size=16)
+        hf.append(VTuple(a=1, b=2, c=3))  # bigger than a page
+        hf.append(VTuple(d=1, e=2, f=3))
+        assert hf.page_count == 2
+
+    def test_fetch_clustered_charges_distinct_pages_once(self):
+        hf = self.make(page_size=48)
+        addresses = [hf.append(VTuple(a=i)) for i in range(12)]
+        hf.io.reset()
+        # fetch everything: clustered fetch charges each page once
+        hf.fetch_clustered(addresses)
+        clustered_reads = hf.io.pages_read
+        hf.io.reset()
+        for addr in addresses:
+            hf.fetch(*addr)
+        random_reads = hf.io.pages_read
+        assert clustered_reads == hf.page_count
+        assert random_reads == len(addresses)
+        assert clustered_reads < random_reads
+
+    def test_positive_page_size_required(self):
+        with pytest.raises(StorageError):
+            HeapFile("X", 0, IOCounter())
+
+    def test_record_count(self):
+        hf = self.make()
+        for i in range(5):
+            hf.append(VTuple(a=i))
+        assert hf.record_count == 5
+
+
+class TestIOCounter:
+    def test_snapshot_and_reset(self):
+        io = IOCounter()
+        io.pages_read += 3
+        io.records_read += 5
+        snap = io.snapshot()
+        assert snap["pages_read"] == 3
+        assert snap["records_read"] == 5
+        io.reset()
+        assert io.pages_read == 0

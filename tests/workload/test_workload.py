@@ -1,0 +1,151 @@
+"""Tests for the workload package: paper data, generators, harness."""
+
+import pytest
+
+from repro.datamodel import Oid, VTuple
+from repro.engine.interpreter import Interpreter
+from repro.oosql import parse
+from repro.oosql.typecheck import OOSQLTypeChecker
+from repro.workload.generator import generate_database, generate_flat, generate_xy
+from repro.workload.harness import render_table, speedup
+from repro.workload.paper_db import (
+    example_database,
+    example_schema,
+    figure2_catalog,
+    figure2_database,
+    figure2_tables,
+    figure3_tables,
+    section4_catalog,
+    section4_database,
+)
+from repro.workload.queries import ALGEBRA_EXAMPLES, OOSQL_EXAMPLES
+
+
+class TestPaperSchema:
+    def test_schema_has_the_three_classes(self):
+        schema = example_schema()
+        assert {c.name for c in schema.classes} == {"Part", "Supplier", "Delivery"}
+        assert sorted(schema.extent_names) == ["DELIVERY", "PART", "SUPPLIER"]
+
+    def test_example_database_shape(self):
+        db = example_database()
+        assert db.extent_size("PART") == 8
+        assert db.extent_size("SUPPLIER") == 5
+        assert db.extent_size("DELIVERY") == 4
+
+    def test_s1_supplies_p0_p1(self):
+        db = example_database()
+        (s1,) = [s for s in db.extent("SUPPLIER") if s["sname"] == "s1"]
+        names = {db.deref(oid)["pname"] for oid in s1["parts_supplied"]}
+        assert names == {"p0", "p1"}
+
+    def test_s4_is_the_dangling_supplier(self):
+        db = example_database()
+        (s4,) = [s for s in db.extent("SUPPLIER") if s["sname"] == "s4"]
+        assert s4["parts_supplied"] == frozenset()
+
+    def test_all_example_queries_type_check(self):
+        checker = OOSQLTypeChecker(example_schema())
+        for name, text in OOSQL_EXAMPLES.items():
+            checker.check(parse(text))
+
+
+class TestSection4Data:
+    def test_catalog_types(self):
+        cat = section4_catalog()
+        supplier_t = cat.extent_type("SUPPLIER").element
+        assert set(supplier_t.fields) == {"eid", "sname", "parts"}
+
+    def test_dangling_refs_parameter(self):
+        db0 = section4_database(dangling_refs=0)
+        db3 = section4_database(dangling_refs=3)
+        assert len(db3.extent("SUPPLIER")) == len(db0.extent("SUPPLIER")) + 3
+
+    def test_algebra_examples_evaluate(self):
+        db = section4_database()
+        interp = Interpreter(db)
+        for example in ALGEBRA_EXAMPLES:
+            value = interp.eval(example.build())
+            assert isinstance(value, frozenset)
+
+
+class TestFigureInstances:
+    def test_figure2_has_the_dangling_tuple(self):
+        x_rows, y_rows = figure2_tables()
+        dangling = [t for t in x_rows if t["c"] == frozenset()]
+        assert len(dangling) == 1 and dangling[0]["a"] == 2
+        # no Y partner for a=2
+        assert not any(y["d"] == 2 for y in y_rows)
+
+    def test_figure2_catalog_types_the_instance(self):
+        from repro.adl import TypeChecker
+        from repro.adl import builders as B
+
+        checker = TypeChecker(figure2_catalog())
+        checker.check(B.extent("X"))
+        checker.check(B.extent("Y"))
+
+    def test_figure3_has_one_dangling_left_tuple(self):
+        x_rows, y_rows = figure3_tables()
+        matched_b = {y["d"] for y in y_rows}
+        dangling = [x for x in x_rows if x["b"] not in matched_b]
+        assert len(dangling) == 1 and dangling[0] == VTuple(a=3, b=3)
+
+
+class TestGenerators:
+    def test_generate_database_deterministic(self):
+        a = generate_database(seed=5)
+        b = generate_database(seed=5)
+        assert a.extent("SUPPLIER") == b.extent("SUPPLIER")
+        assert a.extent("DELIVERY") == b.extent("DELIVERY")
+
+    def test_generate_database_sizes(self):
+        db = generate_database(n_parts=10, n_suppliers=4, n_deliveries=6, seed=1)
+        assert db.extent_size("PART") == 10
+        assert db.extent_size("SUPPLIER") == 4
+        assert db.extent_size("DELIVERY") == 6
+
+    def test_references_are_valid(self):
+        db = generate_database(seed=2)
+        for delivery in db.extent("DELIVERY"):
+            assert db.deref(delivery["supplier"])["oid"] == delivery["supplier"]
+            for item in delivery["supply"]:
+                db.deref(item["part"])  # must not raise
+
+    def test_generate_flat_unique_and_sized(self):
+        rows = generate_flat(10, ("a", "b"), domain=10, seed=3)
+        assert len(rows) == len(set(rows)) == 10
+
+    def test_generate_flat_impossible_raises(self):
+        with pytest.raises(ValueError):
+            generate_flat(100, ("a",), domain=3, seed=0)
+
+    def test_generate_xy_shapes(self):
+        db = generate_xy(12, 7, key_domain=5, seed=4)
+        assert len(db.extent("X")) == 12
+        assert len(db.extent("Y")) == 7
+
+    def test_generate_xy_fanout_attr(self):
+        db = generate_xy(10, 5, fanout_attr=True, max_fanout=2, seed=4)
+        for row in db.extent("X"):
+            assert isinstance(row["c"], frozenset)
+            assert len(row["c"]) <= 2
+
+
+class TestHarness:
+    def test_render_table_alignment(self):
+        text = render_table(["col", "x"], [("a", 1), ("long-cell", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        # column separator aligned in every row
+        positions = {line.index("|") for line in lines[1:] if "|" in line}
+        assert len(positions) == 1
+
+    def test_render_table_stringifies(self):
+        text = render_table(["a"], [(frozenset({1}),)])
+        assert "frozenset" in text or "{1}" in text
+
+    def test_speedup(self):
+        assert speedup(100, 10) == "10.0x"
+        assert speedup(5, 0) == "inf"
