@@ -157,7 +157,7 @@ def concat(left: VTuple, right: VTuple) -> VTuple:
     if clash:
         raise DataModelError(f"tuple concatenation attribute clash: {sorted(clash)}")
     merged = dict(left)
-    merged.update(dict(right))
+    merged.update(right)
     return VTuple(merged)
 
 

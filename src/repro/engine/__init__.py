@@ -1,5 +1,6 @@
 """Execution: the naive interpreter, physical operators, and the planner."""
 
+from repro.engine.compile import Compiler, compile_expr
 from repro.engine.interpreter import Interpreter, evaluate
 from repro.engine.nestjoin_impls import SortMergeNestJoin
 from repro.engine.plan import ExecRuntime, PlanNode
@@ -8,6 +9,7 @@ from repro.engine.pnhl import pnhl_join, unnest_join_nest
 from repro.engine.stats import Stats
 
 __all__ = [
+    "Compiler",
     "ExecRuntime",
     "Executor",
     "Interpreter",
@@ -16,6 +18,7 @@ __all__ = [
     "Planner",
     "SortMergeNestJoin",
     "Stats",
+    "compile_expr",
     "evaluate",
     "pnhl_join",
     "unnest_join_nest",

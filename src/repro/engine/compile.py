@@ -1,0 +1,555 @@
+"""Compilation of ADL expressions into Python closures.
+
+The reference :class:`~repro.engine.interpreter.Interpreter` re-walks the
+AST for every tuple an operator touches: one dictionary dispatch, one
+method call, and (at the public entry point) one environment copy *per
+node per tuple*.  That tuple-oriented overhead is exactly what the paper
+blames nested-loop processing for.  The physical operators therefore
+compile their parameter expressions — predicates, hash keys, nestjoin
+result functions — **once per operator** into plain Python closures
+``fn(env) -> value`` and call those in their inner loops.
+
+Design rules:
+
+* **Semantics**: a compiled closure must be observationally identical to
+  ``Interpreter._eval`` on the same expression — same values, same error
+  types and messages, same short-circuiting.  The test suite checks this
+  oracle-equality over a battery of expression forms.
+* **Counters**: compiled closures maintain the same :class:`Stats`
+  counters the interpreter maintains (``comparisons``, ``oid_derefs``,
+  ``tuples_visited``/``predicate_evals`` inside quantifiers), so work
+  accounting stays comparable across engines.  Consequently **constant
+  folding is restricted to counter-free node types** — a folded ``Compare``
+  would silently stop counting.
+* **Fallback**: node types the compiler does not cover (the set iterators
+  ``Map``/``Select``/joins, restructuring, ``Materialize``...) compile
+  into a closure that delegates the whole subtree to the interpreter, so
+  coverage gaps can never change behaviour.  The per-compiler census
+  (:attr:`Compiler.fallback_nodes`) makes the gap measurable.
+
+Binding discipline: the interpreter copies the environment at every
+binder; compiled quantifiers instead save and restore the single bound
+name around the loop (``try/finally``, so a raising predicate cannot leak
+a binding into the caller's environment).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.adl import ast as A
+from repro.datamodel.errors import EvaluationError, UnboundVariableError
+from repro.datamodel.values import Oid, Value, VTuple, concat
+from repro.engine.stats import Stats
+
+#: A compiled expression: evaluate against a mutable environment dict.
+CompiledFn = Callable[[Dict[str, Value]], Value]
+
+_MISSING = object()
+
+#: Node types that are pure and counter-free: safe to evaluate at compile
+#: time when all their inputs are constants.  ``Compare``/``SetCompare``
+#: (they count comparisons) and anything that may dereference an oid
+#: (``AttrAccess``, ``TupleSubscript``, ``TupleUpdate`` — they count
+#: ``oid_derefs`` and read database state) are deliberately excluded.
+_FOLDABLE = (
+    A.Arith,
+    A.Neg,
+    A.And,
+    A.Or,
+    A.Not,
+    A.IsEmpty,
+    A.TupleExpr,
+    A.SetExpr,
+    A.Concat,
+    A.Union,
+    A.Intersect,
+    A.Difference,
+    A.Aggregate,
+)
+
+
+class Compiler:
+    """Compiles ADL expressions against one database + stats bundle.
+
+    One instance per :class:`~repro.engine.plan.ExecRuntime`; closures
+    capture ``db``/``stats`` directly so the hot path carries no runtime
+    lookups.  ``interpreter`` supplies the fallback evaluation.
+    """
+
+    def __init__(self, db, stats: Stats, interpreter) -> None:
+        self.db = db
+        self.stats = stats
+        self.interpreter = interpreter
+        #: census: how many AST nodes compiled natively / fell back / folded
+        self.compiled_nodes = 0
+        self.fallback_nodes = 0
+        self.folded_nodes = 0
+
+    # -- public API ---------------------------------------------------------
+    def compile(self, expr: A.Expr) -> CompiledFn:
+        fn, _ = self._compile(expr)
+        return fn
+
+    def compile_pred(self, expr: A.Expr) -> Callable[[Dict[str, Value]], bool]:
+        """Compile a predicate: counts ``predicate_evals`` and enforces the
+        boolean result exactly like ``ExecRuntime.eval_pred``."""
+        fn, _ = self._compile(expr)
+        stats = self.stats
+
+        def pred(env: Dict[str, Value]) -> bool:
+            stats.predicate_evals += 1
+            value = fn(env)
+            if not isinstance(value, bool):
+                raise EvaluationError(f"predicate produced non-boolean {value!r}")
+            return value
+
+        return pred
+
+    # -- machinery ----------------------------------------------------------
+    def _compile(self, expr: A.Expr):
+        """Return ``(fn, is_const)``; ``is_const`` marks closures that are
+        environment-independent, pure, and counter-free (fold candidates)."""
+        method = _DISPATCH.get(type(expr))
+        if method is None:
+            return self._fallback(expr), False
+        self.compiled_nodes += 1
+        fn, const = method(self, expr)
+        if const and isinstance(expr, _FOLDABLE):
+            try:
+                value = fn({})
+            except Exception:
+                # the expression fails deterministically (ReproError, or e.g.
+                # a TypeError from an aggregate over mixed atoms) — keep the
+                # closure so the error surfaces (or not, under
+                # short-circuiting) at evaluation time, exactly like the
+                # interpreter
+                return fn, False
+            self.folded_nodes += 1
+            return (lambda env: value), True
+        return fn, const
+
+    def _fallback(self, expr: A.Expr) -> CompiledFn:
+        self.fallback_nodes += 1
+        interp = self.interpreter
+
+        def fn(env: Dict[str, Value]) -> Value:
+            return interp._eval(expr, env)
+
+        return fn
+
+    def _bool(self, expr: A.Expr):
+        """Compile with the interpreter's boolean-coercion check."""
+        fn, const = self._compile(expr)
+
+        def bfn(env: Dict[str, Value]) -> bool:
+            value = fn(env)
+            if not isinstance(value, bool):
+                raise EvaluationError(f"expected boolean, got {value!r} from {expr}")
+            return value
+
+        return bfn, const
+
+    def _setfn(self, expr: A.Expr, what: str):
+        fn, const = self._compile(expr)
+
+        def sfn(env: Dict[str, Value]) -> frozenset:
+            value = fn(env)
+            if not isinstance(value, frozenset):
+                raise EvaluationError(f"{what} must evaluate to a set, got {value!r}")
+            return value
+
+        return sfn, const
+
+    @staticmethod
+    def _tuple(value: Value, what: str) -> VTuple:
+        if not isinstance(value, VTuple):
+            raise EvaluationError(f"{what} must be a tuple, got {value!r}")
+        return value
+
+    # -- atoms --------------------------------------------------------------
+    def _c_literal(self, expr: A.Literal):
+        value = expr.value
+        return (lambda env: value), True
+
+    def _c_var(self, expr: A.Var):
+        name = expr.name
+
+        def fn(env: Dict[str, Value]) -> Value:
+            try:
+                return env[name]
+            except KeyError:
+                raise UnboundVariableError(name) from None
+
+        return fn, False
+
+    def _c_extent(self, expr: A.ExtentRef):
+        db = self.db
+        name = expr.name
+        return (lambda env: db.extent(name)), False
+
+    # -- tuple operators ----------------------------------------------------
+    def _c_attr(self, expr: A.AttrAccess):
+        attr = expr.attr
+        db = self.db
+        stats = self.stats
+        what = f"operand of .{attr}"
+        if isinstance(expr.base, A.Var):
+            # fast path: the overwhelmingly common ``x.a`` — one closure, no
+            # nested call for the variable lookup
+            name = expr.base.name
+
+            def fn(env: Dict[str, Value]) -> Value:
+                try:
+                    base = env[name]
+                except KeyError:
+                    raise UnboundVariableError(name) from None
+                if isinstance(base, Oid):
+                    stats.oid_derefs += 1
+                    base = db.deref(base)
+                if isinstance(base, VTuple):
+                    return base[attr]
+                raise EvaluationError(f"{what} must be a tuple, got {base!r}")
+
+            return fn, False
+
+        base_fn, _ = self._compile(expr.base)
+
+        def fn(env: Dict[str, Value]) -> Value:
+            base = base_fn(env)
+            if isinstance(base, Oid):
+                stats.oid_derefs += 1
+                base = db.deref(base)
+            if isinstance(base, VTuple):
+                return base[attr]
+            raise EvaluationError(f"{what} must be a tuple, got {base!r}")
+
+        return fn, False
+
+    def _deref_tuple(self, base_fn: CompiledFn, what: str) -> CompiledFn:
+        db = self.db
+        stats = self.stats
+
+        def fn(env: Dict[str, Value]) -> VTuple:
+            base = base_fn(env)
+            if isinstance(base, Oid):
+                stats.oid_derefs += 1
+                base = db.deref(base)
+            return self._tuple(base, what)
+
+        return fn
+
+    def _c_tuple(self, expr: A.TupleExpr):
+        parts = [(name, self._compile(e)) for name, e in expr.fields]
+        fns = tuple((name, fn) for name, (fn, _) in parts)
+        const = all(c for _, (_, c) in parts)
+
+        def fn(env: Dict[str, Value]) -> Value:
+            return VTuple({name: f(env) for name, f in fns})
+
+        return fn, const
+
+    def _c_setexpr(self, expr: A.SetExpr):
+        parts = [self._compile(e) for e in expr.elements]
+        fns = tuple(fn for fn, _ in parts)
+        const = all(c for _, c in parts)
+
+        def fn(env: Dict[str, Value]) -> Value:
+            return frozenset(f(env) for f in fns)
+
+        return fn, const
+
+    def _c_subscript(self, expr: A.TupleSubscript):
+        base_fn, _ = self._compile(expr.base)
+        tup_fn = self._deref_tuple(base_fn, "subscript operand")
+        attrs = expr.attrs
+        return (lambda env: tup_fn(env).subscript(attrs)), False
+
+    def _c_update(self, expr: A.TupleUpdate):
+        base_fn, _ = self._compile(expr.base)
+        tup_fn = self._deref_tuple(base_fn, "'except' operand")
+        updates = tuple((name, self._compile(e)[0]) for name, e in expr.updates)
+
+        def fn(env: Dict[str, Value]) -> Value:
+            return tup_fn(env).update_except({name: f(env) for name, f in updates})
+
+        return fn, False
+
+    def _c_concat(self, expr: A.Concat):
+        left_fn, lc = self._compile(expr.left)
+        right_fn, rc = self._compile(expr.right)
+
+        def fn(env: Dict[str, Value]) -> Value:
+            return concat(
+                self._tuple(left_fn(env), "concat operand"),
+                self._tuple(right_fn(env), "concat operand"),
+            )
+
+        return fn, lc and rc
+
+    # -- scalar operators ---------------------------------------------------
+    def _c_arith(self, expr: A.Arith):
+        left_fn, lc = self._compile(expr.left)
+        right_fn, rc = self._compile(expr.right)
+        op = expr.op
+
+        def fn(env: Dict[str, Value]) -> Value:
+            left = left_fn(env)
+            right = right_fn(env)
+            for v in (left, right):
+                if isinstance(v, bool) or not isinstance(v, (int, float)):
+                    raise EvaluationError(f"arithmetic on non-number {v!r}")
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                return left / right
+            if right == 0:
+                raise EvaluationError("modulo by zero")
+            return left % right
+
+        return fn, lc and rc
+
+    def _c_neg(self, expr: A.Neg):
+        operand_fn, const = self._compile(expr.operand)
+
+        def fn(env: Dict[str, Value]) -> Value:
+            value = operand_fn(env)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise EvaluationError(f"negation of non-number {value!r}")
+            return -value
+
+        return fn, const
+
+    def _c_compare(self, expr: A.Compare):
+        left_fn, _ = self._compile(expr.left)
+        right_fn, _ = self._compile(expr.right)
+        op = expr.op
+        stats = self.stats
+        if op == "=":
+
+            def fn(env: Dict[str, Value]) -> Value:
+                stats.comparisons += 1
+                return left_fn(env) == right_fn(env)
+
+            return fn, False
+        if op == "!=":
+
+            def fn(env: Dict[str, Value]) -> Value:
+                stats.comparisons += 1
+                return left_fn(env) != right_fn(env)
+
+            return fn, False
+
+        def fn(env: Dict[str, Value]) -> Value:
+            left = left_fn(env)
+            right = right_fn(env)
+            stats.comparisons += 1
+            for v in (left, right):
+                if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+                    raise EvaluationError(f"ordered comparison on {v!r}")
+            if isinstance(left, str) != isinstance(right, str):
+                raise EvaluationError(
+                    f"ordered comparison across types: {left!r} vs {right!r}"
+                )
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+
+        return fn, False
+
+    def _c_setcompare(self, expr: A.SetCompare):
+        left_fn, _ = self._compile(expr.left)
+        right_fn, _ = self._compile(expr.right)
+        op = expr.op
+        stats = self.stats
+        if op in ("in", "notin"):
+
+            def fn(env: Dict[str, Value]) -> Value:
+                left = left_fn(env)
+                right = right_fn(env)
+                stats.comparisons += 1
+                if not isinstance(right, frozenset):
+                    raise EvaluationError(f"∈ right operand must be a set, got {right!r}")
+                return (left in right) if op == "in" else (left not in right)
+
+            return fn, False
+        if op in ("ni", "notni"):
+
+            def fn(env: Dict[str, Value]) -> Value:
+                left = left_fn(env)
+                right = right_fn(env)
+                stats.comparisons += 1
+                if not isinstance(left, frozenset):
+                    raise EvaluationError(f"∋ left operand must be a set, got {left!r}")
+                return (right in left) if op == "ni" else (right not in left)
+
+            return fn, False
+
+        def fn(env: Dict[str, Value]) -> Value:
+            left = left_fn(env)
+            right = right_fn(env)
+            stats.comparisons += 1
+            if not isinstance(left, frozenset) or not isinstance(right, frozenset):
+                raise EvaluationError(f"set comparison {op} on non-sets: {left!r}, {right!r}")
+            if op == "subset":
+                return left < right
+            if op == "subseteq":
+                return left <= right
+            if op == "seteq":
+                return left == right
+            if op == "setneq":
+                return left != right
+            if op == "supseteq":
+                return left >= right
+            if op == "supset":
+                return left > right
+            return not (left & right)  # disjoint
+
+        return fn, False
+
+    # -- boolean ------------------------------------------------------------
+    def _c_and(self, expr: A.And):
+        left_fn, lc = self._bool(expr.left)
+        right_fn, rc = self._bool(expr.right)
+        return (lambda env: left_fn(env) and right_fn(env)), lc and rc
+
+    def _c_or(self, expr: A.Or):
+        left_fn, lc = self._bool(expr.left)
+        right_fn, rc = self._bool(expr.right)
+        return (lambda env: left_fn(env) or right_fn(env)), lc and rc
+
+    def _c_not(self, expr: A.Not):
+        operand_fn, const = self._bool(expr.operand)
+        return (lambda env: not operand_fn(env)), const
+
+    def _c_isempty(self, expr: A.IsEmpty):
+        operand_fn, const = self._setfn(expr.operand, "emptiness test operand")
+        return (lambda env: not operand_fn(env)), const
+
+    # -- quantifiers --------------------------------------------------------
+    def _c_exists(self, expr: A.Exists):
+        return self._quantifier(expr, "∃ range", True)
+
+    def _c_forall(self, expr: A.Forall):
+        return self._quantifier(expr, "∀ range", False)
+
+    def _quantifier(self, expr, what: str, is_exists: bool):
+        source_fn, _ = self._setfn(expr.source, what)
+        pred_fn, _ = self._bool(expr.pred)
+        var = expr.var
+        stats = self.stats
+
+        def fn(env: Dict[str, Value]) -> Value:
+            source = source_fn(env)
+            old = env.get(var, _MISSING)
+            try:
+                for item in source:
+                    stats.tuples_visited += 1
+                    env[var] = item
+                    stats.predicate_evals += 1
+                    if pred_fn(env) is is_exists:
+                        return is_exists
+                return not is_exists
+            finally:
+                if old is _MISSING:
+                    env.pop(var, None)
+                else:
+                    env[var] = old
+
+        return fn, False
+
+    # -- set algebra --------------------------------------------------------
+    def _c_union(self, expr: A.Union):
+        left_fn, lc = self._setfn(expr.left, "union operand")
+        right_fn, rc = self._setfn(expr.right, "union operand")
+        return (lambda env: left_fn(env) | right_fn(env)), lc and rc
+
+    def _c_intersect(self, expr: A.Intersect):
+        left_fn, lc = self._setfn(expr.left, "intersect operand")
+        right_fn, rc = self._setfn(expr.right, "intersect operand")
+        return (lambda env: left_fn(env) & right_fn(env)), lc and rc
+
+    def _c_difference(self, expr: A.Difference):
+        left_fn, lc = self._setfn(expr.left, "difference operand")
+        right_fn, rc = self._setfn(expr.right, "difference operand")
+        return (lambda env: left_fn(env) - right_fn(env)), lc and rc
+
+    # -- aggregates ---------------------------------------------------------
+    def _c_aggregate(self, expr: A.Aggregate):
+        source_fn, const = self._setfn(expr.source, "aggregate operand")
+        func = expr.func
+
+        def fn(env: Dict[str, Value]) -> Value:
+            source = source_fn(env)
+            if func == "count":
+                return len(source)
+            if not source:
+                if func == "sum":
+                    return 0
+                raise EvaluationError(f"{func} over an empty set")
+            values = list(source)
+            for v in values:
+                if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+                    raise EvaluationError(f"aggregate {func} over non-atom {v!r}")
+            if func == "sum":
+                return sum(values)  # type: ignore[arg-type]
+            if func == "min":
+                return min(values)  # type: ignore[type-var]
+            if func == "max":
+                return max(values)  # type: ignore[type-var]
+            numeric = [v for v in values if isinstance(v, (int, float))]
+            if len(numeric) != len(values):
+                raise EvaluationError("avg over non-numeric values")
+            return sum(numeric) / len(numeric)
+
+        return fn, const
+
+
+_DISPATCH = {
+    A.Literal: Compiler._c_literal,
+    A.Var: Compiler._c_var,
+    A.ExtentRef: Compiler._c_extent,
+    A.AttrAccess: Compiler._c_attr,
+    A.TupleExpr: Compiler._c_tuple,
+    A.SetExpr: Compiler._c_setexpr,
+    A.TupleSubscript: Compiler._c_subscript,
+    A.TupleUpdate: Compiler._c_update,
+    A.Concat: Compiler._c_concat,
+    A.Arith: Compiler._c_arith,
+    A.Neg: Compiler._c_neg,
+    A.Compare: Compiler._c_compare,
+    A.SetCompare: Compiler._c_setcompare,
+    A.And: Compiler._c_and,
+    A.Or: Compiler._c_or,
+    A.Not: Compiler._c_not,
+    A.IsEmpty: Compiler._c_isempty,
+    A.Exists: Compiler._c_exists,
+    A.Forall: Compiler._c_forall,
+    A.Union: Compiler._c_union,
+    A.Intersect: Compiler._c_intersect,
+    A.Difference: Compiler._c_difference,
+    A.Aggregate: Compiler._c_aggregate,
+}
+
+#: Node types the compiler handles natively (everything else falls back to
+#: the interpreter).  Exposed for tests and ``explain``-style reporting.
+COMPILED_NODE_TYPES = frozenset(_DISPATCH)
+
+
+def compile_expr(expr: A.Expr, db, stats: Optional[Stats] = None, interpreter=None) -> CompiledFn:
+    """One-shot convenience: compile ``expr`` against ``db``/``stats``."""
+    from repro.engine.interpreter import Interpreter
+
+    stats = stats if stats is not None else Stats()
+    interp = interpreter if interpreter is not None else Interpreter(db, stats)
+    return Compiler(db, stats, interp).compile(expr)

@@ -11,7 +11,7 @@ tuples get the empty set, preserving Definition 1's guarantee).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.adl import ast as A
 from repro.datamodel.values import Value, VTuple, sort_key
@@ -28,6 +28,7 @@ class SortMergeNestJoin(PlanNode):
     """
 
     label = "SortMergeNestJoin"
+    break_note = "sorts both inputs"
 
     def __init__(
         self,
@@ -59,24 +60,26 @@ class SortMergeNestJoin(PlanNode):
 
         return f"{pretty(self.left_key)} = {pretty(self.right_key)} ; {self.as_attr}"
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
+    def iterate(self, rt: ExecRuntime):
         env: Dict[str, Value] = {}
 
-        def keyed(rows, var, key_expr):
+        def keyed(node, var, key_expr):
+            key_fn = rt.compiled(key_expr)
             pairs = []
-            for row in rows:
+            for row in self._consume(node, rt):
                 env[var] = row
-                key = rt.eval(key_expr, env)
+                key = key_fn(env)
                 rt.stats.comparisons += 1
                 pairs.append((sort_key(key), row))
             pairs.sort(key=lambda kv: kv[0])
             return pairs
 
-        left = keyed(self.left.execute(rt), self.lvar, self.left_key)
-        right = keyed(self.right.execute(rt), self.rvar, self.right_key)
+        left = keyed(self.left, self.lvar, self.left_key)
+        right = keyed(self.right, self.rvar, self.right_key)
         trivial_residual = self.residual == A.Literal(True)
+        residual = None if trivial_residual else rt.compiled_pred(self.residual)
+        result = rt.compiled(self.result)
 
-        out = set()
         j = 0
         n_right = len(right)
         i = 0
@@ -102,9 +105,8 @@ class SortMergeNestJoin(PlanNode):
                 for jj in range(j, j_end):
                     env[self.rvar] = right[jj][1]
                     rt.stats.comparisons += 1
-                    if trivial_residual or rt.eval_pred(self.residual, env):
-                        group.add(rt.eval(self.result, env))
-                out.add(x.update_except({self.as_attr: frozenset(group)}))
+                    if residual is None or residual(env):
+                        group.add(result(env))
+                rt.stats.output_tuples += 1
+                yield x.update_except({self.as_attr: frozenset(group)})
             i = i_end
-        rt.stats.output_tuples += len(out)
-        return frozenset(out)

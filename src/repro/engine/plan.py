@@ -7,51 +7,175 @@ the join family, hash nestjoin, membership joins for ``e ∈ x.parts``-style
 predicates, plus the pipeline operators (scan, filter, map, nest, unnest,
 project...).
 
-Every node implements ``execute(rt) -> frozenset`` against an
-:class:`ExecRuntime` carrying the database, an
-:class:`~repro.engine.interpreter.Interpreter` for parameter expressions,
-and the shared :class:`~repro.engine.stats.Stats` counters.  ``explain()``
-renders the physical tree.
+Streaming execution
+===================
+
+Operators execute Volcano-style: every node implements
+``iterate(rt) -> Iterator[Value]``, the *streaming* interface, and
+``execute(rt) -> frozenset`` is a thin materializing wrapper
+(``frozenset(iterate(rt))``) kept for the planner API and set-typed
+consumers.  Tuples flow one at a time through pipeline operators, so a
+query like "first supplier with a red part" stops scanning as soon as the
+answer is produced, and no intermediate result is ever materialized unless
+an operator genuinely needs all of its input at once.
+
+Which operators pipeline, and which break:
+
+* **pipeline** (tuple-at-a-time, O(1) buffering): :class:`Scan`,
+  :class:`Filter`, :class:`MapOp`, :class:`ProjectOp`, :class:`RenameOp`,
+  :class:`UnnestOp`, :class:`FlattenOp`, the union side of :class:`SetOp`,
+  and the **probe (left) side** of the whole hash-join family;
+* **pipeline breakers** (must consume an input fully before emitting):
+  :class:`NestOp` (grouping), :class:`SetOp` intersect/difference (right
+  side), the **build (right) side** of :class:`NestedLoopJoin`,
+  :class:`HashJoinBase`, :class:`MembershipHashJoin` and
+  :class:`CartesianProduct`, both sides of :class:`SortMergeJoin` and
+  :class:`DivisionOp`, and :class:`MaterializeOp` (batched page-clustered
+  fetching is the point of assembly).
+
+Every break is counted in ``stats.pipeline_breaks`` at runtime and marked
+statically by ``explain()``::
+
+    >>> print(plan.explain())
+    HashJoin(semijoin) [d.supplier = s.oid] <builds right>
+      Scan [DELIVERY]
+      Scan [SUPPLIER]
+
+Parameter expressions (predicates, hash keys, nestjoin result functions)
+are compiled once per operator into Python closures by
+:mod:`repro.engine.compile` instead of being re-interpreted per tuple;
+``ExecRuntime(compile_exprs=False)`` restores interpreter evaluation and
+``ExecRuntime(materialized=True)`` restores operand-at-a-time
+materialization — together they reproduce the pre-streaming engine, which
+is what ``benchmarks/run_bench.py`` measures the streaming engine against.
+
+Every node executes against an :class:`ExecRuntime` carrying the database,
+an :class:`~repro.engine.interpreter.Interpreter` for fallback expression
+evaluation, a :class:`~repro.engine.compile.Compiler`, and the shared
+:class:`~repro.engine.stats.Stats` counters.  ``explain()`` renders the
+physical tree.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.adl import ast as A
-from repro.datamodel.errors import EvaluationError, PlanError
+from repro.datamodel.errors import EvaluationError, MissingAttributeError, PlanError
 from repro.datamodel.values import Value, VTuple, concat
+from repro.engine.compile import Compiler
 from repro.engine.interpreter import Interpreter
 from repro.engine.stats import Stats
 
 
 class ExecRuntime:
-    """Execution context shared by all operators of one plan run."""
+    """Execution context shared by all operators of one plan run.
 
-    def __init__(self, db, stats: Optional[Stats] = None) -> None:
+    The runtime owns a single :class:`Interpreter` and a single
+    :class:`~repro.engine.compile.Compiler`; operators *reuse* them via
+    :meth:`eval` / :meth:`compiled` rather than constructing their own, so
+    expression compilation happens once per operator per run and all work
+    counters land in one :class:`Stats` bundle.
+
+    ``materialized=True`` makes every operator consume its children through
+    ``execute`` (full ``frozenset`` per edge) instead of streaming —
+    the pre-Volcano engine, kept as the benchmark baseline.
+    ``compile_exprs=False`` routes parameter expressions through the
+    interpreter instead of compiled closures.
+    """
+
+    def __init__(
+        self,
+        db,
+        stats: Optional[Stats] = None,
+        *,
+        materialized: bool = False,
+        compile_exprs: bool = True,
+    ) -> None:
         self.db = db
         self.stats = stats if stats is not None else Stats()
         self.interpreter = Interpreter(db, self.stats)
+        self.materialized = materialized
+        self.compile_exprs = compile_exprs
+        self.compiler = Compiler(db, self.stats, self.interpreter)
+        self._compiled: Dict[int, Tuple[A.Expr, Callable]] = {}
+        self._compiled_preds: Dict[int, Tuple[A.Expr, Callable]] = {}
+
+    # -- expression evaluation ---------------------------------------------
+    # Both caches are keyed by id(expr) and store the expression alongside
+    # its closure: the strong reference keeps the expression alive, so a
+    # garbage-collected expression's id can never be reused by a different
+    # expression and alias someone else's closure.
+
+    def compiled(self, expr: A.Expr) -> Callable[[Dict[str, Value]], Value]:
+        """The closure for ``expr`` — compiled once per runtime, or an
+        interpreter thunk when ``compile_exprs`` is off."""
+        entry = self._compiled.get(id(expr))
+        if entry is None:
+            if self.compile_exprs:
+                fn = self.compiler.compile(expr)
+            else:
+                interpreter = self.interpreter
+                fn = lambda env, _e=expr: interpreter.eval(_e, env)  # noqa: E731
+            self._compiled[id(expr)] = entry = (expr, fn)
+        return entry[1]
+
+    def compiled_pred(self, expr: A.Expr) -> Callable[[Dict[str, Value]], bool]:
+        """Like :meth:`compiled` but with ``eval_pred`` semantics: counts
+        ``predicate_evals`` and rejects non-boolean results."""
+        entry = self._compiled_preds.get(id(expr))
+        if entry is None:
+            if self.compile_exprs:
+                fn = self.compiler.compile_pred(expr)
+            else:
+                fn = lambda env, _e=expr: self.eval_pred(_e, env)  # noqa: E731
+            self._compiled_preds[id(expr)] = entry = (expr, fn)
+        return entry[1]
 
     def eval(self, expr: A.Expr, env: Optional[Dict[str, Value]] = None) -> Value:
-        return self.interpreter.eval(expr, env or {})
+        return self.compiled(expr)(env if env is not None else {})
 
     def eval_pred(self, expr: A.Expr, env: Dict[str, Value]) -> bool:
         self.stats.predicate_evals += 1
-        value = self.interpreter.eval(expr, env)
+        value = self.compiled(expr)(env)
         if not isinstance(value, bool):
             raise EvaluationError(f"predicate produced non-boolean {value!r}")
         return value
 
 
 class PlanNode:
-    """Base class of physical operators."""
+    """Base class of physical operators.
+
+    Subclasses implement :meth:`iterate`; :meth:`execute` materializes it.
+    Children are consumed through :meth:`_input` (streams, unless the
+    runtime is in ``materialized`` mode) or :meth:`_consume` (a declared
+    pipeline break: always materializes, counted in
+    ``stats.pipeline_breaks``).
+    """
 
     #: Short operator label used by ``explain``.
     label = "plan"
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
+    #: Static pipeline-break marker rendered by ``explain`` (e.g. "builds
+    #: right", "groups input"); empty for fully-streaming operators.
+    break_note = ""
+
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
         raise NotImplementedError
+
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        return frozenset(self.iterate(rt))
+
+    def _input(self, child: "PlanNode", rt: ExecRuntime):
+        """Stream a child (or materialize it, in baseline mode)."""
+        if rt.materialized:
+            return child.execute(rt)
+        return child.iterate(rt)
+
+    def _consume(self, child: "PlanNode", rt: ExecRuntime) -> frozenset:
+        """A pipeline break: this operator needs the whole child result."""
+        rt.stats.pipeline_breaks += 1
+        return child.execute(rt)
 
     def children(self) -> Sequence["PlanNode"]:
         return ()
@@ -62,6 +186,8 @@ class PlanNode:
     def explain(self, indent: str = "") -> str:
         detail = self.describe()
         line = f"{indent}{self.label}" + (f" [{detail}]" if detail else "")
+        if self.break_note:
+            line += f" <{self.break_note}>"
         parts = [line]
         parts.extend(child.explain(indent + "  ") for child in self.children())
         return "\n".join(parts)
@@ -78,7 +204,11 @@ class PlanNode:
 
 
 class Scan(PlanNode):
-    """Full extent scan — charges page I/O on paged stores."""
+    """Full extent scan — charges page I/O on paged stores.
+
+    Streams page by page: a consumer that stops early (e.g. a semijoin
+    probe that found its match) never touches the remaining pages.
+    """
 
     label = "Scan"
 
@@ -88,7 +218,15 @@ class Scan(PlanNode):
     def describe(self) -> str:
         return self.extent
 
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        if hasattr(rt.db, "scan"):
+            yield from rt.db.scan(self.extent)
+        else:
+            yield from rt.db.extent(self.extent)
+
     def execute(self, rt: ExecRuntime) -> frozenset:
+        # overrides the base wrapper to return the store's cached extent
+        # frozenset directly instead of rebuilding a copy through iterate()
         if hasattr(rt.db, "scan"):
             return frozenset(rt.db.scan(self.extent))
         return rt.db.extent(self.extent)
@@ -118,6 +256,9 @@ class EvalExpr(PlanNode):
             raise PlanError(f"plan leaf produced a non-set value: {value!r}")
         return value
 
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        yield from self.execute(rt)
+
 
 # ---------------------------------------------------------------------------
 # Pipeline operators
@@ -140,15 +281,14 @@ class Filter(PlanNode):
 
         return f"{self.var}: {pretty(self.pred)}"
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        out = set()
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        pred = rt.compiled_pred(self.pred)
         env: Dict[str, Value] = {}
-        for item in self.child.execute(rt):
+        for item in self._input(self.child, rt):
             rt.stats.tuples_visited += 1
             env[self.var] = item
-            if rt.eval_pred(self.pred, env):
-                out.add(item)
-        return frozenset(out)
+            if pred(env):
+                yield item
 
 
 class MapOp(PlanNode):
@@ -167,14 +307,13 @@ class MapOp(PlanNode):
 
         return f"{self.var}: {pretty(self.body)}"
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        out = set()
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        body = rt.compiled(self.body)
         env: Dict[str, Value] = {}
-        for item in self.child.execute(rt):
+        for item in self._input(self.child, rt):
             rt.stats.tuples_visited += 1
             env[self.var] = item
-            out.add(rt.eval(self.body, env))
-        return frozenset(out)
+            yield body(env)
 
 
 class ProjectOp(PlanNode):
@@ -190,12 +329,10 @@ class ProjectOp(PlanNode):
     def describe(self) -> str:
         return ", ".join(self.attrs)
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        out = set()
-        for item in self.child.execute(rt):
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        for item in self._input(self.child, rt):
             rt.stats.tuples_visited += 1
-            out.add(item.subscript(self.attrs))
-        return frozenset(out)
+            yield item.subscript(self.attrs)
 
 
 class RenameOp(PlanNode):
@@ -211,14 +348,17 @@ class RenameOp(PlanNode):
     def describe(self) -> str:
         return ", ".join(f"{a}->{b}" for a, b in self.renames)
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        out = set()
-        for item in self.child.execute(rt):
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        for item in self._input(self.child, rt):
             fields = dict(item)
             for old, new in self.renames:
+                if old not in fields:
+                    raise MissingAttributeError(
+                        f"rename of missing attribute {old!r}; "
+                        f"attributes are {sorted(fields)}"
+                    )
                 fields[new] = fields.pop(old)
-            out.add(VTuple(fields))
-        return frozenset(out)
+            yield VTuple(fields)
 
 
 class UnnestOp(PlanNode):
@@ -234,19 +374,18 @@ class UnnestOp(PlanNode):
     def describe(self) -> str:
         return self.attr
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        out = set()
-        for item in self.child.execute(rt):
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        for item in self._input(self.child, rt):
             members = item[self.attr]
             rest = item.drop((self.attr,))
             for member in members:
                 rt.stats.tuples_visited += 1
-                out.add(concat(member, rest))
-        return frozenset(out)
+                yield concat(member, rest)
 
 
 class NestOp(PlanNode):
     label = "Nest"
+    break_note = "groups input"
 
     def __init__(self, attrs: Tuple[str, ...], as_attr: str, child: PlanNode) -> None:
         self.attrs = attrs
@@ -259,15 +398,14 @@ class NestOp(PlanNode):
     def describe(self) -> str:
         return f"{', '.join(self.attrs)} -> {self.as_attr}"
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
         groups: Dict[VTuple, set] = {}
-        for item in self.child.execute(rt):
+        for item in self._consume(self.child, rt):
             rt.stats.tuples_visited += 1
             key = item.drop(self.attrs)
             groups.setdefault(key, set()).add(item.subscript(self.attrs))
-        return frozenset(
-            key.update_except({self.as_attr: frozenset(group)}) for key, group in groups.items()
-        )
+        for key, group in groups.items():
+            yield key.update_except({self.as_attr: frozenset(group)})
 
 
 class FlattenOp(PlanNode):
@@ -279,15 +417,17 @@ class FlattenOp(PlanNode):
     def children(self):
         return (self.child,)
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        out = set()
-        for member in self.child.execute(rt):
-            out |= member
-        return frozenset(out)
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        for member in self._input(self.child, rt):
+            yield from member
 
 
 class SetOp(PlanNode):
-    """Union / intersection / difference."""
+    """Union / intersection / difference.
+
+    Union streams both sides; intersect/difference stream the left but must
+    materialize the right operand (the membership test needs all of it).
+    """
 
     def __init__(self, kind: str, left: PlanNode, right: PlanNode) -> None:
         if kind not in ("union", "intersect", "difference"):
@@ -296,18 +436,26 @@ class SetOp(PlanNode):
         self.left = left
         self.right = right
         self.label = f"SetOp({kind})"
+        if kind != "union":
+            self.break_note = "materializes right"
 
     def children(self):
         return (self.left, self.right)
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        left = self.left.execute(rt)
-        right = self.right.execute(rt)
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
         if self.kind == "union":
-            return left | right
+            yield from self._input(self.left, rt)
+            yield from self._input(self.right, rt)
+            return
+        right = self._consume(self.right, rt)
         if self.kind == "intersect":
-            return left & right
-        return left - right
+            for item in self._input(self.left, rt):
+                if item in right:
+                    yield item
+        else:
+            for item in self._input(self.left, rt):
+                if item not in right:
+                    yield item
 
 
 # ---------------------------------------------------------------------------
@@ -321,8 +469,12 @@ class NestedLoopJoin(PlanNode):
     """Generic nested-loop implementation of the whole join family.
 
     The baseline the paper wants to escape; kept as the fallback for
-    non-equi predicates and as the comparison point in benchmarks.
+    non-equi predicates and as the comparison point in benchmarks.  The
+    left operand streams; the right operand is materialized once (it is
+    re-iterated per left tuple).
     """
+
+    break_note = "materializes right"
 
     def __init__(
         self,
@@ -357,37 +509,41 @@ class NestedLoopJoin(PlanNode):
 
         return f"{self.lvar},{self.rvar}: {pretty(self.pred)}"
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        left = self.left.execute(rt)
-        right = self.right.execute(rt)
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        right = self._consume(self.right, rt)
+        pred = rt.compiled_pred(self.pred)
+        result = rt.compiled(self.result) if self.result is not None else None
         env: Dict[str, Value] = {}
-        out = set()
         null_pad = VTuple({a: None for a in self.right_attrs})
-        for x in left:
+        kind = self.kind
+        for x in self._input(self.left, rt):
             env[self.lvar] = x
             matched = False
             group = set()
             for y in right:
                 rt.stats.tuples_visited += 1
                 env[self.rvar] = y
-                if rt.eval_pred(self.pred, env):
+                if pred(env):
                     matched = True
-                    if self.kind == "join" or self.kind == "outerjoin":
-                        out.add(concat(x, y))
-                    elif self.kind == "semijoin":
+                    if kind == "join" or kind == "outerjoin":
+                        rt.stats.output_tuples += 1
+                        yield concat(x, y)
+                    elif kind == "semijoin":
                         break
-                    elif self.kind == "nestjoin":
-                        group.add(rt.eval(self.result, env))
-            if self.kind == "semijoin" and matched:
-                out.add(x)
-            elif self.kind == "antijoin" and not matched:
-                out.add(x)
-            elif self.kind == "outerjoin" and not matched:
-                out.add(concat(x, null_pad))
-            elif self.kind == "nestjoin":
-                out.add(x.update_except({self.as_attr: frozenset(group)}))
-        rt.stats.output_tuples += len(out)
-        return frozenset(out)
+                    elif kind == "nestjoin":
+                        group.add(result(env))
+            if kind == "semijoin" and matched:
+                rt.stats.output_tuples += 1
+                yield x
+            elif kind == "antijoin" and not matched:
+                rt.stats.output_tuples += 1
+                yield x
+            elif kind == "outerjoin" and not matched:
+                rt.stats.output_tuples += 1
+                yield concat(x, null_pad)
+            elif kind == "nestjoin":
+                rt.stats.output_tuples += 1
+                yield x.update_except({self.as_attr: frozenset(group)})
 
 
 # ---------------------------------------------------------------------------
@@ -398,7 +554,10 @@ class NestedLoopJoin(PlanNode):
 class HashJoinBase(PlanNode):
     """Shared machinery: build a hash table on the right operand's key
     expressions, probe with the left's; a residual predicate filters
-    candidate pairs."""
+    candidate pairs.  The build side is the pipeline break; the probe side
+    streams."""
+
+    break_note = "builds right"
 
     def __init__(
         self,
@@ -444,56 +603,68 @@ class HashJoinBase(PlanNode):
             keys += f" ; residual {pretty(self.residual)}"
         return keys
 
-    def _build(self, rt: ExecRuntime, rows: frozenset) -> Dict[Value, List[VTuple]]:
+    def _build(self, rt: ExecRuntime) -> Dict[Value, List[VTuple]]:
         table: Dict[Value, List[VTuple]] = {}
+        key_fns = [rt.compiled(k) for k in self.right_keys]
         env: Dict[str, Value] = {}
-        for y in rows:
+        for y in self._consume(self.right, rt):
             env[self.rvar] = y
-            key = tuple(rt.eval(k, env) for k in self.right_keys)
+            key = tuple(fn(env) for fn in key_fns)
             table.setdefault(key, []).append(y)
             rt.stats.hash_inserts += 1
         return table
 
-    def _matches(self, rt: ExecRuntime, table, x: VTuple, env: Dict[str, Value]):
-        env[self.lvar] = x
-        key = tuple(rt.eval(k, env) for k in self.left_keys)
-        rt.stats.hash_probes += 1
+    def _matcher(self, rt: ExecRuntime, table, env: Dict[str, Value]):
+        key_fns = [rt.compiled(k) for k in self.left_keys]
         trivial_residual = self.residual == A.Literal(True)
-        for y in table.get(key, ()):
-            env[self.rvar] = y
-            if trivial_residual or rt.eval_pred(self.residual, env):
-                yield y
+        residual = None if trivial_residual else rt.compiled_pred(self.residual)
+        lvar, rvar = self.lvar, self.rvar
+        stats = rt.stats
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        left = self.left.execute(rt)
-        right = self.right.execute(rt)
-        table = self._build(rt, right)
+        def matches(x: VTuple):
+            env[lvar] = x
+            key = tuple(fn(env) for fn in key_fns)
+            stats.hash_probes += 1
+            for y in table.get(key, ()):
+                env[rvar] = y
+                if residual is None or residual(env):
+                    yield y
+
+        return matches
+
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        table = self._build(rt)
         env: Dict[str, Value] = {}
-        out = set()
+        matches = self._matcher(rt, table, env)
+        result = rt.compiled(self.result) if self.result is not None else None
         null_pad = VTuple({a: None for a in self.right_attrs})
-        for x in left:
+        kind = self.kind
+        for x in self._input(self.left, rt):
             rt.stats.tuples_visited += 1
             matched = False
-            if self.kind == "nestjoin":
+            if kind == "nestjoin":
                 group = set()
-                for y in self._matches(rt, table, x, env):
-                    group.add(rt.eval(self.result, env))
-                out.add(x.update_except({self.as_attr: frozenset(group)}))
+                for y in matches(x):
+                    group.add(result(env))
+                rt.stats.output_tuples += 1
+                yield x.update_except({self.as_attr: frozenset(group)})
                 continue
-            for y in self._matches(rt, table, x, env):
+            for y in matches(x):
                 matched = True
-                if self.kind in ("join", "outerjoin"):
-                    out.add(concat(x, y))
-                elif self.kind == "semijoin":
+                if kind in ("join", "outerjoin"):
+                    rt.stats.output_tuples += 1
+                    yield concat(x, y)
+                elif kind == "semijoin":
                     break
-            if self.kind == "semijoin" and matched:
-                out.add(x)
-            elif self.kind == "antijoin" and not matched:
-                out.add(x)
-            elif self.kind == "outerjoin" and not matched:
-                out.add(concat(x, null_pad))
-        rt.stats.output_tuples += len(out)
-        return frozenset(out)
+            if kind == "semijoin" and matched:
+                rt.stats.output_tuples += 1
+                yield x
+            elif kind == "antijoin" and not matched:
+                rt.stats.output_tuples += 1
+                yield x
+            elif kind == "outerjoin" and not matched:
+                rt.stats.output_tuples += 1
+                yield concat(x, null_pad)
 
 
 class MembershipHashJoin(PlanNode):
@@ -507,7 +678,12 @@ class MembershipHashJoin(PlanNode):
     * ``probe_side="right-set"`` — the right tuple carries the set; the
       table is *multi-keyed* on the set members and the left element
       expression probes it.
+
+    Either way the right operand is the build side (pipeline break) and the
+    left streams.
     """
+
+    break_note = "builds right"
 
     def __init__(
         self,
@@ -550,81 +726,88 @@ class MembershipHashJoin(PlanNode):
 
         return f"{pretty(self.element)} ∈ {pretty(self.container)} [{self.probe_side}]"
 
-    def _candidates(self, rt, table, x, env) -> List[VTuple]:
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        element = rt.compiled(self.element)
+        container = rt.compiled(self.container)
+        table: Dict[Value, List[VTuple]] = {}
+        env: Dict[str, Value] = {}
+        for y in self._consume(self.right, rt):
+            env[self.rvar] = y
+            if self.probe_side == "left-set":
+                key = element(env)
+                table.setdefault(key, []).append(y)
+                rt.stats.hash_inserts += 1
+            else:
+                members = container(env)
+                if not isinstance(members, frozenset):
+                    raise EvaluationError("membership join container is not a set")
+                for member in members:
+                    table.setdefault(member, []).append(y)
+                    rt.stats.hash_inserts += 1
+
+        trivial_residual = self.residual == A.Literal(True)
+        residual = None if trivial_residual else rt.compiled_pred(self.residual)
+        result = rt.compiled(self.result) if self.result is not None else None
+        null_pad = VTuple({a: None for a in self.right_attrs})
+        kind = self.kind
+        for x in self._input(self.left, rt):
+            rt.stats.tuples_visited += 1
+            matched = False
+            group = set()
+            for y in self._candidates(rt, table, x, env, element, container):
+                env[self.rvar] = y
+                if residual is not None and not residual(env):
+                    continue
+                matched = True
+                if kind in ("join", "outerjoin"):
+                    rt.stats.output_tuples += 1
+                    yield concat(x, y)
+                elif kind == "semijoin":
+                    break
+                elif kind == "nestjoin":
+                    group.add(result(env))
+            if kind == "semijoin" and matched:
+                rt.stats.output_tuples += 1
+                yield x
+            elif kind == "antijoin" and not matched:
+                rt.stats.output_tuples += 1
+                yield x
+            elif kind == "outerjoin" and not matched:
+                rt.stats.output_tuples += 1
+                yield concat(x, null_pad)
+            elif kind == "nestjoin":
+                rt.stats.output_tuples += 1
+                yield x.update_except({self.as_attr: frozenset(group)})
+
+    def _candidates(self, rt, table, x, env, element, container) -> List[VTuple]:
         env[self.lvar] = x
         seen: List[VTuple] = []
         marked = set()
         if self.probe_side == "left-set":
-            container = rt.eval(self.container, env)
-            if not isinstance(container, frozenset):
+            members = container(env)
+            if not isinstance(members, frozenset):
                 raise EvaluationError("membership join container is not a set")
-            for member in container:
+            for member in members:
                 rt.stats.hash_probes += 1
                 for y in table.get(member, ()):
                     if id(y) not in marked:
                         marked.add(id(y))
                         seen.append(y)
         else:
-            key = rt.eval(self.element, env)
+            key = element(env)
             rt.stats.hash_probes += 1
             seen = list(table.get(key, ()))
         return seen
-
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        left = self.left.execute(rt)
-        right = self.right.execute(rt)
-        table: Dict[Value, List[VTuple]] = {}
-        env: Dict[str, Value] = {}
-        for y in right:
-            env[self.rvar] = y
-            if self.probe_side == "left-set":
-                key = rt.eval(self.element, env)
-                table.setdefault(key, []).append(y)
-                rt.stats.hash_inserts += 1
-            else:
-                container = rt.eval(self.container, env)
-                if not isinstance(container, frozenset):
-                    raise EvaluationError("membership join container is not a set")
-                for member in container:
-                    table.setdefault(member, []).append(y)
-                    rt.stats.hash_inserts += 1
-
-        trivial_residual = self.residual == A.Literal(True)
-        out = set()
-        null_pad = VTuple({a: None for a in self.right_attrs})
-        for x in left:
-            rt.stats.tuples_visited += 1
-            matched = False
-            group = set()
-            for y in self._candidates(rt, table, x, env):
-                env[self.rvar] = y
-                if not trivial_residual and not rt.eval_pred(self.residual, env):
-                    continue
-                matched = True
-                if self.kind in ("join", "outerjoin"):
-                    out.add(concat(x, y))
-                elif self.kind == "semijoin":
-                    break
-                elif self.kind == "nestjoin":
-                    group.add(rt.eval(self.result, env))
-            if self.kind == "semijoin" and matched:
-                out.add(x)
-            elif self.kind == "antijoin" and not matched:
-                out.add(x)
-            elif self.kind == "outerjoin" and not matched:
-                out.add(concat(x, null_pad))
-            elif self.kind == "nestjoin":
-                out.add(x.update_except({self.as_attr: frozenset(group)}))
-        rt.stats.output_tuples += len(out)
-        return frozenset(out)
 
 
 class SortMergeJoin(PlanNode):
     """Single-key sort-merge join (plain join kind only) — one of the
     paper's 'various efficient join implementations', used by the ablation
-    benchmark."""
+    benchmark.  Sorting makes both operands pipeline breaks; the merge
+    output streams."""
 
     label = "SortMergeJoin"
+    break_note = "sorts both inputs"
 
     def __init__(
         self,
@@ -647,25 +830,26 @@ class SortMergeJoin(PlanNode):
     def children(self):
         return (self.left, self.right)
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
         from repro.datamodel.values import sort_key
 
         env: Dict[str, Value] = {}
 
-        def keyed(rows, var, key_expr):
+        def keyed(node, var, key_expr):
+            key_fn = rt.compiled(key_expr)
             pairs = []
-            for row in rows:
+            for row in self._consume(node, rt):
                 env[var] = row
-                key = rt.eval(key_expr, env)
+                key = key_fn(env)
                 rt.stats.comparisons += 1
                 pairs.append((key, row))
             pairs.sort(key=lambda kv: sort_key(kv[0]))
             return pairs
 
-        left = keyed(self.left.execute(rt), self.lvar, self.left_key)
-        right = keyed(self.right.execute(rt), self.rvar, self.right_key)
+        left = keyed(self.left, self.lvar, self.left_key)
+        right = keyed(self.right, self.rvar, self.right_key)
         trivial_residual = self.residual == A.Literal(True)
-        out = set()
+        residual = None if trivial_residual else rt.compiled_pred(self.residual)
         i = j = 0
         while i < len(left) and j < len(right):
             rt.stats.comparisons += 1
@@ -686,15 +870,15 @@ class SortMergeJoin(PlanNode):
                         rt.stats.tuples_visited += 1
                         env[self.lvar] = left[ii][1]
                         env[self.rvar] = right[jj][1]
-                        if trivial_residual or rt.eval_pred(self.residual, env):
-                            out.add(concat(left[ii][1], right[jj][1]))
+                        if residual is None or residual(env):
+                            rt.stats.output_tuples += 1
+                            yield concat(left[ii][1], right[jj][1])
                 i, j = i_end, j_end
-        rt.stats.output_tuples += len(out)
-        return frozenset(out)
 
 
 class CartesianProduct(PlanNode):
     label = "CartesianProduct"
+    break_note = "materializes right"
 
     def __init__(self, left: PlanNode, right: PlanNode) -> None:
         self.left = left
@@ -703,21 +887,19 @@ class CartesianProduct(PlanNode):
     def children(self):
         return (self.left, self.right)
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        left = self.left.execute(rt)
-        right = self.right.execute(rt)
-        out = set()
-        for x in left:
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        right = self._consume(self.right, rt)
+        for x in self._input(self.left, rt):
             for y in right:
                 rt.stats.tuples_visited += 1
-                out.add(concat(x, y))
-        return frozenset(out)
+                yield concat(x, y)
 
 
 class DivisionOp(PlanNode):
     """Hash-grouped relational division."""
 
     label = "Division"
+    break_note = "groups both inputs"
 
     def __init__(self, left: PlanNode, right: PlanNode) -> None:
         self.left = left
@@ -726,23 +908,26 @@ class DivisionOp(PlanNode):
     def children(self):
         return (self.left, self.right)
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        left = self.left.execute(rt)
-        right = self.right.execute(rt)
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        left = self._consume(self.left, rt)
+        right = self._consume(self.right, rt)
         if not left:
-            return frozenset()
+            return
         divisor_attrs: Optional[frozenset] = None
         for y in right:
             divisor_attrs = y.attributes
             break
         if divisor_attrs is None:
-            return left
+            yield from left
+            return
         groups: Dict[VTuple, set] = {}
         for item in left:
             rt.stats.tuples_visited += 1
             key = item.drop(divisor_attrs)
             groups.setdefault(key, set()).add(item.subscript(divisor_attrs))
-        return frozenset(key for key, seen in groups.items() if seen >= right)
+        for key, seen in groups.items():
+            if seen >= right:
+                yield key
 
 
 class MaterializeOp(PlanNode):
@@ -751,10 +936,12 @@ class MaterializeOp(PlanNode):
     Collects the oids referenced by a whole batch of tuples, fetches them
     page-clustered (:meth:`Database.fetch_many` charges each page once),
     then attaches the objects.  Falls back to uncounted logical deref on
-    stores without paging.
+    stores without paging.  Inherently a pipeline break: the batch *is*
+    the optimization.
     """
 
     label = "Materialize(assembly)"
+    break_note = "batches oid fetches"
 
     def __init__(self, attr: str, as_attr: str, class_name: str, child: PlanNode) -> None:
         self.attr = attr
@@ -768,8 +955,8 @@ class MaterializeOp(PlanNode):
     def describe(self) -> str:
         return f"{self.attr} -> {self.as_attr} : {self.class_name}"
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
-        rows = list(self.child.execute(rt))
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        rows = list(self._consume(self.child, rt))
         all_oids: List = []
         shapes: List[Tuple[VTuple, object]] = []
         for row in rows:
@@ -787,11 +974,9 @@ class MaterializeOp(PlanNode):
         else:
             fetched = [rt.db.deref(oid) for oid in all_oids]
         objects = dict(zip(all_oids, fetched))
-        out = set()
         for row, ref in shapes:
             if isinstance(ref, list):
                 attached: Value = frozenset(objects[oid] for oid in ref)
             else:
                 attached = objects[ref]
-            out.add(row.update_except({self.as_attr: attached}))
-        return frozenset(out)
+            yield row.update_except({self.as_attr: attached})

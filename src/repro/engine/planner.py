@@ -203,17 +203,52 @@ class Planner:
 
 
 class Executor:
-    """Facade: plan + execute ADL expressions against a database."""
+    """Facade: plan + execute ADL expressions against a database.
 
-    def __init__(self, db, stats: Optional[Stats] = None) -> None:
+    ``materialized`` / ``compile_exprs`` are forwarded to
+    :class:`ExecRuntime` — the default is the streaming engine with
+    compiled parameter expressions; ``materialized=True,
+    compile_exprs=False`` reproduces the pre-streaming engine (the
+    benchmark baseline).
+    """
+
+    def __init__(
+        self,
+        db,
+        stats: Optional[Stats] = None,
+        *,
+        materialized: bool = False,
+        compile_exprs: bool = True,
+    ) -> None:
         self.db = db
         self.stats = stats if stats is not None else Stats()
         self.planner = Planner()
+        self.materialized = materialized
+        self.compile_exprs = compile_exprs
+
+    def _runtime(self) -> ExecRuntime:
+        return ExecRuntime(
+            self.db,
+            self.stats,
+            materialized=self.materialized,
+            compile_exprs=self.compile_exprs,
+        )
 
     def execute(self, expr: A.Expr):
         plan = self.planner.plan(expr)
-        rt = ExecRuntime(self.db, self.stats)
-        return plan.execute(rt)
+        return plan.execute(self._runtime())
+
+    def iterate(self, expr: A.Expr):
+        """Stream the query result without materializing it.
+
+        The stream is a *bag*: pipeline operators do not deduplicate, so an
+        element may appear more than once (deduplication would require
+        buffering everything — exactly what streaming avoids).  Apply
+        ``frozenset`` for the set-semantics result, which is what
+        :meth:`execute` does.
+        """
+        plan = self.planner.plan(expr)
+        return plan.iterate(self._runtime())
 
     def explain(self, expr: A.Expr) -> str:
         return self.planner.plan(expr).explain()

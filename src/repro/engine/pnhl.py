@@ -107,29 +107,35 @@ def unnest_join_nest(
     every outer tuple's non-set attributes are copied once per member.
     """
     stats = stats if stats is not None else Stats()
-    # μ: flatten members alongside a copy of the parent attributes
-    flat = []
-    for x in outer:
-        members = x[set_attr]
-        rest = x.drop((set_attr,))
-        for member in members:
-            stats.tuples_visited += 1
-            flat.append((member, rest))
+
+    # μ: flatten members alongside a copy of the parent attributes.  The
+    # unnested stream is never materialized — it flows straight through the
+    # join probe into the regrouping below (Volcano-style), so the only
+    # full materialization this baseline pays is the ν grouping itself.
+    def flat():
+        for x in outer:
+            members = x[set_attr]
+            rest = x.drop((set_attr,))
+            for member in members:
+                stats.tuples_visited += 1
+                yield member, rest
 
     # ⋈: hash join the flattened members with the inner table
     table = {}
     for y in inner:
         table.setdefault(inner_key(y), []).append(y)
         stats.hash_inserts += 1
-    joined = []
-    for member, rest in flat:
-        stats.hash_probes += 1
-        for y in table.get(outer_member_key(member), ()):
-            joined.append((concat(member, y), rest))
 
-    # ν: regroup by the parent attributes
+    def joined():
+        for member, rest in flat():
+            stats.hash_probes += 1
+            for y in table.get(outer_member_key(member), ()):
+                yield concat(member, y), rest
+
+    # ν: regroup by the parent attributes (the pipeline break)
+    stats.pipeline_breaks += 1
     groups = {}
-    for combined, rest in joined:
+    for combined, rest in joined():
         stats.tuples_visited += 1
         groups.setdefault(rest, set()).add(combined)
     out = set()

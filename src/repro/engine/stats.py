@@ -10,7 +10,11 @@ claim; these counters make it measurable without real I/O hardware:
 * ``hash_inserts`` / ``hash_probes`` — hash operator work;
 * ``oid_derefs`` — pointer follow count (materialize/assembly);
 * ``partitions_spilled`` — PNHL memory-budget overflow events;
-* ``output_tuples`` — result cardinality contributed by operators.
+* ``output_tuples`` — tuples emitted by operators;
+* ``pipeline_breaks`` — how many operator inputs had to be fully
+  materialized before the operator could emit (hash builds, grouping,
+  sorting...).  Not part of :meth:`Stats.total_work` — a break is a
+  *shape* property of the plan's dataflow, not per-tuple effort.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ class Stats:
     oid_derefs: int = 0
     partitions_spilled: int = 0
     output_tuples: int = 0
+    pipeline_breaks: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

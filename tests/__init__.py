@@ -1,0 +1,1 @@
+"""Test package — keeps duplicate basenames (e.g. test_pretty.py) importable."""
