@@ -1,26 +1,38 @@
-"""Before/after harness for the streaming + compiled-expression engine.
+"""Benchmark harness: per-PR perf gates, oracle-checked.
 
-Runs the Fig. 3 nestjoin and join-vs-nested-loop workloads twice through
-the *same physical plans*:
+Two suites:
 
-* **baseline** — ``ExecRuntime(materialized=True, compile_exprs=False)``:
-  every operator edge materializes a full ``frozenset`` and every
-  parameter expression is re-interpreted per tuple (the pre-PR-1 engine);
-* **streaming** — the default runtime: Volcano-style ``iterate`` dataflow
-  with parameter expressions compiled once per operator.
+**PR 2 (default)** — cost-based physical planning vs the PR-1 heuristic
+planner, same logical queries, same engine, plans chosen differently:
 
-Every workload's result is oracle-checked against the reference
-interpreter before timing, and both engines must agree exactly.  The
-machine-readable outcome lands in ``BENCH_PR1.json`` at the repo root so
-the perf trajectory across PRs can be diffed.
+* ``indexed_lookup_join`` / ``indexed_semijoin`` — small probe side
+  against a large indexed extent: the cost-based planner picks an index
+  nested-loop join (no scan, no transient hash build of the large side);
+* ``selective_indexed_filter`` — an equality selection over an indexed
+  attribute becomes a single index probe instead of a full scan;
+* ``build_side_skew`` — no index: with skewed operand cardinalities the
+  cost-based hash join builds on the *smaller* side (the heuristic always
+  builds right); both orientations' ``explain()`` output is recorded so
+  the flip is visible.
+
+Every workload is oracle-checked against the reference interpreter
+before timing, both planners must agree exactly, and the machine-readable
+outcome lands in ``BENCH_PR2.json``.  Catalog ``analyze()`` and index
+builds happen once, outside the timed region — statistics and persistent
+indexes are amortized across queries, which is the point of a catalog.
+
+**PR 1** (``--pr1``) — streaming + compiled expressions vs the
+materializing interpreted engine (same physical plans), written to
+``BENCH_PR1.json``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py [--reps N] [--pr1 | --all]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -33,19 +45,184 @@ from repro.adl import ast as A  # noqa: E402
 from repro.adl import builders as B  # noqa: E402
 from repro.engine.interpreter import Interpreter  # noqa: E402
 from repro.engine.plan import ExecRuntime, HashJoinBase, NestedLoopJoin, Scan  # noqa: E402
+from repro.engine.planner import Executor  # noqa: E402
 from repro.engine.stats import Stats  # noqa: E402
+from repro.storage import Catalog  # noqa: E402
 from repro.workload.generator import generate_xy  # noqa: E402
 from repro.workload.harness import render_table  # noqa: E402
 
-REPS = 5
+DEFAULT_REPS = 5
 
 XA = B.attr(B.var("x"), "a")
 YD = B.attr(B.var("y"), "d")
 EQ = B.eq(XA, YD)
+EQ_SWAPPED = B.eq(YD, XA)
 TRUE = A.Literal(True)
 
 
-def _workloads():
+# ---------------------------------------------------------------------------
+# PR 2: cost-based planning vs the PR-1 heuristics
+# ---------------------------------------------------------------------------
+
+
+def _pr2_workloads():
+    """Yield (name, db, catalog, expr, note) — catalog prep is untimed."""
+    # W1: small probe side, large indexed build side → index NL join
+    db = generate_xy(120, 12000, key_domain=6000, seed=2)
+    catalog = Catalog(db)
+    catalog.analyze()
+    catalog.create_index("Y", "d")
+    yield (
+        "indexed_lookup_join",
+        db,
+        catalog,
+        B.join(B.extent("X"), B.extent("Y"), "x", "y", EQ),
+        "120-row probe vs 12000-row indexed extent",
+    )
+    # W2: the same skew under a semijoin (asymmetric kind, still INLJ)
+    yield (
+        "indexed_semijoin",
+        db,
+        catalog,
+        B.semijoin(B.extent("X"), B.extent("Y"), "x", "y", EQ),
+        "existential probe against the indexed extent",
+    )
+    # W3: selective equality filter over an indexed attribute
+    db = generate_xy(10, 40000, key_domain=2000, seed=3)
+    catalog = Catalog(db)
+    catalog.analyze()
+    catalog.create_index("Y", "d")
+    yield (
+        "selective_indexed_filter",
+        db,
+        catalog,
+        B.sel("y", B.eq(YD, B.lit(7)), B.extent("Y")),
+        "~20 of 40000 rows match; index probe vs full scan",
+    )
+    # W4: no index — build-side choice on skewed cardinalities
+    db = generate_xy(200, 20000, key_domain=10000, seed=4)
+    catalog = Catalog(db)
+    catalog.analyze()
+    yield (
+        "build_side_skew",
+        db,
+        catalog,
+        B.join(B.extent("X"), B.extent("Y"), "x", "y", EQ),
+        "200 x 20000 hash join; cost model builds the small side",
+    )
+
+
+def _time_execute(executor, expr, reps: int) -> float:
+    walls = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        executor.execute(expr)
+        walls.append(time.perf_counter() - start)
+    return min(walls)
+
+
+def _run_pr2(reps: int) -> dict:
+    workloads = []
+    build_side_flip = None
+    for name, db, catalog, expr, note in _pr2_workloads():
+        oracle = Interpreter(db).eval(expr)
+
+        heuristic_stats = Stats()
+        heuristic = Executor(db, heuristic_stats)
+        cost_stats = Stats()
+        cost_based = Executor(db, cost_stats, catalog=catalog)
+
+        heuristic_result = heuristic.execute(expr)
+        cost_result = cost_based.execute(expr)
+        if not (heuristic_result == cost_result == oracle):
+            raise AssertionError(f"{name}: planners diverged from the oracle")
+
+        heuristic_wall = _time_execute(heuristic, expr, reps)
+        cost_wall = _time_execute(cost_based, expr, reps)
+
+        workloads.append(
+            {
+                "name": name,
+                "note": note,
+                "results_match_oracle": True,
+                "result_cardinality": len(oracle),
+                "heuristic": {
+                    "wall_s": heuristic_wall,
+                    "plan": heuristic.explain(expr).splitlines()[0],
+                    "stats": heuristic_stats.snapshot(),
+                },
+                "cost_based": {
+                    "wall_s": cost_wall,
+                    "plan": cost_based.explain(expr).splitlines()[0],
+                    "stats": cost_stats.snapshot(),
+                },
+                "speedup": heuristic_wall / cost_wall if cost_wall else float("inf"),
+            }
+        )
+
+        if name == "build_side_skew":
+            swapped = B.join(B.extent("Y"), B.extent("X"), "y", "x", EQ_SWAPPED)
+            build_side_flip = {
+                "small_left": cost_based.explain(expr).splitlines()[0],
+                "small_right": cost_based.explain(swapped).splitlines()[0],
+            }
+
+    fast = sorted((w["speedup"] for w in workloads), reverse=True)
+    return {
+        "pr": 2,
+        "description": "cost-based physical planning (catalog statistics, "
+        "index access paths, join-strategy and build-side selection) vs the "
+        "PR-1 heuristic planner, same logical queries and engine",
+        "planners": {
+            "heuristic": "Executor(db) — hash join if possible, always builds right",
+            "cost_based": "Executor(db, catalog=...) — cost model over catalog stats",
+        },
+        "reps": reps,
+        "workloads": workloads,
+        "build_side_flip": build_side_flip,
+        "max_speedup": fast[0],
+        "meets_1_5x_on_two_workloads": len(fast) >= 2 and fast[1] >= 1.5,
+    }
+
+
+def run_pr2(reps: int) -> bool:
+    report = _run_pr2(reps)
+    out_path = ROOT / "BENCH_PR2.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    rows = [
+        (
+            w["name"],
+            w["cost_based"]["plan"].split(" [")[0],
+            f"{w['heuristic']['wall_s'] * 1e3:.2f}",
+            f"{w['cost_based']['wall_s'] * 1e3:.2f}",
+            f"{w['speedup']:.1f}x",
+        )
+        for w in report["workloads"]
+    ]
+    print(
+        render_table(
+            ["workload", "chosen plan", "heuristic ms", "cost-based ms", "speedup"],
+            rows,
+            title="PR 2 — cost-based planning vs heuristic planner",
+        )
+    )
+    flip = report["build_side_flip"]
+    print("\nbuild-side flip:")
+    print(f"  small left : {flip['small_left']}")
+    print(f"  small right: {flip['small_right']}")
+    ok = report["meets_1_5x_on_two_workloads"]
+    print(f"\nwrote {out_path} (max speedup {report['max_speedup']:.1f}x, "
+          f"meets_1_5x_on_two_workloads={ok})")
+    return ok
+
+
+# ---------------------------------------------------------------------------
+# PR 1: streaming + compiled expressions vs the materializing engine
+# ---------------------------------------------------------------------------
+
+
+def _pr1_workloads():
     """Yield (name, db, plan, oracle_expr) quadruples."""
     # F3: the Fig. 3 nestjoin at benchmark scale — hash implementation
     db = generate_xy(300, 300, key_domain=100, seed=6)
@@ -88,28 +265,28 @@ def _workloads():
     )
 
 
-def _run(plan, db, **engine):
+def _run_plan(plan, db, reps, **engine):
     stats = Stats()
     result = plan.execute(ExecRuntime(db, stats, **engine))
-    wall = min(_timed(plan, db, **engine) for _ in range(REPS))
+    wall = min(_timed_plan(plan, db, **engine) for _ in range(reps))
     return result, stats.snapshot(), wall
 
 
-def _timed(plan, db, **engine):
+def _timed_plan(plan, db, **engine):
     rt = ExecRuntime(db, Stats(), **engine)
     start = time.perf_counter()
     plan.execute(rt)
     return time.perf_counter() - start
 
 
-def main() -> int:
+def run_pr1(reps: int) -> bool:
     workloads = []
-    for name, db, plan, oracle_expr in _workloads():
+    for name, db, plan, oracle_expr in _pr1_workloads():
         oracle = Interpreter(db).eval(oracle_expr)
-        base_result, base_stats, base_wall = _run(
-            plan, db, materialized=True, compile_exprs=False
+        base_result, base_stats, base_wall = _run_plan(
+            plan, db, reps, materialized=True, compile_exprs=False
         )
-        stream_result, stream_stats, stream_wall = _run(plan, db)
+        stream_result, stream_stats, stream_wall = _run_plan(plan, db, reps)
         if not (base_result == stream_result == oracle):
             raise AssertionError(f"{name}: engines diverged from the interpreter oracle")
         workloads.append(
@@ -133,7 +310,7 @@ def main() -> int:
             "baseline": "ExecRuntime(materialized=True, compile_exprs=False)",
             "streaming": "ExecRuntime() [default]",
         },
-        "reps": REPS,
+        "reps": reps,
         "workloads": workloads,
         "max_speedup": max_speedup,
         "meets_2x": max_speedup >= 2.0,
@@ -161,7 +338,24 @@ def main() -> int:
     )
     print(f"\nwrote {out_path} (max speedup {max_speedup:.1f}x, "
           f"meets_2x={report['meets_2x']})")
-    return 0 if report["meets_2x"] else 1
+    return report["meets_2x"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=DEFAULT_REPS,
+                        help="timing repetitions per engine (min is kept)")
+    parser.add_argument("--pr1", action="store_true",
+                        help="run the PR 1 suite instead of PR 2")
+    parser.add_argument("--all", action="store_true", help="run both suites")
+    args = parser.parse_args(argv)
+
+    ok = True
+    if args.pr1 or args.all:
+        ok = run_pr1(args.reps) and ok
+    if not args.pr1:
+        ok = run_pr2(args.reps) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

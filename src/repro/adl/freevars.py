@@ -17,13 +17,37 @@ The binder structure of ADL:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, Set
+from typing import Dict, FrozenSet, Iterator, Set, Tuple
 
 from repro.adl import ast as A
 
+#: Identity-keyed memo for :func:`free_vars`.  ADL nodes are frozen, so a
+#: node's free-variable set never changes; keying by ``id`` and keeping a
+#: strong reference to the node (so its id cannot be recycled) makes the
+#: lookup O(1) without hashing whole subtrees.  The planner's join-recipe
+#: orientation checks and half the rewrite rules call ``free_vars`` on the
+#: same shared subexpressions over and over — with the memo each distinct
+#: node is analyzed once per process instead of once per call.
+_CACHE: Dict[int, Tuple[A.Expr, FrozenSet[str]]] = {}
+
+#: Flush threshold — keeps long-running processes from pinning every
+#: expression ever analyzed.  Rewrite fixpoints stay far below this.
+_CACHE_LIMIT = 1 << 18
+
 
 def free_vars(expr: A.Expr) -> FrozenSet[str]:
-    """The set of variables occurring free in ``expr``."""
+    """The set of variables occurring free in ``expr`` (memoized)."""
+    entry = _CACHE.get(id(expr))
+    if entry is not None and entry[0] is expr:
+        return entry[1]
+    result = _free_vars(expr)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[id(expr)] = (expr, result)
+    return result
+
+
+def _free_vars(expr: A.Expr) -> FrozenSet[str]:
     if isinstance(expr, A.Var):
         return frozenset((expr.name,))
     if isinstance(expr, (A.Map, A.Select)):
@@ -49,7 +73,10 @@ def free_vars(expr: A.Expr) -> FrozenSet[str]:
     out: Set[str] = set()
     for child in expr.child_exprs():
         out |= free_vars(child)
-    return frozenset(out)
+    return frozenset(out) if out else _EMPTY
+
+
+_EMPTY: FrozenSet[str] = frozenset()
 
 
 def bound_vars(expr: A.Expr) -> FrozenSet[str]:

@@ -1,6 +1,7 @@
 """Execution: the naive interpreter, physical operators, and the planner."""
 
 from repro.engine.compile import Compiler, compile_expr
+from repro.engine.cost import CardinalityEstimator, CostModel, Estimate
 from repro.engine.interpreter import Interpreter, evaluate
 from repro.engine.nestjoin_impls import SortMergeNestJoin
 from repro.engine.plan import ExecRuntime, PlanNode
@@ -9,7 +10,10 @@ from repro.engine.pnhl import pnhl_join, unnest_join_nest
 from repro.engine.stats import Stats
 
 __all__ = [
+    "CardinalityEstimator",
     "Compiler",
+    "CostModel",
+    "Estimate",
     "ExecRuntime",
     "Executor",
     "Interpreter",

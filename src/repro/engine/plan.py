@@ -22,16 +22,23 @@ an operator genuinely needs all of its input at once.
 Which operators pipeline, and which break:
 
 * **pipeline** (tuple-at-a-time, O(1) buffering): :class:`Scan`,
-  :class:`Filter`, :class:`MapOp`, :class:`ProjectOp`, :class:`RenameOp`,
-  :class:`UnnestOp`, :class:`FlattenOp`, the union side of :class:`SetOp`,
-  and the **probe (left) side** of the whole hash-join family;
+  :class:`IndexScan`, :class:`Filter`, :class:`MapOp`, :class:`ProjectOp`,
+  :class:`RenameOp`, :class:`UnnestOp`, :class:`FlattenOp`, the union side
+  of :class:`SetOp`, the probe side of the whole hash-join family, and
+  **both** sides of :class:`IndexNestedLoopJoin` (the persistent catalog
+  index replaces the build phase entirely);
 * **pipeline breakers** (must consume an input fully before emitting):
   :class:`NestOp` (grouping), :class:`SetOp` intersect/difference (right
-  side), the **build (right) side** of :class:`NestedLoopJoin`,
-  :class:`HashJoinBase`, :class:`MembershipHashJoin` and
+  side), the **build side** of :class:`NestedLoopJoin`,
+  :class:`HashJoinBase` (right by default; the cost-based planner may
+  build left for plain joins), :class:`MembershipHashJoin` and
   :class:`CartesianProduct`, both sides of :class:`SortMergeJoin` and
   :class:`DivisionOp`, and :class:`MaterializeOp` (batched page-clustered
   fetching is the point of assembly).
+
+Under cost-based planning every node additionally carries ``est_rows`` /
+``est_cost`` annotations which ``explain()`` renders as
+``(rows≈…, cost≈…)``, so plan choices are inspectable and testable.
 
 Every break is counted in ``stats.pipeline_breaks`` at runtime and marked
 statically by ``explain()``::
@@ -64,6 +71,7 @@ from repro.adl import ast as A
 from repro.datamodel.errors import EvaluationError, MissingAttributeError, PlanError
 from repro.datamodel.values import Value, VTuple, concat
 from repro.engine.compile import Compiler
+from repro.engine.cost import format_estimate
 from repro.engine.interpreter import Interpreter
 from repro.engine.stats import Stats
 
@@ -91,8 +99,12 @@ class ExecRuntime:
         *,
         materialized: bool = False,
         compile_exprs: bool = True,
+        catalog=None,
     ) -> None:
         self.db = db
+        # default to the database's own catalog (a Catalog registers
+        # itself on its store at construction)
+        self.catalog = catalog if catalog is not None else getattr(db, "catalog", None)
         self.stats = stats if stats is not None else Stats()
         self.interpreter = Interpreter(db, self.stats)
         self.materialized = materialized
@@ -160,6 +172,12 @@ class PlanNode:
     #: right", "groups input"); empty for fully-streaming operators.
     break_note = ""
 
+    #: Optimizer annotations: estimated output rows and cumulative cost,
+    #: set by the cost-based planner and rendered by ``explain`` — ``None``
+    #: under heuristic planning.
+    est_rows: Optional[float] = None
+    est_cost: Optional[float] = None
+
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
         raise NotImplementedError
 
@@ -188,6 +206,9 @@ class PlanNode:
         line = f"{indent}{self.label}" + (f" [{detail}]" if detail else "")
         if self.break_note:
             line += f" <{self.break_note}>"
+        estimate = format_estimate(self.est_rows, self.est_cost)
+        if estimate:
+            line += f" {estimate}"
         parts = [line]
         parts.extend(child.explain(indent + "  ") for child in self.children())
         return "\n".join(parts)
@@ -230,6 +251,63 @@ class Scan(PlanNode):
         if hasattr(rt.db, "scan"):
             return frozenset(rt.db.scan(self.extent))
         return rt.db.extent(self.extent)
+
+
+def _catalog_index(rt: ExecRuntime, extent: str, attr: str, index_name: str):
+    """Resolve a registered index at runtime, rebuilding a stale snapshot.
+
+    The catalog's indexes are eager snapshots of the extent value they
+    were built from.  Stores hand out a *fresh* ``frozenset`` whenever an
+    extent changes (inserts invalidate the paged store's cache,
+    ``set_extent`` replaces the in-memory one), so comparing the current
+    extent value by identity detects staleness — including same-size
+    replacements — and the index is rebuilt through the catalog.
+    """
+    if rt.catalog is None:
+        raise PlanError(
+            f"plan uses index {index_name!r} but the runtime has no catalog"
+        )
+    named = rt.catalog.index_named(index_name)
+    if named is not None and (named.extent, named.attr) != (extent, attr):
+        named = None  # the name was re-pointed since planning; re-resolve
+    if named is None:
+        named = rt.catalog.index_on(extent, attr)
+    if named is None:
+        raise PlanError(f"index {index_name!r} on {extent}.{attr} is not registered")
+    if hasattr(rt.db, "extent") and rt.db.extent(extent) is not named.source_rows:
+        named = rt.catalog.create_index(named.extent, named.attr, named.name, named.multi)
+    return named
+
+
+class IndexScan(PlanNode):
+    """Selection via a registered hash index: ``σ[x : x.attr = k](EXTENT)``
+    becomes one probe of the persistent index instead of a full scan.
+
+    ``key_expr`` must be closed (no free variables) — it is evaluated once.
+    Fully streaming, no pipeline break, and the extent's non-matching pages
+    are never touched.
+    """
+
+    label = "IndexScan"
+
+    def __init__(self, extent: str, attr: str, key_expr: A.Expr, index_name: str) -> None:
+        self.extent = extent
+        self.attr = attr
+        self.key_expr = key_expr
+        self.index_name = index_name
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        return f"{self.extent}.{self.attr} = {pretty(self.key_expr)} via {self.index_name}"
+
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        index = _catalog_index(rt, self.extent, self.attr, self.index_name)
+        key = rt.eval(self.key_expr)
+        rt.stats.index_probes += 1
+        for row in index.lookup(key):
+            rt.stats.tuples_visited += 1
+            yield row
 
 
 class EvalExpr(PlanNode):
@@ -465,6 +543,31 @@ class SetOp(PlanNode):
 JOIN_KINDS = ("join", "semijoin", "antijoin", "outerjoin", "nestjoin")
 
 
+def _join_tail(
+    kind: str,
+    x: VTuple,
+    matched: bool,
+    group,
+    null_pad: VTuple,
+    as_attr: Optional[str],
+) -> Optional[Value]:
+    """The per-left-tuple emission after match iteration, shared by the
+    join family's nested-loop, hash, membership and index
+    implementations: semijoin/antijoin emit the bare left tuple on (no)
+    match, outerjoin null-pads dangling tuples, nestjoin always attaches
+    its collected group.  ``None`` means "emit nothing" (plain joins
+    already emitted pairs during iteration)."""
+    if kind == "semijoin":
+        return x if matched else None
+    if kind == "antijoin":
+        return None if matched else x
+    if kind == "outerjoin":
+        return None if matched else concat(x, null_pad)
+    if kind == "nestjoin":
+        return x.update_except({as_attr: frozenset(group)})
+    return None
+
+
 class NestedLoopJoin(PlanNode):
     """Generic nested-loop implementation of the whole join family.
 
@@ -532,18 +635,10 @@ class NestedLoopJoin(PlanNode):
                         break
                     elif kind == "nestjoin":
                         group.add(result(env))
-            if kind == "semijoin" and matched:
+            tail = _join_tail(kind, x, matched, group, null_pad, self.as_attr)
+            if tail is not None:
                 rt.stats.output_tuples += 1
-                yield x
-            elif kind == "antijoin" and not matched:
-                rt.stats.output_tuples += 1
-                yield x
-            elif kind == "outerjoin" and not matched:
-                rt.stats.output_tuples += 1
-                yield concat(x, null_pad)
-            elif kind == "nestjoin":
-                rt.stats.output_tuples += 1
-                yield x.update_except({self.as_attr: frozenset(group)})
+                yield tail
 
 
 # ---------------------------------------------------------------------------
@@ -552,12 +647,17 @@ class NestedLoopJoin(PlanNode):
 
 
 class HashJoinBase(PlanNode):
-    """Shared machinery: build a hash table on the right operand's key
-    expressions, probe with the left's; a residual predicate filters
+    """Shared machinery: build a hash table on one operand's key
+    expressions, probe with the other's; a residual predicate filters
     candidate pairs.  The build side is the pipeline break; the probe side
-    streams."""
+    streams.
 
-    break_note = "builds right"
+    ``build_side`` defaults to ``"right"`` (the PR-1 heuristic).  The
+    cost-based planner may flip it to ``"left"`` when the left operand is
+    the smaller input — only for the symmetric plain ``join`` kind, since
+    semijoin/antijoin/outerjoin/nestjoin semantics are anchored to the
+    left operand surviving tuple-at-a-time.
+    """
 
     def __init__(
         self,
@@ -572,11 +672,18 @@ class HashJoinBase(PlanNode):
         as_attr: Optional[str] = None,
         result: Optional[A.Expr] = None,
         right_attrs: Tuple[str, ...] = (),
+        build_side: str = "right",
     ) -> None:
         if kind not in JOIN_KINDS:
             raise PlanError(f"unknown join kind {kind!r}")
         if len(left_keys) != len(right_keys) or not left_keys:
             raise PlanError("hash join needs matching, non-empty key lists")
+        if build_side not in ("left", "right"):
+            raise PlanError(f"unknown build side {build_side!r}")
+        if build_side == "left" and kind != "join":
+            raise PlanError(f"build side 'left' requires a symmetric join, not {kind!r}")
+        self.build_side = build_side
+        self.break_note = f"builds {build_side}"
         self.kind = kind
         self.lvar = lvar
         self.rvar = rvar
@@ -633,6 +740,9 @@ class HashJoinBase(PlanNode):
         return matches
 
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        if self.build_side == "left":
+            yield from self._iterate_build_left(rt)
+            return
         table = self._build(rt)
         env: Dict[str, Value] = {}
         matches = self._matcher(rt, table, env)
@@ -656,15 +766,38 @@ class HashJoinBase(PlanNode):
                     yield concat(x, y)
                 elif kind == "semijoin":
                     break
-            if kind == "semijoin" and matched:
+            tail = _join_tail(kind, x, matched, (), null_pad, self.as_attr)
+            if tail is not None:
                 rt.stats.output_tuples += 1
-                yield x
-            elif kind == "antijoin" and not matched:
-                rt.stats.output_tuples += 1
-                yield x
-            elif kind == "outerjoin" and not matched:
-                rt.stats.output_tuples += 1
-                yield concat(x, null_pad)
+                yield tail
+
+    def _iterate_build_left(self, rt: ExecRuntime) -> Iterator[Value]:
+        """Mirror orientation: hash the left operand, stream the right.
+
+        Only reached for the plain ``join`` kind, whose output
+        ``{x ∘ y | p(x, y)}`` is orientation-independent.
+        """
+        table: Dict[Value, List[VTuple]] = {}
+        key_fns = [rt.compiled(k) for k in self.left_keys]
+        env: Dict[str, Value] = {}
+        for x in self._consume(self.left, rt):
+            env[self.lvar] = x
+            key = tuple(fn(env) for fn in key_fns)
+            table.setdefault(key, []).append(x)
+            rt.stats.hash_inserts += 1
+        probe_fns = [rt.compiled(k) for k in self.right_keys]
+        trivial_residual = self.residual == A.Literal(True)
+        residual = None if trivial_residual else rt.compiled_pred(self.residual)
+        for y in self._input(self.right, rt):
+            rt.stats.tuples_visited += 1
+            env[self.rvar] = y
+            key = tuple(fn(env) for fn in probe_fns)
+            rt.stats.hash_probes += 1
+            for x in table.get(key, ()):
+                env[self.lvar] = x
+                if residual is None or residual(env):
+                    rt.stats.output_tuples += 1
+                    yield concat(x, y)
 
 
 class MembershipHashJoin(PlanNode):
@@ -766,18 +899,10 @@ class MembershipHashJoin(PlanNode):
                     break
                 elif kind == "nestjoin":
                     group.add(result(env))
-            if kind == "semijoin" and matched:
+            tail = _join_tail(kind, x, matched, group, null_pad, self.as_attr)
+            if tail is not None:
                 rt.stats.output_tuples += 1
-                yield x
-            elif kind == "antijoin" and not matched:
-                rt.stats.output_tuples += 1
-                yield x
-            elif kind == "outerjoin" and not matched:
-                rt.stats.output_tuples += 1
-                yield concat(x, null_pad)
-            elif kind == "nestjoin":
-                rt.stats.output_tuples += 1
-                yield x.update_except({self.as_attr: frozenset(group)})
+                yield tail
 
     def _candidates(self, rt, table, x, env, element, container) -> List[VTuple]:
         env[self.lvar] = x
@@ -798,6 +923,100 @@ class MembershipHashJoin(PlanNode):
             rt.stats.hash_probes += 1
             seen = list(table.get(key, ()))
         return seen
+
+
+class IndexNestedLoopJoin(PlanNode):
+    """Index nested-loop join: probe a registered persistent index on the
+    right extent's join attribute instead of building a transient hash
+    table — one of the paper's Section 6 join strategies the rewrite to
+    joins makes available.
+
+    The left operand streams; each tuple evaluates ``left_key`` and looks
+    the value up in the catalog index on ``extent.attr``.  There is **no
+    pipeline break and no build phase**: the right extent is never scanned,
+    which is exactly the win over a hash join when the probe side is small
+    and the indexed side is large.  ``residual`` filters candidate pairs
+    (extra equi conjuncts, membership conjuncts, pushed-down right-side
+    filters).  Supports the whole join family with the same emission
+    semantics as :class:`HashJoinBase`.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        lvar: str,
+        rvar: str,
+        left_key: A.Expr,
+        extent: str,
+        attr: str,
+        index_name: str,
+        residual: A.Expr,
+        left: PlanNode,
+        as_attr: Optional[str] = None,
+        result: Optional[A.Expr] = None,
+        right_attrs: Tuple[str, ...] = (),
+    ) -> None:
+        if kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {kind!r}")
+        self.kind = kind
+        self.lvar = lvar
+        self.rvar = rvar
+        self.left_key = left_key
+        self.extent = extent
+        self.attr = attr
+        self.index_name = index_name
+        self.residual = residual
+        self.left = left
+        self.as_attr = as_attr
+        self.result = result
+        self.right_attrs = right_attrs
+        self.label = f"IndexNLJoin({kind})"
+
+    def children(self):
+        return (self.left,)
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        text = (
+            f"{pretty(self.left_key)} -> {self.extent}.{self.attr} "
+            f"via {self.index_name}"
+        )
+        if self.residual != A.Literal(True):
+            text += f" ; residual {pretty(self.residual)}"
+        return text
+
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        index = _catalog_index(rt, self.extent, self.attr, self.index_name)
+        key_fn = rt.compiled(self.left_key)
+        trivial_residual = self.residual == A.Literal(True)
+        residual = None if trivial_residual else rt.compiled_pred(self.residual)
+        result = rt.compiled(self.result) if self.result is not None else None
+        null_pad = VTuple({a: None for a in self.right_attrs})
+        env: Dict[str, Value] = {}
+        kind = self.kind
+        for x in self._input(self.left, rt):
+            rt.stats.tuples_visited += 1
+            env[self.lvar] = x
+            rt.stats.index_probes += 1
+            matched = False
+            group = set()
+            for y in index.lookup(key_fn(env)):
+                env[self.rvar] = y
+                if residual is not None and not residual(env):
+                    continue
+                matched = True
+                if kind in ("join", "outerjoin"):
+                    rt.stats.output_tuples += 1
+                    yield concat(x, y)
+                elif kind == "semijoin":
+                    break
+                elif kind == "nestjoin":
+                    group.add(result(env))
+            tail = _join_tail(kind, x, matched, group, null_pad, self.as_attr)
+            if tail is not None:
+                rt.stats.output_tuples += 1
+                yield tail
 
 
 class SortMergeJoin(PlanNode):

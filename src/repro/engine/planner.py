@@ -2,12 +2,21 @@
 
 Rewriting a nested query into a join query pays off because "the optimizer
 may choose from a number of different join processing strategies"
-(Section 5.1).  This planner makes that choice:
+(Section 5.1).  This planner makes that choice — and, given a
+:class:`~repro.storage.catalog.Catalog`, makes it *cost-based*:
 
 * join predicates are decomposed into conjuncts; equality conjuncts whose
   sides depend on one operand each become **hash-join keys**, membership
   conjuncts (``e ∈ set``) become **membership hash joins**, everything
   else stays as a residual filter;
+* with a catalog, the planner enumerates physical alternatives per join —
+  hash join with **either build side** (plain joins), an **index
+  nested-loop join** probing a registered persistent index, and nested
+  loops — and keeps the cheapest under the
+  :mod:`~repro.engine.cost` model, with cardinalities propagated
+  bottom-up from catalog statistics;
+* selections over an indexed equality predicate become **index scans**
+  when the cost model prefers the probe to the full scan;
 * joins with no hashable conjunct fall back to **nested loops** —
   faithfully reproducing the paper's premise that an un-rewritten nested
   query is a nested loop;
@@ -16,6 +25,11 @@ may choose from a number of different join processing strategies"
 * anything that is not a set-producing operator at the top level (e.g. a
   predicate's interior) is evaluated by the interpreter inside the
   enclosing operator — the tuple-oriented residue.
+
+Without a catalog the planner reproduces the PR-1 heuristics exactly
+(hash join whenever an equi conjunct exists, build side on the right), so
+existing callers are unaffected.  Under cost-based planning every node is
+annotated with estimated rows and cost, rendered by ``explain()``.
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ from typing import List, Optional, Tuple
 from repro.adl import ast as A
 from repro.adl.freevars import free_vars
 from repro.engine import plan as P
+from repro.engine.cost import CostModel, Estimate, PREDICATE_COST, _bound_attr
 from repro.engine.plan import ExecRuntime, PlanNode
 from repro.engine.stats import Stats
 
@@ -91,19 +106,46 @@ class JoinRecipe:
     def hashable(self) -> bool:
         return bool(self.equi_left) or self.membership is not None
 
+    def residual_with_membership(self) -> A.Expr:
+        """The residual including the membership conjunct (used when a
+        different physical strategy consumes the equi keys)."""
+        if self.membership is None:
+            return self.residual
+        return _conjoin(
+            [A.SetCompare("in", self.membership[0], self.membership[1]), self.residual]
+        )
+
 
 class Planner:
-    """Plans closed ADL expressions (no free variables at the top level)."""
+    """Plans closed ADL expressions (no free variables at the top level).
+
+    ``catalog`` enables cost-based planning; without it the PR-1
+    heuristics apply unchanged.
+    """
+
+    def __init__(self, catalog=None) -> None:
+        self.catalog = catalog
+        self.cost_model: Optional[CostModel] = (
+            CostModel(catalog) if catalog is not None else None
+        )
 
     def plan(self, expr: A.Expr) -> PlanNode:
         return self._plan(expr)
 
     # -- dispatch ------------------------------------------------------------
     def _plan(self, expr: A.Expr) -> PlanNode:
+        node = self._dispatch(expr)
+        if self.cost_model is not None and node.est_rows is None:
+            estimate = self.cost_model.estimate(expr)
+            node.est_rows = estimate.rows
+            node.est_cost = estimate.cost
+        return node
+
+    def _dispatch(self, expr: A.Expr) -> PlanNode:
         if isinstance(expr, A.ExtentRef):
             return P.Scan(expr.name)
         if isinstance(expr, A.Select):
-            return P.Filter(expr.var, expr.pred, self._plan(expr.source))
+            return self._plan_select(expr)
         if isinstance(expr, A.Map):
             return P.MapOp(expr.var, expr.body, self._plan(expr.source))
         if isinstance(expr, A.Project):
@@ -136,6 +178,62 @@ class Planner:
         # producing sets through the interpreter) is a leaf
         return P.EvalExpr(expr)
 
+    # -- selections ------------------------------------------------------------
+    def _plan_select(self, expr: A.Select) -> PlanNode:
+        indexed = self._try_index_scan(expr)
+        if indexed is not None:
+            return indexed
+        return P.Filter(expr.var, expr.pred, self._plan(expr.source))
+
+    def _try_index_scan(self, expr: A.Select) -> Optional[PlanNode]:
+        """``σ[x : x.a = k ∧ rest](EXTENT)`` → ``Filter(rest, IndexScan)``
+        when an index on ``EXTENT.a`` exists and the cost model prefers the
+        probe to the full scan."""
+        if self.catalog is None or not isinstance(expr.source, A.ExtentRef):
+            return None
+        extent = expr.source.name
+        parts = _conjuncts(expr.pred)
+        choice = None
+        for index_pos, part in enumerate(parts):
+            if not (isinstance(part, A.Compare) and part.op == "="):
+                continue
+            for attr_side, key_side in ((part.left, part.right), (part.right, part.left)):
+                attr = _bound_attr(attr_side, expr.var)
+                if attr is None or free_vars(key_side):
+                    continue
+                named = self.catalog.index_on(extent, attr)
+                if named is None or named.multi:
+                    continue
+                choice = (index_pos, attr, key_side, named)
+                break
+            if choice is not None:
+                break
+        if choice is None:
+            return None
+        index_pos, attr, key_expr, named = choice
+
+        model = self.cost_model
+        source_est = model.estimate(expr.source)
+        stats = self.catalog.stats(extent)
+        distinct = stats.distinct_count(attr) if stats is not None else None
+        if not distinct:
+            distinct = max(len(named.index), 1)
+        matching = source_est.rows / max(distinct, 1)
+        remaining = parts[:index_pos] + parts[index_pos + 1 :]
+        index_cost = model.index_scan_cost(matching) + len(remaining) * matching * PREDICATE_COST
+        scan_cost = model.filter_scan_cost(source_est)
+        if index_cost >= scan_cost:
+            return None
+
+        node: PlanNode = P.IndexScan(extent, attr, key_expr, named.name)
+        node.est_rows = matching
+        node.est_cost = model.index_scan_cost(matching)
+        if remaining:
+            node = P.Filter(expr.var, _conjoin(remaining), node)
+        node.est_rows = model.estimate(expr).rows
+        node.est_cost = index_cost
+        return node
+
     # -- joins ----------------------------------------------------------------
     def _plan_join(self, expr) -> PlanNode:
         kind = {
@@ -148,18 +246,27 @@ class Planner:
         as_attr = getattr(expr, "as_attr", None)
         result = getattr(expr, "result", None)
         right_attrs = getattr(expr, "right_attrs", ())
-        left = self._plan(expr.left)
-        right = self._plan(expr.right)
+        common = dict(
+            as_attr=as_attr, result=result, right_attrs=tuple(right_attrs)
+        )
 
         # correlated operands (free variables beyond the join's own) cannot
         # be hashed once; fall back to tuple-at-a-time evaluation
         if free_vars(expr.right) or free_vars(expr.left):
             return P.NestedLoopJoin(
-                kind, expr.lvar, expr.rvar, expr.pred, left, right,
-                as_attr=as_attr, result=result, right_attrs=tuple(right_attrs),
+                kind, expr.lvar, expr.rvar, expr.pred,
+                self._plan(expr.left), self._plan(expr.right), **common,
             )
 
         recipe = JoinRecipe(expr.lvar, expr.rvar, expr.pred)
+        if self.cost_model is not None:
+            return self._plan_join_cost_based(expr, kind, recipe, common)
+        return self._plan_join_heuristic(expr, kind, recipe, common)
+
+    def _plan_join_heuristic(self, expr, kind, recipe, common) -> PlanNode:
+        """The PR-1 recipe: hash join when possible, always building right."""
+        left = self._plan(expr.left)
+        right = self._plan(expr.right)
         if recipe.equi_left:
             return P.HashJoinBase(
                 kind,
@@ -168,17 +275,10 @@ class Planner:
                 tuple(recipe.equi_left),
                 tuple(recipe.equi_right),
                 # membership conjunct (if any) stays residual when equi keys exist
-                recipe.residual
-                if recipe.membership is None
-                else _conjoin(
-                    [A.SetCompare("in", recipe.membership[0], recipe.membership[1]),
-                     recipe.residual]
-                ),
+                recipe.residual_with_membership(),
                 left,
                 right,
-                as_attr=as_attr,
-                result=result,
-                right_attrs=tuple(right_attrs),
+                **common,
             )
         if recipe.membership is not None:
             element, container, probe_side = recipe.membership
@@ -192,14 +292,136 @@ class Planner:
                 recipe.residual,
                 left,
                 right,
-                as_attr=as_attr,
-                result=result,
-                right_attrs=tuple(right_attrs),
+                **common,
             )
         return P.NestedLoopJoin(
-            kind, expr.lvar, expr.rvar, expr.pred, left, right,
-            as_attr=as_attr, result=result, right_attrs=tuple(right_attrs),
+            kind, expr.lvar, expr.rvar, expr.pred, left, right, **common,
         )
+
+    def _plan_join_cost_based(self, expr, kind, recipe, common) -> PlanNode:
+        """Enumerate physical alternatives and keep the cheapest.
+
+        Candidates, in tie-break preference order: index nested-loop join
+        (no build), hash join building right, hash join building left
+        (plain joins only), membership hash join, nested loops.
+        """
+        model = self.cost_model
+        left_est = model.estimate(expr.left)
+        right_est = model.estimate(expr.right)
+        out = model.estimate(expr)
+        candidates: List[Tuple[float, object]] = []
+
+        inlj = self._inlj_candidate(expr, kind, recipe, common, left_est)
+        if inlj is not None:
+            candidates.append(inlj)
+
+        if recipe.equi_left:
+            residual = recipe.residual_with_membership()
+
+            def hash_right() -> PlanNode:
+                return P.HashJoinBase(
+                    kind, expr.lvar, expr.rvar,
+                    tuple(recipe.equi_left), tuple(recipe.equi_right),
+                    residual, self._plan(expr.left), self._plan(expr.right),
+                    **common,
+                )
+
+            candidates.append(
+                (model.hash_join_cost(right_est, left_est, out.rows), hash_right)
+            )
+            if kind == "join":
+
+                def hash_left() -> PlanNode:
+                    return P.HashJoinBase(
+                        kind, expr.lvar, expr.rvar,
+                        tuple(recipe.equi_left), tuple(recipe.equi_right),
+                        residual, self._plan(expr.left), self._plan(expr.right),
+                        build_side="left", **common,
+                    )
+
+                candidates.append(
+                    (model.hash_join_cost(left_est, right_est, out.rows), hash_left)
+                )
+        elif recipe.membership is not None:
+            element, container, probe_side = recipe.membership
+
+            def membership() -> PlanNode:
+                return P.MembershipHashJoin(
+                    kind, expr.lvar, expr.rvar, element, container, probe_side,
+                    recipe.residual, self._plan(expr.left), self._plan(expr.right),
+                    **common,
+                )
+
+            candidates.append(
+                (model.hash_join_cost(right_est, left_est, out.rows), membership)
+            )
+
+        def nested_loop() -> PlanNode:
+            return P.NestedLoopJoin(
+                kind, expr.lvar, expr.rvar, expr.pred,
+                self._plan(expr.left), self._plan(expr.right), **common,
+            )
+
+        candidates.append(
+            (model.nested_loop_cost(left_est, right_est, out.rows), nested_loop)
+        )
+
+        cost, builder = min(candidates, key=lambda c: c[0])
+        node = builder()
+        node.est_rows = out.rows
+        node.est_cost = cost
+        return node
+
+    def _inlj_candidate(self, expr, kind, recipe, common, left_est: Estimate):
+        """An index nested-loop join alternative, when the right operand is
+        a bare extent with a registered index on one equi-join attribute."""
+        if self.catalog is None or not isinstance(expr.right, A.ExtentRef):
+            return None
+        if not recipe.equi_left:
+            return None
+        extent = expr.right.name
+        pick = None
+        for i, right_key in enumerate(recipe.equi_right):
+            attr = _bound_attr(right_key, expr.rvar)
+            if attr is None:
+                continue
+            named = self.catalog.index_on(extent, attr)
+            if named is None or named.multi:
+                continue
+            pick = (i, attr, named)
+            break
+        if pick is None:
+            return None
+        i, attr, named = pick
+
+        leftover = [
+            A.Compare("=", l, r)
+            for j, (l, r) in enumerate(zip(recipe.equi_left, recipe.equi_right))
+            if j != i
+        ]
+        residual = _conjoin(
+            leftover + [p for p in [recipe.residual_with_membership()] if p != TRUE]
+        )
+
+        model = self.cost_model
+        stats = self.catalog.stats(extent)
+        if stats is not None and stats.distinct_count(attr):
+            matches_per_probe = stats.cardinality / stats.distinct_count(attr)
+        else:
+            matches_per_probe = named.built_cardinality / max(len(named.index), 1)
+        pair_rows = left_est.rows * matches_per_probe
+        cost = model.index_nl_join_cost(left_est, pair_rows)
+        # leftover conjuncts are evaluated per candidate pair
+        cost += len(leftover) * pair_rows * PREDICATE_COST
+
+        def build() -> PlanNode:
+            return P.IndexNestedLoopJoin(
+                kind, expr.lvar, expr.rvar, recipe.equi_left[i],
+                extent, attr, named.name, residual, self._plan(expr.left),
+                **common,
+            )
+
+        return (cost, build)
 
 
 class Executor:
@@ -209,7 +431,8 @@ class Executor:
     :class:`ExecRuntime` — the default is the streaming engine with
     compiled parameter expressions; ``materialized=True,
     compile_exprs=False`` reproduces the pre-streaming engine (the
-    benchmark baseline).
+    benchmark baseline).  ``catalog`` switches the planner to cost-based
+    physical selection and provides the runtime indexes.
     """
 
     def __init__(
@@ -219,10 +442,12 @@ class Executor:
         *,
         materialized: bool = False,
         compile_exprs: bool = True,
+        catalog=None,
     ) -> None:
         self.db = db
         self.stats = stats if stats is not None else Stats()
-        self.planner = Planner()
+        self.catalog = catalog
+        self.planner = Planner(catalog)
         self.materialized = materialized
         self.compile_exprs = compile_exprs
 
@@ -232,6 +457,7 @@ class Executor:
             self.stats,
             materialized=self.materialized,
             compile_exprs=self.compile_exprs,
+            catalog=self.catalog,
         )
 
     def execute(self, expr: A.Expr):

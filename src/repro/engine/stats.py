@@ -8,6 +8,8 @@ claim; these counters make it measurable without real I/O hardware:
   a hash semijoin costs O(|X| + |Y|) probes instead.
 * ``tuples_visited`` — every tuple an operator iterated over;
 * ``hash_inserts`` / ``hash_probes`` — hash operator work;
+* ``index_probes`` — lookups against persistent catalog indexes
+  (index scans and index nested-loop joins);
 * ``oid_derefs`` — pointer follow count (materialize/assembly);
 * ``partitions_spilled`` — PNHL memory-budget overflow events;
 * ``output_tuples`` — tuples emitted by operators;
@@ -30,6 +32,7 @@ class Stats:
     tuples_visited: int = 0
     hash_inserts: int = 0
     hash_probes: int = 0
+    index_probes: int = 0
     comparisons: int = 0
     oid_derefs: int = 0
     partitions_spilled: int = 0
@@ -50,6 +53,7 @@ class Stats:
             + self.tuples_visited
             + self.hash_inserts
             + self.hash_probes
+            + self.index_probes
             + self.comparisons
             + self.oid_derefs
         )

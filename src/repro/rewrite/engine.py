@@ -1,9 +1,12 @@
 """The rewrite engine: rules, phases, and fixpoint application.
 
 A :class:`Rule` is a named pure function ``(expr, ctx) -> Expr | None``
-that tries to rewrite *the root* of the given expression.  The engine
-lifts root rules to whole trees (top-down, first match), and runs rule
-sets to a fixpoint with a step budget as a termination backstop.
+that tries to rewrite *the root* of the given expression.  A rule that
+does not fire must return ``None`` (or its input unchanged) — never a
+structurally-equal copy, because the engine detects progress by object
+identity.  The engine lifts root rules to whole trees (top-down, first
+match), and runs rule sets to a fixpoint with a step budget as a
+termination backstop.
 
 Rules never mutate; every firing is recorded in a
 :class:`~repro.rewrite.trace.RewriteTrace` so the derivation can be
@@ -57,10 +60,19 @@ class RewriteEngine:
         """Try every rule at every node (pre-order); first hit wins.
 
         Returns ``(rule_name, new_whole_expr)`` or ``None`` if nothing fired.
+
+        Change detection is by *identity*, not structural equality: a rule
+        signals "no rewrite" by returning ``None`` (or the node it was
+        given), never a structurally-equal copy — the deep ``!=`` this used
+        to pay on every attempted rule at every node was O(tree) per
+        attempt, dominating fixpoint runs.  All shipped rules satisfy the
+        contract (each firing changes the root node type or adds
+        structure; the materialize rules explicitly return ``None`` when
+        their path rewrite is a no-op).
         """
         for r in rules:
             rewritten = r.apply(expr, self.ctx)
-            if rewritten is not None and rewritten != expr:
+            if rewritten is not None and rewritten is not expr:
                 return r.name, rewritten
 
         # descend: rebuild around the first child that rewrites

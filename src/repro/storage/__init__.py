@@ -1,13 +1,18 @@
-"""Paged storage simulator: heap files, the object store, and indexes."""
+"""Paged storage simulator: heap files, the object store, indexes, and
+the statistics catalog."""
 
+from repro.storage.catalog import Catalog, ExtentStats, NamedIndex
 from repro.storage.index import HashIndex, attribute_index, element_index
 from repro.storage.pages import HeapFile, IOCounter, Page, estimate_size
 from repro.storage.store import DEFAULT_PAGE_SIZE, Database, MemoryDatabase
 
 __all__ = [
+    "Catalog",
     "DEFAULT_PAGE_SIZE",
     "Database",
+    "ExtentStats",
     "HashIndex",
+    "NamedIndex",
     "HeapFile",
     "IOCounter",
     "MemoryDatabase",

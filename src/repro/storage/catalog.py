@@ -1,0 +1,190 @@
+"""Catalog: per-extent statistics and named persistent indexes.
+
+The paper's Section 5.1 payoff — "the optimizer may choose from a number
+of different join processing strategies" — requires the optimizer to know
+something about the data.  This module is that knowledge:
+
+* :class:`ExtentStats` — cardinality, page count, per-attribute distinct
+  counts, and average set-valued-attribute size for one extent, computed
+  by :meth:`Catalog.analyze` (an ANALYZE-style full pass);
+* named persistent :class:`HashIndex` es registered per ``(extent,
+  attribute)`` — the access paths behind the planner's index-scan and
+  index-nested-loop-join alternatives.  ``multi=True`` registers an
+  *element* index over a set-valued attribute (``p.pid ∈ s.parts``-style
+  probes).
+
+The catalog works against any store satisfying the interpreter protocol
+(:meth:`extent`); paged stores additionally contribute real
+``page_count``/``extent_size`` numbers.  Statistics and indexes are
+snapshots: after bulk loading call :meth:`refresh` (or re-``analyze``) to
+bring them up to date.  The cost model in :mod:`repro.engine.cost` never
+*requires* statistics — unknown extents fall back to defaults — so a
+catalog can be introduced incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.datamodel.errors import StorageError
+from repro.datamodel.values import Value, VTuple
+from repro.storage.index import HashIndex
+
+
+@dataclass(frozen=True)
+class ExtentStats:
+    """One extent's ANALYZE output."""
+
+    extent: str
+    cardinality: int
+    pages: int
+    #: per top-level attribute: number of distinct values
+    distinct: Mapping[str, int] = field(default_factory=dict)
+    #: per set-valued top-level attribute: mean element count
+    avg_set_size: Mapping[str, float] = field(default_factory=dict)
+
+    def distinct_count(self, attr: str) -> Optional[int]:
+        return self.distinct.get(attr)
+
+    def set_size(self, attr: str) -> Optional[float]:
+        return self.avg_set_size.get(attr)
+
+
+@dataclass
+class NamedIndex:
+    """A registered, persistent hash index over one extent attribute.
+
+    ``multi`` indexes a set-valued attribute by its *elements*.  The index
+    is an eager snapshot; ``source_rows`` keeps the extent value it was
+    built from (stores return a fresh ``frozenset`` whenever the extent
+    changes, so an identity comparison detects staleness — including
+    same-cardinality replacements) and ``built_cardinality`` records the
+    size for the cost model.
+    """
+
+    name: str
+    extent: str
+    attr: str
+    multi: bool
+    index: HashIndex
+    built_cardinality: int
+    source_rows: frozenset
+
+    def lookup(self, key: Value) -> List[VTuple]:
+        return self.index.lookup(key)
+
+
+class Catalog:
+    """Statistics + index registry over one database."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self._stats: Dict[str, ExtentStats] = {}
+        self._indexes: Dict[Tuple[str, str], NamedIndex] = {}
+        self._by_name: Dict[str, NamedIndex] = {}
+        # the catalog is *the database's* catalog: registering it on the
+        # store lets execution runtimes find the indexes without explicit
+        # threading (last constructed catalog wins)
+        db.catalog = self
+
+    # -- statistics ----------------------------------------------------------
+    def analyze(self, extents: Optional[Iterable[str]] = None) -> Dict[str, ExtentStats]:
+        """Full-pass statistics for ``extents`` (default: every extent)."""
+        for name in self._extent_names(extents):
+            self._stats[name] = self._analyze_one(name)
+        return dict(self._stats)
+
+    def stats(self, extent: str) -> Optional[ExtentStats]:
+        return self._stats.get(extent)
+
+    def _extent_names(self, extents: Optional[Iterable[str]]) -> List[str]:
+        if extents is not None:
+            return list(extents)
+        schema = getattr(self.db, "schema", None)
+        if schema is not None:
+            return list(schema.extent_names)
+        return list(getattr(self.db, "extent_names"))
+
+    def _analyze_one(self, name: str) -> ExtentStats:
+        rows = self.db.extent(name)
+        distinct_values: Dict[str, set] = {}
+        set_sizes: Dict[str, List[int]] = {}
+        for row in rows:
+            for attr in row.attributes:
+                value = row[attr]
+                distinct_values.setdefault(attr, set()).add(value)
+                if isinstance(value, frozenset):
+                    set_sizes.setdefault(attr, []).append(len(value))
+        if hasattr(self.db, "page_count"):
+            pages = self.db.page_count(name)
+        else:
+            pages = 0
+        return ExtentStats(
+            extent=name,
+            cardinality=len(rows),
+            pages=pages,
+            distinct={a: len(vs) for a, vs in distinct_values.items()},
+            avg_set_size={
+                a: (sum(sizes) / len(sizes) if sizes else 0.0)
+                for a, sizes in set_sizes.items()
+            },
+        )
+
+    # -- indexes -------------------------------------------------------------
+    def create_index(
+        self,
+        extent: str,
+        attr: str,
+        name: Optional[str] = None,
+        multi: bool = False,
+    ) -> NamedIndex:
+        """Build and register a hash index on ``extent.attr``.
+
+        Replaces any previous index on the same ``(extent, attr)`` pair;
+        reusing a name for a *different* extent/attribute is an error
+        (plans resolve indexes by name — a silently re-pointed name would
+        make them probe the wrong attribute).
+        """
+        index_name = name or f"idx_{extent}_{attr}"
+        existing = self._by_name.get(index_name)
+        if existing is not None and (existing.extent, existing.attr) != (extent, attr):
+            raise StorageError(
+                f"index name {index_name!r} already registered for "
+                f"{existing.extent}.{existing.attr}"
+            )
+        replaced = self._indexes.get((extent, attr))
+        rows = self.db.extent(extent)
+        built = HashIndex(rows, key=lambda row: row[attr], multi=multi)
+        named = NamedIndex(
+            name=index_name,
+            extent=extent,
+            attr=attr,
+            multi=multi,
+            index=built,
+            built_cardinality=len(rows),
+            source_rows=rows,
+        )
+        if replaced is not None and replaced.name != index_name:
+            self._by_name.pop(replaced.name, None)
+        self._indexes[(extent, attr)] = named
+        self._by_name[index_name] = named
+        return named
+
+    def index_on(self, extent: str, attr: str) -> Optional[NamedIndex]:
+        return self._indexes.get((extent, attr))
+
+    def index_named(self, name: str) -> Optional[NamedIndex]:
+        return self._by_name.get(name)
+
+    @property
+    def indexes(self) -> List[NamedIndex]:
+        return list(self._indexes.values())
+
+    def refresh(self) -> None:
+        """Rebuild every registered index and re-analyze analyzed extents
+        (call after bulk loads — statistics and indexes are snapshots)."""
+        for named in list(self._indexes.values()):
+            self.create_index(named.extent, named.attr, named.name, named.multi)
+        if self._stats:
+            self.analyze(list(self._stats))

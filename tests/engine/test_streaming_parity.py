@@ -18,6 +18,8 @@ from repro.engine.plan import (
     Filter,
     FlattenOp,
     HashJoinBase,
+    IndexNestedLoopJoin,
+    IndexScan,
     MapOp,
     MaterializeOp,
     MembershipHashJoin,
@@ -33,7 +35,7 @@ from repro.engine.plan import (
 )
 from repro.engine.planner import Executor
 from repro.engine.stats import Stats
-from repro.storage import MemoryDatabase
+from repro.storage import Catalog, MemoryDatabase
 from repro.workload.generator import generate_database
 
 TRUE = A.Literal(True)
@@ -69,6 +71,17 @@ def paged_db():
     return generate_database(
         n_parts=20, n_suppliers=8, n_deliveries=10, seed=3, page_size=512
     )
+
+
+def indexed_db():
+    """flat_db plus a catalog with indexes (registered on the db itself,
+    which is how ExecRuntime finds it)."""
+    db = flat_db()
+    catalog = Catalog(db)
+    catalog.analyze(["X", "Y"])
+    catalog.create_index("X", "a")
+    catalog.create_index("Y", "d")
+    return db
 
 
 # one representative instance per operator class; (factory, db factory)
@@ -128,6 +141,14 @@ CASES = {
         ),
         flat_db,
     ),
+    "IndexScan": (lambda: IndexScan("X", "a", B.lit(1), "idx_X_a"), indexed_db),
+    "HashJoinBase-build-left": (
+        lambda: HashJoinBase(
+            "join", "x", "y", XA, YD, TRUE, Scan("X"), Scan("Y"),
+            build_side="left",
+        ),
+        flat_db,
+    ),
 }
 
 for kind in ("join", "semijoin", "antijoin", "outerjoin", "nestjoin"):
@@ -147,6 +168,12 @@ for kind in ("join", "semijoin", "antijoin", "outerjoin", "nestjoin"):
             kind, "x", "y", XA, YD, TRUE, Scan("X"), Scan("Y"), **extra
         ),
         flat_db,
+    )
+    CASES[f"IndexNestedLoopJoin-{kind}"] = (
+        lambda kind=kind, extra=extra: IndexNestedLoopJoin(
+            kind, "x", "y", XA[0], "Y", "d", "idx_Y_d", TRUE, Scan("X"), **extra
+        ),
+        indexed_db,
     )
 
 

@@ -1,0 +1,114 @@
+"""Tests for the statistics catalog and named persistent indexes."""
+
+import pytest
+
+from repro.datamodel import StorageError, VTuple, vset
+from repro.storage import Catalog, MemoryDatabase
+from repro.workload.generator import generate_database
+
+
+@pytest.fixture()
+def db():
+    return MemoryDatabase(
+        {
+            "X": [VTuple(a=i % 3, b=i, c=vset(*range(i % 4))) for i in range(12)],
+            "Y": [VTuple(d=i, e=i * 2) for i in range(5)],
+        }
+    )
+
+
+class TestAnalyze:
+    def test_cardinality_and_distinct(self, db):
+        stats = Catalog(db).analyze()["X"]
+        assert stats.cardinality == 12
+        assert stats.distinct_count("a") == 3
+        assert stats.distinct_count("b") == 12
+        assert stats.distinct_count("missing") is None
+
+    def test_avg_set_size(self, db):
+        stats = Catalog(db).analyze()["X"]
+        # i % 4 yields sets of size 0,1,2,3 cycling over 12 rows → mean 1.5
+        assert stats.set_size("c") == pytest.approx(1.5)
+        assert stats.set_size("a") is None  # not set-valued
+
+    def test_explicit_extent_list(self, db):
+        catalog = Catalog(db)
+        catalog.analyze(["Y"])
+        assert catalog.stats("Y") is not None
+        assert catalog.stats("X") is None
+
+    def test_paged_store_page_counts(self):
+        paged = generate_database(n_parts=30, n_suppliers=10, n_deliveries=10,
+                                  seed=1, page_size=512)
+        stats = Catalog(paged).analyze()["PART"]
+        assert stats.cardinality == 30
+        assert stats.pages == paged.page_count("PART")
+        assert stats.pages > 0
+
+    def test_registers_itself_on_the_db(self, db):
+        catalog = Catalog(db)
+        assert db.catalog is catalog
+
+
+class TestIndexes:
+    def test_create_and_lookup(self, db):
+        catalog = Catalog(db)
+        named = catalog.create_index("X", "a")
+        assert named.name == "idx_X_a"
+        rows = named.lookup(1)
+        assert rows and all(row["a"] == 1 for row in rows)
+        assert named.lookup(99) == []
+
+    def test_multi_index_on_set_attribute(self, db):
+        catalog = Catalog(db)
+        named = catalog.create_index("X", "c", multi=True)
+        assert named.multi
+        assert all(2 in row["c"] for row in named.lookup(2))
+
+    def test_index_on_and_named(self, db):
+        catalog = Catalog(db)
+        named = catalog.create_index("Y", "d", name="ydx")
+        assert catalog.index_on("Y", "d") is named
+        assert catalog.index_named("ydx") is named
+        assert catalog.index_on("Y", "e") is None
+
+    def test_replacing_same_slot(self, db):
+        catalog = Catalog(db)
+        first = catalog.create_index("Y", "d")
+        second = catalog.create_index("Y", "d")
+        assert catalog.index_on("Y", "d") is second
+        assert first is not second
+
+    def test_name_collision_across_extents(self, db):
+        catalog = Catalog(db)
+        catalog.create_index("Y", "d", name="shared")
+        with pytest.raises(StorageError):
+            catalog.create_index("X", "a", name="shared")
+
+    def test_name_collision_across_attrs_same_extent(self, db):
+        # re-pointing a name at a different attribute would make plans
+        # that resolve by name probe the wrong index
+        catalog = Catalog(db)
+        catalog.create_index("Y", "d", name="shared")
+        with pytest.raises(StorageError):
+            catalog.create_index("Y", "e", name="shared")
+
+    def test_renaming_a_slot_drops_the_old_name(self, db):
+        catalog = Catalog(db)
+        catalog.create_index("Y", "d", name="old")
+        renamed = catalog.create_index("Y", "d", name="new")
+        assert catalog.index_named("old") is None
+        assert catalog.index_named("new") is renamed
+
+    def test_refresh_rebuilds_indexes_and_stats(self):
+        paged = generate_database(n_parts=10, n_suppliers=4, n_deliveries=4, seed=2)
+        catalog = Catalog(paged)
+        catalog.analyze(["PART"])
+        named = catalog.create_index("PART", "pname")
+        assert named.built_cardinality == 10
+        paged.insert("Part", {"pname": "extra", "price": 1, "color": "red"})
+        catalog.refresh()
+        refreshed = catalog.index_on("PART", "pname")
+        assert refreshed.built_cardinality == 11
+        assert refreshed.lookup("extra")
+        assert catalog.stats("PART").cardinality == 11
