@@ -1,9 +1,19 @@
 """Benchmark harness: per-PR perf gates, oracle-checked.
 
-Two suites:
+Three suites:
 
-**PR 2 (default)** — cost-based physical planning vs the PR-1 heuristic
-planner, same logical queries, same engine, plans chosen differently:
+**PR 3** — DP join reordering vs the rewriter's left-to-right order, both
+under cost-based physical planning (``Executor(reorder=False)`` is the
+baseline), on multi-join chain/star/cross-product workloads where the
+syntactic order is bad.  Every workload is oracle-checked (reordered,
+unordered and heuristic plans must agree; the reference interpreter
+confirms where it is feasible), the cost model's estimated improvement is
+recorded alongside the measured one, and the outcome lands in
+``BENCH_PR3.json``.
+
+**PR 2 (also default)** — cost-based physical planning vs the PR-1
+heuristic planner, same logical queries, same engine, plans chosen
+differently:
 
 * ``indexed_lookup_join`` / ``indexed_semijoin`` — small probe side
   against a large indexed extent: the cost-based planner picks an index
@@ -25,9 +35,14 @@ indexes are amortized across queries, which is the point of a catalog.
 materializing interpreted engine (same physical plans), written to
 ``BENCH_PR1.json``.
 
+Every suite marks its robust workloads ``"checked": true`` and reports
+``checked_floor`` (their minimum speedup); a suite *fails* when that
+floor regresses below 1.0x — the CI smoke job runs this script, so a
+reordering or planning regression turns CI red.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--reps N] [--pr1 | --all]
+    PYTHONPATH=src python benchmarks/run_bench.py [--reps N] [--pr1 | --pr3 | --all]
 """
 
 from __future__ import annotations
@@ -47,7 +62,7 @@ from repro.engine.interpreter import Interpreter  # noqa: E402
 from repro.engine.plan import ExecRuntime, HashJoinBase, NestedLoopJoin, Scan  # noqa: E402
 from repro.engine.planner import Executor  # noqa: E402
 from repro.engine.stats import Stats  # noqa: E402
-from repro.storage import Catalog  # noqa: E402
+from repro.storage import Catalog, MemoryDatabase  # noqa: E402
 from repro.workload.generator import generate_xy  # noqa: E402
 from repro.workload.harness import render_table  # noqa: E402
 
@@ -58,6 +73,223 @@ YD = B.attr(B.var("y"), "d")
 EQ = B.eq(XA, YD)
 EQ_SWAPPED = B.eq(YD, XA)
 TRUE = A.Literal(True)
+
+
+def _checked_floor(report: dict) -> dict:
+    """Annotate a suite report with its checked-speedup floor gate."""
+    checked = [w["speedup"] for w in report["workloads"] if w.get("checked")]
+    report["checked_floor"] = min(checked) if checked else None
+    report["meets_floor_1x"] = all(s >= 1.0 for s in checked)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# PR 3: DP join reordering vs the rewriter's syntactic order
+# ---------------------------------------------------------------------------
+
+
+def _av(var, attr):
+    return B.attr(B.var(var), attr)
+
+
+def _chain_db(n1, n2, n3, n4):
+    from repro.datamodel import VTuple
+
+    return MemoryDatabase(
+        {
+            "R1": [VTuple(a1=i % 50, i1=i) for i in range(n1)],
+            "R2": [VTuple(a2=i % 50, b2=i % 40, i2=i) for i in range(n2)],
+            "R3": [VTuple(b3=i % 40, c3=i % 20, i3=i) for i in range(n3)],
+            "R4": [VTuple(c4=i % 20, i4=i) for i in range(n4)],
+        }
+    )
+
+
+def _chain_query():
+    return B.join(
+        B.join(
+            B.join(B.extent("R1"), B.extent("R2"), "x", "y",
+                   B.eq(_av("x", "a1"), _av("y", "a2"))),
+            B.extent("R3"), "t", "z", B.eq(_av("t", "b2"), _av("z", "b3")),
+        ),
+        B.extent("R4"), "u", "w", B.eq(_av("u", "c3"), _av("w", "c4")),
+    )
+
+
+def _pr3_workloads():
+    """Yield (name, db, catalog, expr, interp_oracle, note)."""
+    from repro.datamodel import VTuple
+
+    # W1: the acceptance workload — a 4-extent chain with cardinalities
+    # skewed toward the far end; the rewriter's left-to-right order builds
+    # a large R1⋈R2 intermediate the DP order never materializes
+    db = _chain_db(400, 400, 30, 6)
+    catalog = Catalog(db)
+    catalog.analyze()
+    yield (
+        "chain_skew_4_extents",
+        db,
+        catalog,
+        _chain_query(),
+        True,
+        "400-400-30-6 chain; DP joins from the selective end",
+    )
+
+    # W2: star — the query joins the big dimension first, the selective
+    # one last; the DP order flips them
+    db = MemoryDatabase(
+        {
+            "C": [VTuple(k1=i % 100, k2=i % 300, k3=i % 60, ic=i) for i in range(800)],
+            "D1": [VTuple(x1=i % 100, i1=i) for i in range(400)],
+            "D2": [VTuple(x2=i, i2=i) for i in range(5)],
+            "D3": [VTuple(x3=i % 60, i3=i) for i in range(60)],
+        }
+    )
+    catalog = Catalog(db)
+    catalog.analyze()
+    star = B.join(
+        B.join(
+            B.join(B.extent("C"), B.extent("D1"), "c", "p",
+                   B.eq(_av("c", "k1"), _av("p", "x1"))),
+            B.extent("D2"), "t", "q", B.eq(_av("t", "k2"), _av("q", "x2")),
+        ),
+        B.extent("D3"), "u", "r", B.eq(_av("u", "k3"), _av("r", "x3")),
+    )
+    yield (
+        "star_selective_dimension",
+        db,
+        catalog,
+        star,
+        True,
+        "800-row fact: query order hits the 400-row dimension before the 5-row one",
+    )
+
+    # W3: the query opens with a cross product the join graph does not
+    # require; the DP order avoids it (interpreter oracle is infeasible at
+    # this scale — the heuristic plan, oracle-checked in PR 1/2, stands in)
+    db = _chain_db(150, 300, 150, 1)
+    catalog = Catalog(db)
+    catalog.analyze()
+    cross = B.join(
+        B.join(B.extent("R1"), B.extent("R3"), "x", "z", TRUE),
+        B.extent("R2"), "t", "y",
+        B.conj(B.eq(_av("t", "a1"), _av("y", "a2")),
+               B.eq(_av("t", "b3"), _av("y", "b2"))),
+    )
+    yield (
+        "cross_product_avoidance",
+        db,
+        catalog,
+        cross,
+        False,
+        "rewriter order opens with a 150x150 cross product; the graph is connected",
+    )
+
+
+def _run_pr3(reps: int) -> dict:
+    workloads = []
+    for name, db, catalog, expr, interp_oracle, note in _pr3_workloads():
+        heuristic = Executor(db)
+        unordered = Executor(db, catalog=catalog, reorder=False)
+        reordered = Executor(db, catalog=catalog)
+
+        heuristic_result = heuristic.execute(expr)
+        unordered_result = unordered.execute(expr)
+        reordered_result = reordered.execute(expr)
+        oracle_ok = heuristic_result == unordered_result == reordered_result
+        if interp_oracle:
+            oracle_ok = oracle_ok and Interpreter(db).eval(expr) == reordered_result
+        if not oracle_ok:
+            raise AssertionError(f"{name}: reordered plans diverged from the oracle")
+
+        # the decision record: estimated costs for both orders
+        reordered.planner.plan(expr)
+        (decision,) = reordered.planner.last_join_orders
+
+        unordered_wall = _time_execute(unordered, expr, reps)
+        reordered_wall = _time_execute(reordered, expr, reps)
+
+        workloads.append(
+            {
+                "name": name,
+                "note": note,
+                "checked": True,
+                "results_match_oracle": True,
+                "interpreter_oracle": interp_oracle,
+                "result_cardinality": len(reordered_result),
+                "join_order": {
+                    "chosen": decision.chosen,
+                    "chosen_est_cost": decision.chosen_cost,
+                    "rewriter": decision.original,
+                    "rewriter_est_cost": decision.original_cost,
+                    "reordered": decision.reordered,
+                },
+                "unordered": {
+                    "wall_s": unordered_wall,
+                    "plan": unordered.explain(expr).splitlines()[0],
+                },
+                "reordered": {
+                    "wall_s": reordered_wall,
+                    "plan": reordered.explain(expr).splitlines()[0],
+                },
+                "speedup": unordered_wall / reordered_wall
+                if reordered_wall
+                else float("inf"),
+            }
+        )
+
+    chain = workloads[0]
+    return _checked_floor(
+        {
+            "pr": 3,
+            "description": "DP join reordering (engine/joinorder.py) vs the "
+            "rewriter's left-to-right join order, both under cost-based "
+            "physical planning; oracle-checked",
+            "executors": {
+                "unordered": "Executor(db, catalog=..., reorder=False)",
+                "reordered": "Executor(db, catalog=...) [default]",
+            },
+            "reps": reps,
+            "workloads": workloads,
+            "chain_estimate_improves": chain["join_order"]["chosen_est_cost"]
+            < chain["join_order"]["rewriter_est_cost"],
+            "max_speedup": max(w["speedup"] for w in workloads),
+        }
+    )
+
+
+def run_pr3(reps: int) -> bool:
+    report = _run_pr3(reps)
+    out_path = ROOT / "BENCH_PR3.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    rows = [
+        (
+            w["name"],
+            w["join_order"]["chosen"],
+            f"{w['unordered']['wall_s'] * 1e3:.2f}",
+            f"{w['reordered']['wall_s'] * 1e3:.2f}",
+            f"{w['speedup']:.1f}x",
+        )
+        for w in report["workloads"]
+    ]
+    print(
+        render_table(
+            ["workload", "DP order", "unordered ms", "reordered ms", "speedup"],
+            rows,
+            title="PR 3 — DP join reordering vs rewriter order",
+        )
+    )
+    chain = report["workloads"][0]["join_order"]
+    print(
+        f"\nchain estimates: rewriter≈{chain['rewriter_est_cost']:.0f} vs "
+        f"DP≈{chain['chosen_est_cost']:.0f} "
+        f"(improves={report['chain_estimate_improves']})"
+    )
+    ok = report["meets_floor_1x"] and report["chain_estimate_improves"]
+    print(f"wrote {out_path} (max speedup {report['max_speedup']:.1f}x, "
+          f"checked floor {report['checked_floor']:.1f}x, ok={ok})")
+    return ok
 
 
 # ---------------------------------------------------------------------------
@@ -144,6 +376,8 @@ def _run_pr2(reps: int) -> dict:
             {
                 "name": name,
                 "note": note,
+                # build_side_skew is a close call (~1.1x) — not gated
+                "checked": name != "build_side_skew",
                 "results_match_oracle": True,
                 "result_cardinality": len(oracle),
                 "heuristic": {
@@ -168,7 +402,7 @@ def _run_pr2(reps: int) -> dict:
             }
 
     fast = sorted((w["speedup"] for w in workloads), reverse=True)
-    return {
+    return _checked_floor({
         "pr": 2,
         "description": "cost-based physical planning (catalog statistics, "
         "index access paths, join-strategy and build-side selection) vs the "
@@ -182,7 +416,7 @@ def _run_pr2(reps: int) -> dict:
         "build_side_flip": build_side_flip,
         "max_speedup": fast[0],
         "meets_1_5x_on_two_workloads": len(fast) >= 2 and fast[1] >= 1.5,
-    }
+    })
 
 
 def run_pr2(reps: int) -> bool:
@@ -211,9 +445,9 @@ def run_pr2(reps: int) -> bool:
     print("\nbuild-side flip:")
     print(f"  small left : {flip['small_left']}")
     print(f"  small right: {flip['small_right']}")
-    ok = report["meets_1_5x_on_two_workloads"]
+    ok = report["meets_1_5x_on_two_workloads"] and report["meets_floor_1x"]
     print(f"\nwrote {out_path} (max speedup {report['max_speedup']:.1f}x, "
-          f"meets_1_5x_on_two_workloads={ok})")
+          f"checked floor {report['checked_floor']:.1f}x, ok={ok})")
     return ok
 
 
@@ -279,6 +513,11 @@ def _timed_plan(plan, db, **engine):
     return time.perf_counter() - start
 
 
+#: PR-1 workloads with robust (≥2x) margins, safe to gate at 1.0x even
+#: under single-rep CI noise.
+_PR1_CHECKED = {"fig3_nestjoin_nested_loop", "join_vs_nl_nested_loop_join"}
+
+
 def run_pr1(reps: int) -> bool:
     workloads = []
     for name, db, plan, oracle_expr in _pr1_workloads():
@@ -293,6 +532,7 @@ def run_pr1(reps: int) -> bool:
             {
                 "name": name,
                 "plan": plan.label,
+                "checked": name in _PR1_CHECKED,
                 "results_match_oracle": True,
                 "result_cardinality": len(oracle),
                 "baseline": {"wall_s": base_wall, "stats": base_stats},
@@ -302,7 +542,7 @@ def run_pr1(reps: int) -> bool:
         )
 
     max_speedup = max(w["speedup"] for w in workloads)
-    report = {
+    report = _checked_floor({
         "pr": 1,
         "description": "streaming Volcano execution + compiled expressions "
         "vs the materializing interpreted engine (same physical plans)",
@@ -314,7 +554,7 @@ def run_pr1(reps: int) -> bool:
         "workloads": workloads,
         "max_speedup": max_speedup,
         "meets_2x": max_speedup >= 2.0,
-    }
+    })
     out_path = ROOT / "BENCH_PR1.json"
     out_path.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -337,8 +577,9 @@ def run_pr1(reps: int) -> bool:
         )
     )
     print(f"\nwrote {out_path} (max speedup {max_speedup:.1f}x, "
-          f"meets_2x={report['meets_2x']})")
-    return report["meets_2x"]
+          f"meets_2x={report['meets_2x']}, "
+          f"checked floor {report['checked_floor']:.1f}x)")
+    return report["meets_2x"] and report["meets_floor_1x"]
 
 
 def main(argv=None) -> int:
@@ -346,15 +587,20 @@ def main(argv=None) -> int:
     parser.add_argument("--reps", type=int, default=DEFAULT_REPS,
                         help="timing repetitions per engine (min is kept)")
     parser.add_argument("--pr1", action="store_true",
-                        help="run the PR 1 suite instead of PR 2")
-    parser.add_argument("--all", action="store_true", help="run both suites")
+                        help="run only the PR 1 suite")
+    parser.add_argument("--pr3", action="store_true",
+                        help="run only the PR 3 suite")
+    parser.add_argument("--all", action="store_true", help="run every suite")
     args = parser.parse_args(argv)
 
+    only = args.pr1 or args.pr3
     ok = True
     if args.pr1 or args.all:
         ok = run_pr1(args.reps) and ok
-    if not args.pr1:
+    if args.all or not only:
         ok = run_pr2(args.reps) and ok
+    if args.pr3 or args.all or not only:
+        ok = run_pr3(args.reps) and ok
     return 0 if ok else 1
 
 

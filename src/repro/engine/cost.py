@@ -48,8 +48,8 @@ cost, making every choice inspectable and testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
 
 from repro.adl import ast as A
 from repro.adl.freevars import free_vars
@@ -96,12 +96,19 @@ class Estimate:
 
     ``extent`` is the provenance extent: set when the subplan's tuples
     are (a filtered/projected subset of) one extent's tuples, so
-    per-attribute statistics still apply.
+    per-attribute statistics still apply.  ``attr_sources`` is the
+    *per-attribute* provenance — attribute name → extent — carried by
+    composite rows (join/product outputs concatenate their operands'
+    tuples, so each attribute still comes from exactly one extent).  It is
+    what lets the estimator price equality conjuncts over already-joined
+    operands with real distinct counts instead of fallback constants,
+    which in turn is what makes differently-ordered join trees comparable.
     """
 
     rows: float
     cost: float
     extent: Optional[str] = None
+    attr_sources: Mapping[str, str] = field(default_factory=dict)
 
 
 class CardinalityEstimator:
@@ -123,25 +130,53 @@ class CardinalityEstimator:
         self._memo: dict = {}  # id(expr) -> (expr, Estimate); strong refs pin ids
 
     # -- catalog access ------------------------------------------------------
+    # ``source`` throughout is either an extent name, ``None``, or a child
+    # :class:`Estimate` — the latter resolves attribute provenance through
+    # ``attr_sources`` so composite (already-joined) operands still reach
+    # real statistics.
+
     def _stats(self, extent: Optional[str]) -> Optional[ExtentStats]:
         if extent is None or self.catalog is None:
             return None
         return self.catalog.stats(extent)
 
-    def _distinct(self, extent: Optional[str], attr: str) -> Optional[float]:
-        stats = self._stats(extent)
+    def _attr_extent(self, source, attr: str) -> Optional[str]:
+        if isinstance(source, Estimate):
+            if source.extent is not None:
+                return source.extent
+            return source.attr_sources.get(attr)
+        return source
+
+    def _distinct(self, source, attr: str) -> Optional[float]:
+        stats = self._stats(self._attr_extent(source, attr))
         if stats is None:
             return None
         nd = stats.distinct_count(attr)
         return float(nd) if nd else None
 
-    def _set_size(self, extent: Optional[str], attr: str) -> float:
-        stats = self._stats(extent)
+    def distinct_for(self, source, attr: str) -> Optional[float]:
+        """Distinct count of ``attr`` on an operand (extent name or child
+        :class:`Estimate`) — the join-order enumerator's scoring hook."""
+        return self._distinct(source, attr)
+
+    def _set_size(self, source, attr: str) -> float:
+        stats = self._stats(self._attr_extent(source, attr))
         if stats is not None:
             size = stats.set_size(attr)
             if size is not None:
                 return size
         return DEFAULT_SET_SIZE
+
+    def _sources(self, est: Estimate) -> Mapping[str, str]:
+        """The attribute→extent provenance map of an operand estimate."""
+        if est.extent is not None:
+            stats = self._stats(est.extent)
+            if stats is not None:
+                out = {attr: est.extent for attr in stats.distinct}
+                for attr in stats.avg_set_size:
+                    out.setdefault(attr, est.extent)
+                return out
+        return est.attr_sources
 
     # -- estimation ----------------------------------------------------------
     def estimate(self, expr: A.Expr) -> Estimate:
@@ -161,27 +196,47 @@ class CardinalityEstimator:
             return Estimate(rows, rows * TUPLE_COST, expr.name)
         if isinstance(expr, A.Select):
             child = self.estimate(expr.source)
-            sel = self.selectivity(expr.pred, expr.var, child.extent)
+            sel = self.selectivity(expr.pred, expr.var, child)
             return Estimate(
                 child.rows * sel,
                 child.cost + child.rows * PREDICATE_COST,
                 child.extent,
+                child.attr_sources,
             )
         if isinstance(expr, A.Map):
             child = self.estimate(expr.source)
-            extent = child.extent if expr.body == A.Var(expr.var) else None
-            return Estimate(child.rows, child.cost + child.rows * TUPLE_COST, extent)
+            identity = expr.body == A.Var(expr.var)
+            return Estimate(
+                child.rows,
+                child.cost + child.rows * TUPLE_COST,
+                child.extent if identity else None,
+                child.attr_sources if identity else {},
+            )
         if isinstance(expr, A.Project):
             child = self.estimate(expr.source)
-            return Estimate(child.rows, child.cost + child.rows * TUPLE_COST, child.extent)
+            sources = {
+                a: e for a, e in self._sources(child).items() if a in expr.attrs
+            }
+            return Estimate(
+                child.rows, child.cost + child.rows * TUPLE_COST, child.extent, sources
+            )
         if isinstance(expr, A.Rename):
             child = self.estimate(expr.source)
-            return Estimate(child.rows, child.cost + child.rows * TUPLE_COST)
+            renames = dict(expr.renames)
+            sources = {
+                renames.get(a, a): e for a, e in self._sources(child).items()
+            }
+            return Estimate(
+                child.rows, child.cost + child.rows * TUPLE_COST, None, sources
+            )
         if isinstance(expr, A.Unnest):
             child = self.estimate(expr.source)
-            fanout = self._set_size(child.extent, expr.attr)
+            fanout = self._set_size(child, expr.attr)
             rows = child.rows * max(fanout, 1.0)
-            return Estimate(rows, child.cost + rows * TUPLE_COST)
+            sources = {
+                a: e for a, e in self._sources(child).items() if a != expr.attr
+            }
+            return Estimate(rows, child.cost + rows * TUPLE_COST, None, sources)
         if isinstance(expr, A.Nest):
             child = self.estimate(expr.source)
             return Estimate(
@@ -207,7 +262,12 @@ class CardinalityEstimator:
         if isinstance(expr, A.CartProd):
             left, right = self.estimate(expr.left), self.estimate(expr.right)
             rows = left.rows * right.rows
-            return Estimate(rows, left.cost + right.cost + rows * TUPLE_COST)
+            return Estimate(
+                rows,
+                left.cost + right.cost + rows * TUPLE_COST,
+                None,
+                self._merge_sources(left, right),
+            )
         if isinstance(expr, A.Division):
             left, right = self.estimate(expr.left), self.estimate(expr.right)
             return Estimate(
@@ -222,30 +282,52 @@ class CardinalityEstimator:
         # scalar residue / unknown leaves
         return Estimate(DEFAULT_CARDINALITY, DEFAULT_CARDINALITY)
 
+    def _merge_sources(self, left: Estimate, right: Estimate) -> Mapping[str, str]:
+        """Concatenated-tuple provenance: both operands' attributes, each
+        still owned by its original extent (``concat`` forbids clashes, so
+        an overlap can only come from estimation noise — drop those)."""
+        lsrc, rsrc = self._sources(left), self._sources(right)
+        merged = dict(lsrc)
+        for attr, extent in rsrc.items():
+            if merged.get(attr, extent) != extent:
+                del merged[attr]
+            else:
+                merged[attr] = extent
+        return merged
+
     def _estimate_join(self, expr) -> Estimate:
         left = self.estimate(expr.left)
         right = self.estimate(expr.right)
-        sel = self.join_selectivity(
-            expr.pred, expr.lvar, expr.rvar, left.extent, right.extent
-        )
+        sel = self.join_selectivity(expr.pred, expr.lvar, expr.rvar, left, right)
         pair_rows = left.rows * right.rows * sel
         # default cost: hash-ish (both sides touched once); the planner
         # re-prices physical alternatives explicitly, this is only for
         # enclosing operators
         cost = left.cost + right.cost + (left.rows + right.rows) * TUPLE_COST
         if isinstance(expr, A.Join):
-            return Estimate(pair_rows, cost + pair_rows * TUPLE_COST)
+            return Estimate(
+                pair_rows,
+                cost + pair_rows * TUPLE_COST,
+                None,
+                self._merge_sources(left, right),
+            )
         if isinstance(expr, A.SemiJoin):
             return Estimate(left.rows * SEMI_MATCH_FRACTION, cost, left.extent)
         if isinstance(expr, A.AntiJoin):
             return Estimate(left.rows * (1.0 - SEMI_MATCH_FRACTION), cost, left.extent)
         if isinstance(expr, A.OuterJoin):
-            return Estimate(max(pair_rows, left.rows), cost)
+            return Estimate(
+                max(pair_rows, left.rows), cost, None, self._merge_sources(left, right)
+            )
         # nestjoin: one output tuple per left tuple, groups attached
-        return Estimate(left.rows, cost + pair_rows * TUPLE_COST)
+        return Estimate(left.rows, cost + pair_rows * TUPLE_COST, left.extent)
 
     # -- selectivity ---------------------------------------------------------
-    def selectivity(self, pred: A.Expr, var: str, extent: Optional[str]) -> float:
+    # ``source`` / ``left`` / ``right`` are extent names, ``None``, or child
+    # ``Estimate`` objects (whose ``attr_sources`` resolve attributes of
+    # composite operands — see :meth:`_attr_extent`).
+
+    def selectivity(self, pred: A.Expr, var: str, source=None) -> float:
         """Fraction of tuples bound to ``var`` satisfying ``pred``."""
         if isinstance(pred, A.Literal):
             if pred.value is True:
@@ -254,22 +336,22 @@ class CardinalityEstimator:
                 return 0.0
             return DEFAULT_SELECTIVITY
         if isinstance(pred, A.And):
-            return self.selectivity(pred.left, var, extent) * self.selectivity(
-                pred.right, var, extent
+            return self.selectivity(pred.left, var, source) * self.selectivity(
+                pred.right, var, source
             )
         if isinstance(pred, A.Or):
-            s1 = self.selectivity(pred.left, var, extent)
-            s2 = self.selectivity(pred.right, var, extent)
+            s1 = self.selectivity(pred.left, var, source)
+            s2 = self.selectivity(pred.right, var, source)
             return min(1.0, s1 + s2 - s1 * s2)
         if isinstance(pred, A.Not):
-            return max(0.0, 1.0 - self.selectivity(pred.operand, var, extent))
+            return max(0.0, 1.0 - self.selectivity(pred.operand, var, source))
         if isinstance(pred, A.Compare):
             if pred.op == "=":
                 attr = _bound_attr(pred.left, var) or _bound_attr(
                     pred.right, var
                 )
                 if attr is not None:
-                    nd = self._distinct(extent, attr)
+                    nd = self._distinct(source, attr)
                     if nd:
                         return 1.0 / nd
                 return EQ_SELECTIVITY
@@ -285,32 +367,32 @@ class CardinalityEstimator:
         pred: A.Expr,
         lvar: str,
         rvar: str,
-        left_extent: Optional[str],
-        right_extent: Optional[str],
+        left=None,
+        right=None,
     ) -> float:
         """Fraction of the cross product surviving the join predicate."""
         if isinstance(pred, A.And):
             return self.join_selectivity(
-                pred.left, lvar, rvar, left_extent, right_extent
-            ) * self.join_selectivity(pred.right, lvar, rvar, left_extent, right_extent)
+                pred.left, lvar, rvar, left, right
+            ) * self.join_selectivity(pred.right, lvar, rvar, left, right)
         if isinstance(pred, A.Literal) and pred.value is True:
             return 1.0
         if isinstance(pred, A.Compare) and pred.op == "=":
             candidates = []
-            for side, var, extent in (
-                (pred.left, lvar, left_extent),
-                (pred.right, lvar, left_extent),
+            for side, var, source in (
+                (pred.left, lvar, left),
+                (pred.right, lvar, left),
             ):
                 attr = _bound_attr(side, var)
                 if attr is not None:
-                    candidates.append(self._distinct(extent, attr))
-            for side, var, extent in (
-                (pred.left, rvar, right_extent),
-                (pred.right, rvar, right_extent),
+                    candidates.append(self._distinct(source, attr))
+            for side, var, source in (
+                (pred.left, rvar, right),
+                (pred.right, rvar, right),
             ):
                 attr = _bound_attr(side, var)
                 if attr is not None:
-                    candidates.append(self._distinct(extent, attr))
+                    candidates.append(self._distinct(source, attr))
             known = [nd for nd in candidates if nd]
             if known:
                 return 1.0 / max(known)
@@ -320,9 +402,9 @@ class CardinalityEstimator:
         # predicates over one side only filter that side
         fv = free_vars(pred)
         if fv <= {lvar}:
-            return self.selectivity(pred, lvar, left_extent)
+            return self.selectivity(pred, lvar, left)
         if fv <= {rvar}:
-            return self.selectivity(pred, rvar, right_extent)
+            return self.selectivity(pred, rvar, right)
         return DEFAULT_SELECTIVITY
 
 

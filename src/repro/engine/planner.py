@@ -3,7 +3,11 @@
 Rewriting a nested query into a join query pays off because "the optimizer
 may choose from a number of different join processing strategies"
 (Section 5.1).  This planner makes that choice — and, given a
-:class:`~repro.storage.catalog.Catalog`, makes it *cost-based*:
+:class:`~repro.storage.catalog.Catalog`, makes it *cost-based*.  Before
+physical selection even starts, multi-join regions are re-ordered by the
+DP enumeration in :mod:`repro.engine.joinorder` (disable with
+``reorder=False``; widen to bushy trees with ``bushy=True``), so the tree
+being priced is already the cheapest order the cost model can find.  Then:
 
 * join predicates are decomposed into conjuncts; equality conjuncts whose
   sides depend on one operand each become **hash-join keys**, membership
@@ -38,8 +42,10 @@ from typing import List, Optional, Tuple
 
 from repro.adl import ast as A
 from repro.adl.freevars import free_vars
+from repro.adl.subst import substitute
 from repro.engine import plan as P
 from repro.engine.cost import CostModel, Estimate, PREDICATE_COST, _bound_attr
+from repro.engine.joinorder import JoinOrderDecision, reorder_joins
 from repro.engine.plan import ExecRuntime, PlanNode
 from repro.engine.stats import Stats
 
@@ -120,16 +126,29 @@ class Planner:
     """Plans closed ADL expressions (no free variables at the top level).
 
     ``catalog`` enables cost-based planning; without it the PR-1
-    heuristics apply unchanged.
+    heuristics apply unchanged.  Under cost-based planning every maximal
+    plain-join region of three or more operands is first re-enumerated by
+    the DP join-order search (:mod:`repro.engine.joinorder`) —
+    ``reorder=False`` plans the rewriter's order as-is, ``bushy=True``
+    widens the search from left-deep chains to bushy trees.  Each region's
+    decision is kept in :attr:`last_join_orders` for ``explain()``.
     """
 
-    def __init__(self, catalog=None) -> None:
+    def __init__(self, catalog=None, *, reorder: bool = True, bushy: bool = False) -> None:
         self.catalog = catalog
         self.cost_model: Optional[CostModel] = (
             CostModel(catalog) if catalog is not None else None
         )
+        self.reorder = reorder
+        self.bushy = bushy
+        self.last_join_orders: List[JoinOrderDecision] = []
 
     def plan(self, expr: A.Expr) -> PlanNode:
+        self.last_join_orders = []
+        if self.cost_model is not None and self.reorder:
+            expr, self.last_join_orders = reorder_joins(
+                expr, self.cost_model, self.catalog, bushy=self.bushy
+            )
         return self._plan(expr)
 
     # -- dispatch ------------------------------------------------------------
@@ -374,12 +393,24 @@ class Planner:
 
     def _inlj_candidate(self, expr, kind, recipe, common, left_est: Estimate):
         """An index nested-loop join alternative, when the right operand is
-        a bare extent with a registered index on one equi-join attribute."""
-        if self.catalog is None or not isinstance(expr.right, A.ExtentRef):
+        an indexed extent — bare, or under a pushed-down selection, which
+        then rides along as a residual predicate applied after the probe."""
+        if self.catalog is None:
+            return None
+        pushed: Optional[A.Expr] = None
+        right = expr.right
+        if isinstance(right, A.Select) and isinstance(right.source, A.ExtentRef):
+            pushed = (
+                right.pred
+                if right.var == expr.rvar
+                else substitute(right.pred, {right.var: A.Var(expr.rvar)})
+            )
+            right = right.source
+        if not isinstance(right, A.ExtentRef):
             return None
         if not recipe.equi_left:
             return None
-        extent = expr.right.name
+        extent = right.name
         pick = None
         for i, right_key in enumerate(recipe.equi_right):
             attr = _bound_attr(right_key, expr.rvar)
@@ -399,8 +430,13 @@ class Planner:
             for j, (l, r) in enumerate(zip(recipe.equi_left, recipe.equi_right))
             if j != i
         ]
+        # the pushed-down selection filters fetched matches before any
+        # other residual work sees them
+        pushed_parts = [pushed] if pushed is not None else []
         residual = _conjoin(
-            leftover + [p for p in [recipe.residual_with_membership()] if p != TRUE]
+            pushed_parts
+            + leftover
+            + [p for p in [recipe.residual_with_membership()] if p != TRUE]
         )
 
         model = self.cost_model
@@ -409,10 +445,11 @@ class Planner:
             matches_per_probe = stats.cardinality / stats.distinct_count(attr)
         else:
             matches_per_probe = named.built_cardinality / max(len(named.index), 1)
+        # the index fetches *unfiltered* matches; the pushed selection and
+        # leftover conjuncts are then evaluated per fetched pair
         pair_rows = left_est.rows * matches_per_probe
         cost = model.index_nl_join_cost(left_est, pair_rows)
-        # leftover conjuncts are evaluated per candidate pair
-        cost += len(leftover) * pair_rows * PREDICATE_COST
+        cost += (len(leftover) + len(pushed_parts)) * pair_rows * PREDICATE_COST
 
         def build() -> PlanNode:
             return P.IndexNestedLoopJoin(
@@ -432,7 +469,11 @@ class Executor:
     compiled parameter expressions; ``materialized=True,
     compile_exprs=False`` reproduces the pre-streaming engine (the
     benchmark baseline).  ``catalog`` switches the planner to cost-based
-    physical selection and provides the runtime indexes.
+    physical selection (with DP join reordering — ``reorder=False``
+    plans the rewriter's join order as-is, ``bushy=True`` widens the
+    order search to bushy trees) and provides the runtime indexes.
+    ``explain()`` prepends one ``-- join order: ...`` header per
+    reordered region.
     """
 
     def __init__(
@@ -443,11 +484,13 @@ class Executor:
         materialized: bool = False,
         compile_exprs: bool = True,
         catalog=None,
+        reorder: bool = True,
+        bushy: bool = False,
     ) -> None:
         self.db = db
         self.stats = stats if stats is not None else Stats()
         self.catalog = catalog
-        self.planner = Planner(catalog)
+        self.planner = Planner(catalog, reorder=reorder, bushy=bushy)
         self.materialized = materialized
         self.compile_exprs = compile_exprs
 
@@ -477,4 +520,6 @@ class Executor:
         return plan.iterate(self._runtime())
 
     def explain(self, expr: A.Expr) -> str:
-        return self.planner.plan(expr).explain()
+        plan = self.planner.plan(expr)
+        headers = [d.render() for d in self.planner.last_join_orders]
+        return "\n".join(headers + [plan.explain()])

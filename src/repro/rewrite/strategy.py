@@ -20,6 +20,17 @@ that e.g. quantifier expansion "has a negative effect on performance" when
 it cannot complete.  A combined relational→nestjoin pipeline handles mixed
 queries whose subqueries need different options.  The option order is a
 parameter so the ablation benchmark can permute priorities.
+
+**Cost-ranked selection.**  The paper picks the *first* option that
+succeeds; which rewrite shape actually wins is data-dependent.  Given a
+storage :class:`~repro.storage.catalog.Catalog`, the optimizer instead
+runs *every* option pipeline, prices each successful candidate with the
+:mod:`~repro.engine.cost` model (after DP join reordering, so candidates
+are compared at their best order), and keeps the cheapest — the paper's
+priority order survives only as the tie-break.  Every candidate's
+estimated cost is recorded on its :class:`~repro.rewrite.trace.RewriteTrace`
+so ablations can show when the fixed order disagrees with the statistics.
+Without a catalog the first-success behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -63,13 +74,19 @@ DEFAULT_PRIORITY: Tuple[str, ...] = (
 
 @dataclass
 class Attempt:
-    """One optimization pipeline attempt and its outcome."""
+    """One optimization pipeline attempt and its outcome.
+
+    ``est_cost`` is the cost model's estimate for the candidate (set only
+    under cost-ranked selection, i.e. when the optimizer has a catalog and
+    the attempt is set-oriented).
+    """
 
     option: str
     expr: A.Expr
     trace: RewriteTrace
     set_oriented: bool
     nested_extents: int
+    est_cost: Optional[float] = None
 
 
 @dataclass
@@ -97,6 +114,11 @@ class OptimizationResult:
     def trace(self) -> RewriteTrace:
         return self.chosen.trace
 
+    @property
+    def candidate_costs(self) -> Dict[str, Optional[float]]:
+        """Per-option estimated cost (``None`` for uncosted attempts)."""
+        return {a.option: a.est_cost for a in self.attempts}
+
     def render(self) -> str:
         lines = [f"option: {self.option} (set-oriented: {self.set_oriented})"]
         lines.append(self.chosen.trace.render())
@@ -112,12 +134,16 @@ class Optimizer:
         priority: Sequence[str] = DEFAULT_PRIORITY,
         max_steps: int = 2000,
         introduce_materialize: bool = False,
+        catalog=None,
     ) -> None:
         checker = TypeChecker(schema) if schema is not None else None
         self.ctx = RewriteContext(checker=checker)
         self.engine = RewriteEngine(self.ctx, max_steps=max_steps)
         self.priority = tuple(priority)
         self.introduce_materialize = introduce_materialize
+        #: storage catalog (`repro.storage.catalog.Catalog`): when present,
+        #: option selection is cost-ranked instead of first-success
+        self.catalog = catalog
         unknown = set(self.priority) - set(self._PIPELINES)
         if unknown:
             raise ValueError(f"unknown optimization options: {sorted(unknown)}")
@@ -181,7 +207,19 @@ class Optimizer:
             attempt.trace,
             is_set_oriented(rewritten),
             nested_extent_count(rewritten),
+            attempt.est_cost,
         )
+
+    def _candidate_cost(self, expr: A.Expr) -> float:
+        """Price a rewrite candidate with the PR-2/PR-3 cost model, after
+        DP join reordering — so each candidate is compared at the best
+        join order available to it, the same one the planner will use."""
+        from repro.engine.cost import CostModel
+        from repro.engine.joinorder import reorder_joins
+
+        model = CostModel(self.catalog)
+        reordered, _ = reorder_joins(expr, model, self.catalog)
+        return model.estimate(reordered).cost
 
     # -- the strategy ------------------------------------------------------------
     def optimize(self, expr: A.Expr) -> OptimizationResult:
@@ -209,9 +247,18 @@ class Optimizer:
                 nested_extent_count(candidate),
             )
             attempts.append(attempt)
-            if attempt.set_oriented:
+            # the paper's strategy: first success wins.  With a catalog we
+            # keep going — every successful pipeline becomes a candidate.
+            if attempt.set_oriented and self.catalog is None:
                 return OptimizationResult(
                     expr, normalized, self._finalize(attempt), attempts
+                )
+
+        if self.catalog is not None:
+            chosen = self._pick_cheapest(attempts)
+            if chosen is not None:
+                return OptimizationResult(
+                    expr, normalized, self._finalize(chosen), attempts
                 )
 
         # option 4: nested loops — keep the best partial unnesting (fewest
@@ -232,22 +279,55 @@ class Optimizer:
         )
         return OptimizationResult(expr, normalized, chosen, attempts)
 
+    def _pick_cheapest(self, attempts: List[Attempt]) -> Optional[Attempt]:
+        """Cost-ranked selection: price every set-oriented candidate and
+        keep the cheapest, with the paper's priority order as tie-break.
+        Each candidate's estimate lands on its trace; the winner's trace
+        additionally records the whole ranking."""
+        successes = [a for a in attempts if a.set_oriented]
+        if not successes:
+            return None
+        for attempt in successes:
+            attempt.est_cost = self._candidate_cost(attempt.expr)
+            attempt.trace.note(f"estimated cost ≈ {attempt.est_cost:.0f}")
+        chosen = min(
+            successes,
+            key=lambda a: (a.est_cost, self.priority.index(a.option)),
+        )
+        ranking = ", ".join(
+            f"{a.option}≈{a.est_cost:.0f}"
+            for a in sorted(successes, key=lambda a: a.est_cost)
+        )
+        chosen.trace.note(f"cost-ranked candidates: {ranking} → {chosen.option}")
+        if chosen is not successes[0]:
+            chosen.trace.note(
+                f"cost model overrode the paper's priority order "
+                f"(first success was {successes[0].option})"
+            )
+        return chosen
+
 
 def optimize(
     expr: A.Expr,
     schema: Optional[Schema] = None,
     priority: Sequence[str] = DEFAULT_PRIORITY,
+    catalog=None,
 ) -> OptimizationResult:
-    """One-shot Section 4 optimization of an ADL expression."""
-    return Optimizer(schema, priority).optimize(expr)
+    """One-shot Section 4 optimization of an ADL expression.
+
+    ``catalog`` (a storage :class:`~repro.storage.catalog.Catalog`)
+    switches option selection from first-success to cost-ranked.
+    """
+    return Optimizer(schema, priority, catalog=catalog).optimize(expr)
 
 
 def optimize_oosql(
     text: str,
     schema: Optional[Schema] = None,
     priority: Sequence[str] = DEFAULT_PRIORITY,
+    catalog=None,
 ) -> OptimizationResult:
     """Parse, type-check, translate and optimize OOSQL query text."""
     from repro.translate.translator import compile_oosql
 
-    return optimize(compile_oosql(text, schema), schema, priority)
+    return optimize(compile_oosql(text, schema), schema, priority, catalog)

@@ -30,13 +30,22 @@ class RewriteStep:
 
 @dataclass
 class RewriteTrace:
-    """The full derivation: the input plus every step."""
+    """The full derivation: the input plus every step.
+
+    ``notes`` carries non-derivation annotations — most importantly the
+    cost-ranked strategy's per-candidate cost estimates, so ablations can
+    see when the paper's priority order disagrees with the cost model.
+    """
 
     start: A.Expr
     steps: List[RewriteStep] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
 
     def record(self, rule: str, before: A.Expr, after: A.Expr, phase: str = "") -> None:
         self.steps.append(RewriteStep(rule, before, after, phase))
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
 
     @property
     def result(self) -> A.Expr:
@@ -49,6 +58,7 @@ class RewriteTrace:
     def render(self) -> str:
         lines = [f"  {pretty(self.start)}"]
         lines.extend(f"  {step.render()}" for step in self.steps)
+        lines.extend(f"  -- {note}" for note in self.notes)
         return "\n".join(lines)
 
     def __len__(self) -> int:

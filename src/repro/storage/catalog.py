@@ -15,9 +15,20 @@ something about the data.  This module is that knowledge:
 
 The catalog works against any store satisfying the interpreter protocol
 (:meth:`extent`); paged stores additionally contribute real
-``page_count``/``extent_size`` numbers.  Statistics and indexes are
-snapshots: after bulk loading call :meth:`refresh` (or re-``analyze``) to
-bring them up to date.  The cost model in :mod:`repro.engine.cost` never
+``page_count``/``extent_size`` numbers.  The staleness machinery below
+additionally requires ``extent()`` to be **identity-stable**: the same
+``frozenset`` object must come back until the extent actually changes
+(both in-repo stores cache it that way).  A store that rebuilds the set
+per call would not break correctness, but would make every lookup appear
+stale and re-run ANALYZE each time.  Statistics and indexes are
+snapshots, but stale ones are caught automatically: both record the
+extent *value* they were computed from, and stores hand out a fresh
+``frozenset`` whenever an extent changes, so an identity comparison
+detects staleness.  Indexes are rebuilt at execution time; statistics are
+re-analyzed lazily on the next :meth:`stats` lookup (counted in
+:attr:`Catalog.stat_refreshes`), so the cost model never silently prices
+plans with numbers describing old data.  :meth:`refresh` remains for
+eager bulk refresh.  The cost model in :mod:`repro.engine.cost` never
 *requires* statistics — unknown extents fall back to defaults — so a
 catalog can be introduced incrementally.
 """
@@ -34,7 +45,14 @@ from repro.storage.index import HashIndex
 
 @dataclass(frozen=True)
 class ExtentStats:
-    """One extent's ANALYZE output."""
+    """One extent's ANALYZE output.
+
+    ``source_rows`` keeps the extent value the statistics were computed
+    from — the same identity-based staleness handshake named indexes use:
+    stores hand out a fresh ``frozenset`` whenever an extent changes, so
+    ``db.extent(name) is not stats.source_rows`` detects stale statistics
+    (including same-cardinality replacements) without comparing rows.
+    """
 
     extent: str
     cardinality: int
@@ -43,6 +61,8 @@ class ExtentStats:
     distinct: Mapping[str, int] = field(default_factory=dict)
     #: per set-valued top-level attribute: mean element count
     avg_set_size: Mapping[str, float] = field(default_factory=dict)
+    #: extent value identity at ANALYZE time (not part of equality)
+    source_rows: frozenset = field(default_factory=frozenset, compare=False, repr=False)
 
     def distinct_count(self, attr: str) -> Optional[int]:
         return self.distinct.get(attr)
@@ -83,6 +103,9 @@ class Catalog:
         self._stats: Dict[str, ExtentStats] = {}
         self._indexes: Dict[Tuple[str, str], NamedIndex] = {}
         self._by_name: Dict[str, NamedIndex] = {}
+        #: how many times :meth:`stats` lazily re-analyzed a stale extent
+        #: (the statistics analogue of the runtime index-rebuild counter)
+        self.stat_refreshes: int = 0
         # the catalog is *the database's* catalog: registering it on the
         # store lets execution runtimes find the indexes without explicit
         # threading (last constructed catalog wins)
@@ -96,7 +119,29 @@ class Catalog:
         return dict(self._stats)
 
     def stats(self, extent: str) -> Optional[ExtentStats]:
-        return self._stats.get(extent)
+        """Statistics for ``extent`` — re-analyzed lazily when stale.
+
+        Staleness is detected the same way stale indexes are: by extent-
+        value identity (stores return a fresh ``frozenset`` whenever an
+        extent changes).  Never-analyzed extents stay unanalyzed; only
+        statistics that *exist but describe old data* are refreshed, so
+        the cost model never silently prices plans with stale numbers.
+        Refreshes are counted in :attr:`stat_refreshes`.
+        """
+        stale = self._stats.get(extent)
+        if stale is None:
+            return None
+        if hasattr(self.db, "extent"):
+            try:
+                current = self.db.extent(extent)
+            except Exception:
+                return stale
+            if current is not stale.source_rows:
+                fresh = self._analyze_one(extent)
+                self._stats[extent] = fresh
+                self.stat_refreshes += 1
+                return fresh
+        return stale
 
     def _extent_names(self, extents: Optional[Iterable[str]]) -> List[str]:
         if extents is not None:
@@ -129,6 +174,7 @@ class Catalog:
                 a: (sum(sizes) / len(sizes) if sizes else 0.0)
                 for a, sizes in set_sizes.items()
             },
+            source_rows=rows,
         )
 
     # -- indexes -------------------------------------------------------------

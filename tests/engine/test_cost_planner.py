@@ -281,3 +281,57 @@ class TestMembershipStillWorks:
         plan = Planner(catalog).plan(query)
         assert isinstance(plan, P.MembershipHashJoin)
         assert Executor(db, catalog=catalog).execute(query) == Interpreter(db).eval(query)
+
+
+class TestIndexJoinOverFilteredExtent:
+    """A pushed-down right-side selection no longer disables the index
+    nested-loop join: it rides along as a residual applied after the
+    probe (ROADMAP 'known simplifications' item 1)."""
+
+    def _query(self, select_var="y"):
+        filtered = B.sel(
+            select_var,
+            B.gt(B.attr(B.var(select_var), "e"), 100),
+            B.extent("BIG"),
+        )
+        return B.join(B.extent("SMALL"), filtered, "x", "y", EQ_XY)
+
+    def test_filtered_right_extent_still_uses_index_join(self, indexed):
+        db, catalog = indexed
+        plan = Planner(catalog).plan(self._query())
+        assert isinstance(plan, P.IndexNestedLoopJoin)
+        assert "residual" in plan.describe()
+        assert "e > 100" in plan.describe()
+
+    def test_select_var_differs_from_join_var(self, indexed):
+        db, catalog = indexed
+        plan = Planner(catalog).plan(self._query(select_var="z"))
+        assert isinstance(plan, P.IndexNestedLoopJoin)
+        # the pushed predicate is re-expressed over the join variable
+        assert "y.e > 100" in plan.describe()
+
+    def test_results_match_oracle(self, indexed):
+        db, catalog = indexed
+        for query in (self._query(), self._query("z"),
+                      B.semijoin(B.extent("SMALL"),
+                                 B.sel("y", B.gt(B.attr(B.var("y"), "e"), 100),
+                                       B.extent("BIG")),
+                                 "x", "y", EQ_XY)):
+            oracle = Interpreter(db).eval(query)
+            assert Executor(db, catalog=catalog).execute(query) == oracle
+            assert Executor(db).execute(query) == oracle
+
+    def test_semijoin_kind_supported(self, indexed):
+        db, catalog = indexed
+        query = B.semijoin(
+            B.extent("SMALL"),
+            B.sel("y", B.gt(B.attr(B.var("y"), "e"), 100), B.extent("BIG")),
+            "x", "y", EQ_XY,
+        )
+        plan = Planner(catalog).plan(query)
+        assert isinstance(plan, P.IndexNestedLoopJoin)
+
+    def test_filter_over_unindexed_extent_unaffected(self, analyzed):
+        db, catalog = analyzed
+        plan = Planner(catalog).plan(self._query())
+        assert not isinstance(plan, P.IndexNestedLoopJoin)

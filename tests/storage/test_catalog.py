@@ -112,3 +112,60 @@ class TestIndexes:
         assert refreshed.built_cardinality == 11
         assert refreshed.lookup("extra")
         assert catalog.stats("PART").cardinality == 11
+
+
+class TestStaleStatistics:
+    """Stale statistics are detected by extent-value identity (like stale
+    indexes) and re-analyzed lazily instead of silently costing with old
+    numbers."""
+
+    def test_stats_refresh_lazily_after_extent_change(self, db):
+        catalog = Catalog(db)
+        catalog.analyze(["Y"])
+        assert catalog.stats("Y").cardinality == 5
+        assert catalog.stat_refreshes == 0
+        db.set_extent("Y", [VTuple(d=i, e=i) for i in range(9)])
+        refreshed = catalog.stats("Y")
+        assert refreshed.cardinality == 9
+        assert catalog.stat_refreshes == 1
+
+    def test_fresh_stats_not_rerefreshed(self, db):
+        catalog = Catalog(db)
+        catalog.analyze(["Y"])
+        db.set_extent("Y", [VTuple(d=1, e=1)])
+        catalog.stats("Y")
+        catalog.stats("Y")
+        catalog.stats("Y")
+        assert catalog.stat_refreshes == 1
+
+    def test_same_cardinality_replacement_detected(self, db):
+        catalog = Catalog(db)
+        catalog.analyze(["Y"])
+        assert catalog.stats("Y").distinct_count("e") == 5
+        # same row count, different values: identity still catches it
+        db.set_extent("Y", [VTuple(d=i, e=0) for i in range(5)])
+        assert catalog.stats("Y").cardinality == 5
+        assert catalog.stats("Y").distinct_count("e") == 1
+        assert catalog.stat_refreshes == 1
+
+    def test_unanalyzed_extent_stays_unanalyzed(self, db):
+        catalog = Catalog(db)
+        catalog.analyze(["Y"])
+        db.set_extent("X", [])
+        assert catalog.stats("X") is None
+        assert catalog.stat_refreshes == 0
+
+    def test_paged_store_insert_triggers_refresh(self):
+        paged = generate_database(n_parts=10, n_suppliers=4, n_deliveries=4,
+                                  seed=2)
+        catalog = Catalog(paged)
+        catalog.analyze(["PART"])
+        paged.insert("Part", {"pname": "extra", "price": 1, "color": "red"})
+        assert catalog.stats("PART").cardinality == 11
+        assert catalog.stat_refreshes == 1
+
+    def test_explicit_refresh_does_not_count_as_lazy(self, db):
+        catalog = Catalog(db)
+        catalog.analyze()
+        catalog.refresh()
+        assert catalog.stat_refreshes == 0
