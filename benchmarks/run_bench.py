@@ -1,6 +1,28 @@
 """Benchmark harness: per-PR perf gates, oracle-checked.
 
-Three suites:
+Four suites:
+
+**PR 4** (``--pr4``, also default) — the query service layer: repeated
+parameterized queries through :class:`repro.service.QueryService`.
+
+* ``plan_cache_cold_vs_warm`` — the same prepared statement executed
+  with rotating bindings against a cache-disabled service (every call
+  re-runs rewrite/joinorder/planning) and a caching one (every call
+  after the first skips those phases and goes straight to the compiled
+  physical plan; the raw-text entry point still parses per call to
+  compute the shape key).  Every
+  binding's result is oracle-checked against the reference interpreter;
+  the suite *requires* the warm path to be ≥ 5x the cold path.
+* ``concurrent_sessions`` — 8 sessions over one shared database through
+  the bounded worker pool; results must be identical to serial execution
+  (per-execution runtimes, no shared mutable state).  Throughput is
+  recorded but not gated (the GIL makes concurrent wall-clock noisy).
+* ``invalidation_replan`` — a warm cached plan, then ``create_index()``:
+  the version bump must force a replan whose new plan actually probes the
+  new index; recorded, results oracle-checked, not timed.
+
+Outcome lands in ``BENCH_PR4.json`` with the same 1.0x checked-floor
+gate the other suites use (plus the explicit 5x warm-cache gate).
 
 **PR 3** — DP join reordering vs the rewriter's left-to-right order, both
 under cost-based physical planning (``Executor(reorder=False)`` is the
@@ -81,6 +103,256 @@ def _checked_floor(report: dict) -> dict:
     report["checked_floor"] = min(checked) if checked else None
     report["meets_floor_1x"] = all(s >= 1.0 for s in checked)
     return report
+
+
+# ---------------------------------------------------------------------------
+# PR 4: the query service — plan cache, prepared statements, concurrency
+# ---------------------------------------------------------------------------
+
+
+PR4_QUERY = (
+    "select s.sname from s in SUPPLIER where exists p in PART : "
+    "(exists y in s.parts : y.pid = p.pid) and p.price < $maxprice"
+)
+
+PR4_FLAT_QUERY = "select x.i from x in X where x.a = $k"
+
+
+def _pr4_oracle(db, text, params):
+    """Reference-interpreter result of the *un-rewritten* translation."""
+    from repro.translate.translator import compile_oosql
+
+    return Interpreter(db, params=params).eval(compile_oosql(text))
+
+
+def _run_pr4(reps: int) -> dict:
+    import threading
+
+    from repro.service import QueryService
+    from repro.workload.paper_db import section4_catalog, section4_database
+
+    workloads = []
+
+    # -- W1: cold (re-optimize every call) vs warm (cached plan) -----------
+    db = section4_database()
+    catalog = Catalog(db)
+    catalog.analyze()
+    bindings = [{"maxprice": p} for p in (11, 12, 13, 14, 100)]
+
+    for params in bindings:  # oracle-check every binding once, untimed
+        with QueryService(db, section4_catalog(), catalog) as svc:
+            got = frozenset(svc.execute(PR4_QUERY, params).rows)
+        want = _pr4_oracle(db, PR4_QUERY, params)
+        if got != want:
+            raise AssertionError(f"plan_cache_cold_vs_warm: {params} diverged from oracle")
+
+    calls = 20
+
+    def sweep(service):
+        start = time.perf_counter()
+        for i in range(calls):
+            service.execute(PR4_QUERY, bindings[i % len(bindings)])
+        return time.perf_counter() - start
+
+    cold_svc = QueryService(db, section4_catalog(), catalog, cache_size=0)
+    warm_svc = QueryService(db, section4_catalog(), catalog)
+    with cold_svc, warm_svc:
+        sweep(warm_svc)  # populate the cache once, untimed
+        cold_wall = min(sweep(cold_svc) for _ in range(reps))
+        warm_wall = min(sweep(warm_svc) for _ in range(reps))
+        warm_stats = warm_svc.stats()
+        cold_stats = cold_svc.stats()
+
+    workloads.append(
+        {
+            "name": "plan_cache_cold_vs_warm",
+            "note": f"{calls} calls of one prepared shape, rotating $maxprice bindings",
+            "checked": True,
+            "results_match_oracle": True,
+            "calls_per_sweep": calls,
+            "cold": {
+                "wall_s": cold_wall,
+                "compilations": cold_stats["compilations"],
+                "cache": cold_stats["cache"],
+            },
+            "warm": {
+                "wall_s": warm_wall,
+                "compilations": warm_stats["compilations"],
+                "cache": warm_stats["cache"],
+            },
+            "speedup": cold_wall / warm_wall if warm_wall else float("inf"),
+        }
+    )
+
+    # -- W2: 8 concurrent sessions vs serial, identical results ------------
+    db = generate_xy(600, 600, key_domain=60, seed=9)
+    catalog = Catalog(db)
+    catalog.analyze()
+    catalog.create_index("Y", "d")
+    session_bindings = [{"k": k} for k in range(12)]
+    queries = [
+        ("select x.i from x in X where x.a = $k", b) for b in session_bindings
+    ] + [
+        # rewrites to a semijoin; the $k filter pushes onto the Y side
+        ("select x.i from x in X where exists y in Y : x.a = y.d and y.e < $k", {"k": k * 50})
+        for k in range(12)
+    ]
+
+    # correctness oracle: cache-disabled serial service (fully independent
+    # re-optimization per query)
+    with QueryService(db, catalog=catalog, cache_size=0, max_workers=1) as oracle_svc:
+        expected = [frozenset(oracle_svc.execute(t, p).rows) for t, p in queries]
+
+    # timing baseline: a *warmed* serial sweep, so the concurrent/serial
+    # comparison isolates the worker pool instead of re-measuring the plan
+    # cache (workload 1 already measures that)
+    with QueryService(db, catalog=catalog, max_workers=1) as serial_svc:
+        for t, p in queries:
+            serial_svc.execute(t, p)  # warm the cache, untimed
+        start = time.perf_counter()
+        for t, p in queries:
+            serial_svc.execute(t, p)
+        serial_wall = time.perf_counter() - start
+
+    n_sessions = 8
+    with QueryService(db, catalog=catalog, max_workers=n_sessions, queue_depth=256) as svc:
+        for t, p in queries:
+            svc.execute(t, p)  # warm the concurrent service's cache too
+        sessions = [svc.session() for _ in range(n_sessions)]
+        mismatches = []
+        barrier = threading.Barrier(n_sessions)
+
+        def worker(session):
+            barrier.wait()
+            for (text, params), want in zip(queries, expected):
+                got = frozenset(session.execute(text, params).rows)
+                if got != want:
+                    mismatches.append((text, params))
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=worker, args=(s,)) for s in sessions]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        concurrent_wall = time.perf_counter() - start
+        svc_stats = svc.stats()
+
+    if mismatches:
+        raise AssertionError(f"concurrent_sessions diverged from serial: {mismatches[:3]}")
+    total_queries = n_sessions * len(queries)
+    workloads.append(
+        {
+            "name": "concurrent_sessions",
+            "note": f"{n_sessions} sessions x {len(queries)} queries, shared db, "
+            "results identical to serial execution",
+            "checked": False,  # GIL makes concurrent wall-clock noisy; results are gated
+            "results_match_serial": True,
+            "sessions": n_sessions,
+            "queries_per_session": len(queries),
+            "serial_wall_s_per_query": serial_wall / len(queries),
+            "concurrent_wall_s": concurrent_wall,
+            "throughput_qps": total_queries / concurrent_wall if concurrent_wall else float("inf"),
+            "peak_in_flight": svc_stats["peak_in_flight"],
+            "compilations": svc_stats["compilations"],
+            "speedup": (serial_wall * n_sessions) / concurrent_wall
+            if concurrent_wall
+            else float("inf"),
+        }
+    )
+
+    # -- W3: invalidation — replan after create_index uses the index -------
+    db = generate_xy(200, 8000, key_domain=4000, seed=11)
+    catalog = Catalog(db)
+    catalog.analyze()
+    with QueryService(db, catalog=catalog) as svc:
+        before = svc.execute(PR4_FLAT_QUERY, {"k": 17})
+        plan_before = svc.explain(PR4_FLAT_QUERY)
+        version_before = catalog.version
+        catalog.create_index("X", "a")
+        after = svc.execute(PR4_FLAT_QUERY, {"k": 17})
+        plan_after = svc.explain(PR4_FLAT_QUERY)
+        invalidations = svc.cache.stats.invalidations
+    oracle = _pr4_oracle(db, PR4_FLAT_QUERY, {"k": 17})
+    if not (frozenset(before.rows) == frozenset(after.rows) == oracle):
+        raise AssertionError("invalidation_replan diverged from oracle")
+    if after.cache_hit or "IndexScan" not in plan_after:
+        raise AssertionError("replanned query did not pick up the new index")
+    workloads.append(
+        {
+            "name": "invalidation_replan",
+            "note": "create_index() bumps Catalog.version; the replanned query "
+            "probes the new index",
+            "checked": False,  # correctness record, not a timing workload
+            "results_match_oracle": True,
+            "catalog_version_before": version_before,
+            "catalog_version_after": catalog.version,
+            "invalidations": invalidations,
+            # the access-path line, where the Filter/Scan -> IndexScan flip shows
+            "plan_before": plan_before.splitlines()[-1].strip(),
+            "plan_after": plan_after.splitlines()[-1].strip(),
+            "index_probes_after": after.stats["index_probes"],
+            "speedup": 1.0,
+        }
+    )
+
+    warm = workloads[0]
+    return _checked_floor(
+        {
+            "pr": 4,
+            "description": "query service layer: parameterized plan cache "
+            "(cold re-optimize-every-call vs warm cached-plan), concurrent "
+            "sessions over a shared db, and version-bump invalidation",
+            "service": "repro.service.QueryService (prepared statements, "
+            "plan cache keyed on normalized shape + Catalog.version, "
+            "bounded worker pool)",
+            "reps": reps,
+            "workloads": workloads,
+            "warm_cache_speedup": warm["speedup"],
+            "meets_5x_warm_cache": warm["speedup"] >= 5.0,
+        }
+    )
+
+
+def run_pr4(reps: int) -> bool:
+    report = _run_pr4(reps)
+    out_path = ROOT / "BENCH_PR4.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    w1, w2, w3 = report["workloads"]
+    rows = [
+        (
+            w1["name"],
+            f"{w1['cold']['wall_s'] * 1e3:.2f}",
+            f"{w1['warm']['wall_s'] * 1e3:.2f}",
+            f"{w1['speedup']:.1f}x",
+            f"{w1['warm']['cache']['hits']}/{w1['warm']['cache']['misses']}",
+        ),
+    ]
+    print(
+        render_table(
+            ["workload", "cold ms", "warm ms", "speedup", "warm hits/misses"],
+            rows,
+            title="PR 4 — parameterized plan cache, cold vs warm",
+        )
+    )
+    print(
+        f"\nconcurrent sessions: {w2['sessions']} x {w2['queries_per_session']} queries, "
+        f"{w2['throughput_qps']:.0f} q/s, peak in-flight {w2['peak_in_flight']}, "
+        f"results identical to serial: {w2['results_match_serial']}"
+    )
+    print(
+        f"invalidation: version {w3['catalog_version_before']} -> "
+        f"{w3['catalog_version_after']}, plan {w3['plan_before']!r} -> "
+        f"{w3['plan_after']!r}"
+    )
+    ok = report["meets_floor_1x"] and report["meets_5x_warm_cache"]
+    print(
+        f"\nwrote {out_path} (warm-cache speedup "
+        f"{report['warm_cache_speedup']:.1f}x, meets_5x="
+        f"{report['meets_5x_warm_cache']}, ok={ok})"
+    )
+    return ok
 
 
 # ---------------------------------------------------------------------------
@@ -590,10 +862,12 @@ def main(argv=None) -> int:
                         help="run only the PR 1 suite")
     parser.add_argument("--pr3", action="store_true",
                         help="run only the PR 3 suite")
+    parser.add_argument("--pr4", action="store_true",
+                        help="run only the PR 4 suite")
     parser.add_argument("--all", action="store_true", help="run every suite")
     args = parser.parse_args(argv)
 
-    only = args.pr1 or args.pr3
+    only = args.pr1 or args.pr3 or args.pr4
     ok = True
     if args.pr1 or args.all:
         ok = run_pr1(args.reps) and ok
@@ -601,6 +875,8 @@ def main(argv=None) -> int:
         ok = run_pr2(args.reps) and ok
     if args.pr3 or args.all or not only:
         ok = run_pr3(args.reps) and ok
+    if args.pr4 or args.all or not only:
+        ok = run_pr4(args.reps) and ok
     return 0 if ok else 1
 
 

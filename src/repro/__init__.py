@@ -33,6 +33,7 @@ from repro.engine.planner import Executor, Planner
 from repro.engine.stats import Stats
 from repro.oosql.parser import parse
 from repro.rewrite.strategy import OptimizationResult, Optimizer, optimize, optimize_oosql
+from repro.service import PreparedStatement, QueryService, Session
 from repro.translate.translator import Translator, compile_oosql, translate
 
 __version__ = "1.0.0"
@@ -43,6 +44,9 @@ __all__ = [
     "OptimizationResult",
     "Optimizer",
     "Planner",
+    "PreparedStatement",
+    "QueryService",
+    "Session",
     "Stats",
     "Translator",
     "__version__",

@@ -164,6 +164,21 @@ class ExtentRef(Expr):
     name: str
 
 
+@dataclass(frozen=True)
+class Param(Expr):
+    """A prepared-statement parameter placeholder ``$name``.
+
+    Unlike :class:`Var`, a parameter is *not* bound by any iterator: it is
+    closed (no free variables), constant for the duration of one execution,
+    and resolved from the runtime's parameter bindings instead of the
+    evaluation environment.  Rewrite rules and the cost model treat it as
+    an opaque constant of unknown value, which is what lets one cached
+    plan serve every binding of the same query shape.
+    """
+
+    name: str
+
+
 # ---------------------------------------------------------------------------
 # Tuple operators
 # ---------------------------------------------------------------------------

@@ -52,6 +52,8 @@ def _p(expr: A.Expr) -> str:
         return expr.name
     if isinstance(expr, A.ExtentRef):
         return expr.name
+    if isinstance(expr, A.Param):
+        return f"${expr.name}"
     if isinstance(expr, A.AttrAccess):
         return f"{_p_atomic(expr.base)}.{expr.attr}"
     if isinstance(expr, A.TupleExpr):
@@ -142,7 +144,7 @@ def _p_atomic(expr: A.Expr) -> str:
     text = _p(expr)
     if isinstance(
         expr,
-        (A.Literal, A.Var, A.ExtentRef, A.AttrAccess, A.TupleExpr, A.SetExpr,
+        (A.Literal, A.Var, A.ExtentRef, A.Param, A.AttrAccess, A.TupleExpr, A.SetExpr,
          A.TupleSubscript, A.Aggregate, A.Map, A.Select, A.Project, A.Rename,
          A.Flatten, A.Unnest, A.Nest, A.Materialize),
     ):

@@ -113,6 +113,10 @@ class TypeChecker:
                 raise TypeCheckError(f"no schema available to resolve extent {expr.name!r}")
             return self.schema.extent_type(expr.name)
 
+        if isinstance(expr, A.Param):
+            # execution-time binding: type unknown until a value is supplied
+            return ANY
+
         if isinstance(expr, A.AttrAccess):
             return self._deref(self._check(expr.base, env), expr.attr, expr)
 

@@ -69,6 +69,14 @@ class UnboundVariableError(EvaluationError):
         self.name = name
 
 
+class UnboundParameterError(EvaluationError):
+    """A ``$name`` parameter was evaluated without a binding for it."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unbound parameter: ${name}")
+        self.name = name
+
+
 class UnknownExtentError(EvaluationError):
     """A base-table (class extension) name is not present in the database."""
 
@@ -83,3 +91,13 @@ class StorageError(ReproError):
 
 class PlanError(ReproError):
     """The physical planner could not produce a plan for a logical expression."""
+
+
+class ServiceError(ReproError):
+    """The query service was used inconsistently (closed session, bad
+    statement, malformed parameter bindings...)."""
+
+
+class AdmissionError(ServiceError):
+    """The query service refused new work: the in-flight limit and the
+    admission queue are both full (back-pressure, not failure)."""

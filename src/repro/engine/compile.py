@@ -38,7 +38,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.adl import ast as A
-from repro.datamodel.errors import EvaluationError, UnboundVariableError
+from repro.datamodel.errors import EvaluationError, UnboundParameterError, UnboundVariableError
 from repro.datamodel.values import Oid, Value, VTuple, concat
 from repro.engine.stats import Stats
 
@@ -77,10 +77,15 @@ class Compiler:
     lookups.  ``interpreter`` supplies the fallback evaluation.
     """
 
-    def __init__(self, db, stats: Stats, interpreter) -> None:
+    def __init__(self, db, stats: Stats, interpreter, params=None) -> None:
         self.db = db
         self.stats = stats
         self.interpreter = interpreter
+        #: prepared-statement parameter bindings for this runtime's
+        #: executions; ``Param`` closures read it at call time.  Kept by
+        #: reference (not copied) so the runtime that owns the mapping can
+        #: rebind between runs without recompiling.
+        self.params: Dict[str, Value] = params if params is not None else {}
         #: census: how many AST nodes compiled natively / fell back / folded
         self.compiled_nodes = 0
         self.fallback_nodes = 0
@@ -187,6 +192,21 @@ class Compiler:
         db = self.db
         name = expr.name
         return (lambda env: db.extent(name)), False
+
+    def _c_param(self, expr: A.Param):
+        # not const: the binding belongs to the runtime, not the expression
+        # (one compiled plan must serve every binding), so the closure reads
+        # the params mapping at call time
+        params = self.params
+        name = expr.name
+
+        def fn(env: Dict[str, Value]) -> Value:
+            try:
+                return params[name]
+            except KeyError:
+                raise UnboundParameterError(name) from None
+
+        return fn, False
 
     # -- tuple operators ----------------------------------------------------
     def _c_attr(self, expr: A.AttrAccess):
@@ -519,6 +539,7 @@ _DISPATCH = {
     A.Literal: Compiler._c_literal,
     A.Var: Compiler._c_var,
     A.ExtentRef: Compiler._c_extent,
+    A.Param: Compiler._c_param,
     A.AttrAccess: Compiler._c_attr,
     A.TupleExpr: Compiler._c_tuple,
     A.SetExpr: Compiler._c_setexpr,

@@ -77,7 +77,23 @@ DEFAULT_DISTINCT_FRACTION = 0.1  # distinct values per row, absent stats
 EQ_SELECTIVITY = 0.1
 RANGE_SELECTIVITY = 0.3
 MEMBER_SELECTIVITY = 0.2
-DEFAULT_SELECTIVITY = 0.25
+
+#: Selectivity of one **residual conjunct** — a predicate the model cannot
+#: classify into the equality/range/membership buckets above (arbitrary
+#: boolean residue, whole-tuple comparisons, multi-leaf residues the
+#: join-order extractor parks at their first covering join).  The classic
+#: System-R "1/4 per unknown predicate" guess.  This single constant is
+#: shared by the estimator's fallbacks here, the DP join-order
+#: enumerator's residual pricing (:mod:`repro.engine.joinorder`), and —
+#: through :meth:`CardinalityEstimator.join_selectivity` — the physical
+#: planner's candidate ranking, so every layer prices an unknown conjunct
+#: identically and differently-shaped plans stay comparable.
+RESIDUAL_SELECTIVITY = 0.25
+
+#: Backward-compatible alias for :data:`RESIDUAL_SELECTIVITY` (the old
+#: name, kept for existing imports).
+DEFAULT_SELECTIVITY = RESIDUAL_SELECTIVITY
+
 SEMI_MATCH_FRACTION = 0.5
 NEST_GROUP_FRACTION = 0.5
 
@@ -334,7 +350,7 @@ class CardinalityEstimator:
                 return 1.0
             if pred.value is False:
                 return 0.0
-            return DEFAULT_SELECTIVITY
+            return RESIDUAL_SELECTIVITY
         if isinstance(pred, A.And):
             return self.selectivity(pred.left, var, source) * self.selectivity(
                 pred.right, var, source
@@ -360,7 +376,7 @@ class CardinalityEstimator:
             return RANGE_SELECTIVITY
         if isinstance(pred, A.SetCompare) and pred.op in ("in", "ni"):
             return MEMBER_SELECTIVITY
-        return DEFAULT_SELECTIVITY
+        return RESIDUAL_SELECTIVITY
 
     def join_selectivity(
         self,
@@ -405,7 +421,7 @@ class CardinalityEstimator:
             return self.selectivity(pred, lvar, left)
         if fv <= {rvar}:
             return self.selectivity(pred, rvar, right)
-        return DEFAULT_SELECTIVITY
+        return RESIDUAL_SELECTIVITY
 
 
 class CostModel:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional
 
 from repro.adl import ast as A
-from repro.datamodel.errors import EvaluationError, UnboundVariableError
+from repro.datamodel.errors import EvaluationError, UnboundParameterError, UnboundVariableError
 from repro.datamodel.values import Oid, Value, VTuple, concat
 from repro.engine.stats import Stats
 
@@ -29,12 +29,21 @@ class Interpreter:
     """Evaluates ADL expressions against a database.
 
     ``stats`` is optional; when given, it accumulates the tuple-oriented
-    work counters described in :mod:`repro.engine.stats`.
+    work counters described in :mod:`repro.engine.stats`.  ``params`` maps
+    prepared-statement parameter names to their values for this
+    evaluation; :class:`~repro.adl.ast.Param` nodes resolve against it
+    (they are *not* environment variables — no iterator binds them).
     """
 
-    def __init__(self, db, stats: Optional[Stats] = None) -> None:
+    def __init__(
+        self,
+        db,
+        stats: Optional[Stats] = None,
+        params: Optional[Mapping[str, Value]] = None,
+    ) -> None:
         self.db = db
         self.stats = stats if stats is not None else Stats()
+        self.params: Mapping[str, Value] = params if params is not None else {}
 
     # -- public API ---------------------------------------------------------
     def eval(self, expr: A.Expr, env: Optional[Mapping[str, Value]] = None) -> Value:
@@ -76,6 +85,12 @@ class Interpreter:
 
     def _eval_extent(self, expr: A.ExtentRef, env: Dict[str, Value]) -> Value:
         return self.db.extent(expr.name)
+
+    def _eval_param(self, expr: A.Param, env: Dict[str, Value]) -> Value:
+        try:
+            return self.params[expr.name]
+        except KeyError:
+            raise UnboundParameterError(expr.name) from None
 
     # -- tuple operators --------------------------------------------------------
     def _eval_attr(self, expr: A.AttrAccess, env: Dict[str, Value]) -> Value:
@@ -507,6 +522,7 @@ _DISPATCH = {
     A.Literal: Interpreter._eval_literal,
     A.Var: Interpreter._eval_var,
     A.ExtentRef: Interpreter._eval_extent,
+    A.Param: Interpreter._eval_param,
     A.AttrAccess: Interpreter._eval_attr,
     A.TupleExpr: Interpreter._eval_tuple,
     A.SetExpr: Interpreter._eval_setexpr,
@@ -545,6 +561,12 @@ _DISPATCH = {
 }
 
 
-def evaluate(expr: A.Expr, db, env: Optional[Mapping[str, Value]] = None, stats: Optional[Stats] = None) -> Value:
+def evaluate(
+    expr: A.Expr,
+    db,
+    env: Optional[Mapping[str, Value]] = None,
+    stats: Optional[Stats] = None,
+    params: Optional[Mapping[str, Value]] = None,
+) -> Value:
     """Convenience one-shot evaluation."""
-    return Interpreter(db, stats).eval(expr, env)
+    return Interpreter(db, stats, params).eval(expr, env)

@@ -48,9 +48,9 @@ from repro.adl import ast as A
 from repro.adl.freevars import all_var_names, free_vars, fresh_name
 from repro.adl.subst import substitute
 from repro.engine.cost import (
-    DEFAULT_SELECTIVITY,
     EQ_SELECTIVITY,
     PREDICATE_COST,
+    RESIDUAL_SELECTIVITY,
     CostModel,
     Estimate,
 )
@@ -479,7 +479,7 @@ class _Enumerator:
                 rows *= self.edge_selectivity(edge)
         for used, _ in self.graph.residuals:
             if used <= ids:
-                rows *= DEFAULT_SELECTIVITY
+                rows *= RESIDUAL_SELECTIVITY
         self._rows_memo[ids] = rows
         return rows
 

@@ -100,16 +100,20 @@ class ExecRuntime:
         materialized: bool = False,
         compile_exprs: bool = True,
         catalog=None,
+        params: Optional[Dict[str, Value]] = None,
     ) -> None:
         self.db = db
         # default to the database's own catalog (a Catalog registers
         # itself on its store at construction)
         self.catalog = catalog if catalog is not None else getattr(db, "catalog", None)
         self.stats = stats if stats is not None else Stats()
-        self.interpreter = Interpreter(db, self.stats)
+        #: prepared-statement parameter bindings for this run; ``Param``
+        #: expressions resolve against it in both evaluation engines
+        self.params: Dict[str, Value] = dict(params or {})
+        self.interpreter = Interpreter(db, self.stats, self.params)
         self.materialized = materialized
         self.compile_exprs = compile_exprs
-        self.compiler = Compiler(db, self.stats, self.interpreter)
+        self.compiler = Compiler(db, self.stats, self.interpreter, self.params)
         self._compiled: Dict[int, Tuple[A.Expr, Callable]] = {}
         self._compiled_preds: Dict[int, Tuple[A.Expr, Callable]] = {}
 

@@ -144,12 +144,24 @@ class Planner:
         self.last_join_orders: List[JoinOrderDecision] = []
 
     def plan(self, expr: A.Expr) -> PlanNode:
-        self.last_join_orders = []
-        if self.cost_model is not None and self.reorder:
-            expr, self.last_join_orders = reorder_joins(
-                expr, self.cost_model, self.catalog, bushy=self.bushy
-            )
-        return self._plan(expr)
+        # ``last_join_orders`` is assigned exactly once, after planning
+        # (never cleared then refilled), so concurrent planners sharing
+        # this instance each observe a complete decision list — last plan
+        # wins, matching the "last explain" reading of the attribute
+        decisions: List[JoinOrderDecision] = []
+        try:
+            if self.cost_model is not None and self.reorder:
+                expr, decisions = reorder_joins(
+                    expr, self.cost_model, self.catalog, bushy=self.bushy
+                )
+            node = self._plan(expr)
+        except BaseException:
+            # a failed plan must not leave the previous query's decisions
+            # attributed to this one
+            self.last_join_orders = []
+            raise
+        self.last_join_orders = decisions
+        return node
 
     # -- dispatch ------------------------------------------------------------
     def _plan(self, expr: A.Expr) -> PlanNode:
@@ -494,20 +506,21 @@ class Executor:
         self.materialized = materialized
         self.compile_exprs = compile_exprs
 
-    def _runtime(self) -> ExecRuntime:
+    def _runtime(self, params=None) -> ExecRuntime:
         return ExecRuntime(
             self.db,
             self.stats,
             materialized=self.materialized,
             compile_exprs=self.compile_exprs,
             catalog=self.catalog,
+            params=params,
         )
 
-    def execute(self, expr: A.Expr):
+    def execute(self, expr: A.Expr, params=None):
         plan = self.planner.plan(expr)
-        return plan.execute(self._runtime())
+        return plan.execute(self._runtime(params))
 
-    def iterate(self, expr: A.Expr):
+    def iterate(self, expr: A.Expr, params=None):
         """Stream the query result without materializing it.
 
         The stream is a *bag*: pipeline operators do not deduplicate, so an
@@ -517,7 +530,7 @@ class Executor:
         :meth:`execute` does.
         """
         plan = self.planner.plan(expr)
-        return plan.iterate(self._runtime())
+        return plan.iterate(self._runtime(params))
 
     def explain(self, expr: A.Expr) -> str:
         plan = self.planner.plan(expr)

@@ -75,6 +75,18 @@ class Ident(Node):
 
 
 @dataclass(frozen=True)
+class Param(Node):
+    """A prepared-statement parameter placeholder ``$name``.
+
+    Parameters are bound at *execution* time (per call), never at
+    compile/optimize time — queries differing only in parameter values
+    share one plan, which is what makes a parameterized plan cache work.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
 class Path(Node):
     """Attribute access ``e.a`` (chains form path expressions)."""
 

@@ -70,6 +70,17 @@ def tokenize(text: str) -> List[Token]:
             i = j
             continue
 
+        # parameter placeholder: $name (prepared statements)
+        if ch == "$":
+            j = i + 1
+            if j >= n or not (text[j].isalpha() or text[j] == "_"):
+                raise OOSQLSyntaxError("expected parameter name after '$'", line, start_col)
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("param", text[i + 1 : j], line, start_col))
+            i = j
+            continue
+
         # identifier / keyword
         if ch.isalpha() or ch == "_":
             j = i

@@ -15,7 +15,7 @@ Grammar (precedence from loosest to tightest)::
     multiplic   := unary (('*'|'/'|'mod') unary)*
     unary       := '-' unary | postfix
     postfix     := primary ('.' IDENT)*
-    primary     := literal | IDENT | aggregate | quantifier | sfw
+    primary     := literal | IDENT | '$' IDENT | aggregate | quantifier | sfw
                  | '(' IDENT '=' ... ')'          -- tuple constructor
                  | '(' expr ')' | '{' exprs? '}'
     sfw         := 'select' expr 'from' binding (',' binding)*
@@ -227,6 +227,10 @@ class Parser:
         if token.kind == "ident":
             self.advance()
             return Q.Ident(token.text)
+
+        if token.kind == "param":
+            self.advance()
+            return Q.Param(token.text)
 
         if token.is_punct("("):
             # tuple constructor iff it starts "( ident = " — Example Query 1 style

@@ -25,6 +25,8 @@ def _p(node: Q.Node) -> str:
         return repr(node.value)
     if isinstance(node, Q.Ident):
         return node.name
+    if isinstance(node, Q.Param):
+        return f"${node.name}"
     if isinstance(node, Q.Path):
         return f"{_p_atomic(node.base)}.{node.attr}"
     if isinstance(node, Q.TupleCons):

@@ -47,7 +47,7 @@ PUNCTUATION = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", "{", "}", "[", "
 class Token:
     """One lexical token with its 1-based source position."""
 
-    kind: str  # "keyword" | "ident" | "int" | "float" | "string" | "punct" | "eof"
+    kind: str  # "keyword" | "ident" | "param" | "int" | "float" | "string" | "punct" | "eof"
     text: str
     line: int
     column: int

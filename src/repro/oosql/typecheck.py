@@ -80,6 +80,12 @@ class OOSQLTypeChecker:
                 return self.schema.extent_type(node.name)
             raise TypeCheckError(f"unknown name {node.name!r} (not a variable or base table)")
 
+        if isinstance(node, Q.Param):
+            # a parameter's value (hence type) is only known at execution
+            # time; ANY unifies with everything, so surrounding operators
+            # still check their other operands
+            return ANY
+
         if isinstance(node, Q.Path):
             base = self._check(node.base, env)
             if isinstance(base, AnyType):

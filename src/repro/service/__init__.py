@@ -1,0 +1,19 @@
+"""The query service layer (PR 4): sessions, prepared statements, and a
+parameterized plan cache over the PR 1–3 optimize/execute pipeline."""
+
+from repro.service.cache import CachedPlan, CacheStats, PlanCache
+from repro.service.prepared import PreparedStatement, check_bindings, normalize_shape
+from repro.service.service import QueryResult, QueryService, Session, SessionStats
+
+__all__ = [
+    "CachedPlan",
+    "CacheStats",
+    "PlanCache",
+    "PreparedStatement",
+    "QueryResult",
+    "QueryService",
+    "Session",
+    "SessionStats",
+    "check_bindings",
+    "normalize_shape",
+]

@@ -1,0 +1,159 @@
+"""The parameterized plan cache.
+
+PRs 1–3 made single-shot optimization good; this module makes it *cheap*
+by amortizing it across executions, the way classic OODB servers treat
+compiled query forms: optimization (rewrite, join ordering, physical
+planning) is a per-**query-shape** cost, not a per-call cost.  A hit
+skips those phases and goes straight to the compiled physical plan;
+raw-text executions still parse once per call to compute the shape key
+(prepared statements skip even that).
+
+**Key.**  A cached plan is identified by ``(shape, catalog_version)``:
+
+* *shape* — the canonical text of the parsed query (the OOSQL pretty
+  printer emits re-parseable, whitespace/case/comment-normalized text), so
+  two spellings of the same query share one plan and two *executions with
+  different parameter bindings* share one plan by construction — ``$name``
+  placeholders survive into the plan and bind at execution time.
+  Queries that differ only in inline literal constants do **not** share a
+  plan (the literal is part of the shape); prepared statements with
+  parameters are the supported way to share.
+* *catalog_version* — the monotonic counter
+  :attr:`repro.storage.catalog.Catalog.version`, bumped by ``analyze()``,
+  ``create_index()`` and the lazy stale-statistics refresh.  A lookup that
+  finds an entry planned under an older version treats it as a miss and
+  drops the entry (counted in :attr:`PlanCache.invalidations`), so a
+  stale plan is never handed out after a catalog change.
+
+**Concurrency.**  One lock around the LRU map; entries are immutable
+after insertion (the plan tree is stateless — all mutable execution state
+lives in the per-execution ``ExecRuntime``), so any number of concurrent
+executions may share one entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.adl import ast as A
+from repro.engine.plan import PlanNode
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One compiled query shape: rewritten ADL + physical plan + metadata.
+
+    Immutable and shareable across sessions and threads; parameter values
+    never appear here (they bind per execution).
+    """
+
+    shape: str
+    catalog_version: int
+    expr: A.Expr                      # the chosen rewritten ADL form
+    plan: PlanNode                    # the compiled physical plan
+    param_names: Tuple[str, ...]      # every $name the statement declares
+    option: str                       # which rewrite pipeline won
+    explain: str                      # rendered physical plan, for tooling
+    set_oriented: bool = True
+
+
+@dataclass
+class CacheStats:
+    """Counters the service reports per :meth:`QueryService.stats` call."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0            # version-mismatch evictions
+    evictions: int = 0                # LRU-capacity evictions
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+
+class PlanCache:
+    """A bounded LRU of :class:`CachedPlan` keyed on query shape.
+
+    ``maxsize=0`` disables caching entirely (every lookup is a miss and
+    nothing is stored) — the benchmark's cold path.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 0:
+            raise ValueError(f"cache maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, shape: str, catalog_version: int) -> Optional[CachedPlan]:
+        """The cached plan for ``shape`` at ``catalog_version``, or ``None``.
+
+        An entry planned under an *older* catalog version is stale: it is
+        dropped on sight and the lookup reports a miss, so no caller can
+        ever execute a plan the catalog has moved past.  An entry planned
+        under a *newer* version (the caller's version snapshot is behind —
+        a concurrent compile raced an ``analyze()``) is left in place: the
+        versions are monotonic, so the entry is the fresher one, and the
+        caller will re-read the version and hit it on retry.
+        """
+        with self._lock:
+            entry = self._entries.get(shape)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.catalog_version != catalog_version:
+                if entry.catalog_version < catalog_version:
+                    del self._entries[shape]
+                    self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(shape)
+            self.stats.hits += 1
+            return entry
+
+    def peek(self, shape: str, catalog_version: int) -> Optional[CachedPlan]:
+        """Like :meth:`get` but silent: no counters, no eviction, no LRU
+        touch.  Used for the double-checked lookup inside the service's
+        compile lock, where the outer :meth:`get` already accounted the
+        miss — counting again would inflate the per-query statistics."""
+        with self._lock:
+            entry = self._entries.get(shape)
+            if entry is not None and entry.catalog_version == catalog_version:
+                return entry
+            return None
+
+    def put(self, entry: CachedPlan) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            existing = self._entries.get(entry.shape)
+            if existing is not None and existing.catalog_version > entry.catalog_version:
+                # a concurrent compile against a newer catalog already
+                # landed; keep the newer plan
+                return
+            self._entries[entry.shape] = entry
+            self._entries.move_to_end(entry.shape)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def shapes(self) -> Tuple[str, ...]:
+        """The currently cached shapes, LRU-oldest first (for tooling)."""
+        with self._lock:
+            return tuple(self._entries)

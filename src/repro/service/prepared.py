@@ -1,0 +1,100 @@
+"""Prepared statements: named, parameterized, compile-once query handles.
+
+A prepared statement is the client-side face of the plan cache: preparing
+parses + normalizes the text, compiles (or cache-hits) the plan, and
+records the declared ``$name`` parameters; executing validates a binding
+against those names and runs the cached physical plan with a fresh
+per-execution runtime.
+
+Binding validation is strict in both directions — a missing parameter
+would raise :class:`~repro.datamodel.errors.UnboundParameterError` deep
+inside an operator loop, and an *unexpected* one is almost always a typo
+(``maxprice`` vs ``max_price``); both are rejected up front with the
+full expected list in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.datamodel.errors import ServiceError
+from repro.datamodel.values import Value
+from repro.oosql import ast as Q
+from repro.oosql.parser import parse
+from repro.oosql.pretty import pretty as oosql_pretty
+
+
+def normalize_shape(text: str) -> Tuple[str, Tuple[str, ...]]:
+    """Parse ``text`` and return ``(shape, param_names)``.
+
+    The shape is the pretty-printed parse tree — re-parseable canonical
+    text, insensitive to whitespace, comments, keyword case and redundant
+    parentheses — and is the plan cache's key.  ``param_names`` are the
+    distinct ``$name`` placeholders in source order.
+    """
+    node = parse(text)
+    names = []
+    for sub in node.walk():
+        if isinstance(sub, Q.Param) and sub.name not in names:
+            names.append(sub.name)
+    return oosql_pretty(node), tuple(names)
+
+
+def check_bindings(
+    param_names: Iterable[str],
+    params: Optional[Dict[str, Value]],
+    what: str = "statement",
+) -> Dict[str, Value]:
+    """Validate a parameter binding against the declared names.
+
+    Returns the binding as a plain dict (empty when the statement has no
+    parameters and none were supplied).
+    """
+    declared = tuple(param_names)
+    supplied = dict(params or {})
+    missing = [n for n in declared if n not in supplied]
+    unexpected = [n for n in supplied if n not in declared]
+    if missing or unexpected:
+        parts = []
+        if missing:
+            parts.append(f"missing {['$' + n for n in missing]}")
+        if unexpected:
+            parts.append(f"unexpected {['$' + n for n in unexpected]}")
+        expected = ", ".join(f"${n}" for n in declared) or "(none)"
+        raise ServiceError(
+            f"{what} parameter mismatch: {'; '.join(parts)} "
+            f"(declared parameters: {expected})"
+        )
+    return supplied
+
+
+class PreparedStatement:
+    """A handle to one compiled query shape, bound to a session.
+
+    Obtained from :meth:`Session.prepare`; ``execute(**params)`` (or
+    ``execute(params_dict)``) runs it.  The underlying plan lives in the
+    service's shared cache — preparing the same text in two sessions
+    compiles once.
+    """
+
+    def __init__(self, session, text: str, shape: str, param_names: Tuple[str, ...]) -> None:
+        self._session = session
+        self.text = text
+        self.shape = shape
+        self.param_names = param_names
+
+    def execute(self, params: Optional[Dict[str, Value]] = None, **kw: Value):
+        """Run the statement; returns a :class:`~repro.service.service.QueryResult`."""
+        if params is not None and kw:
+            raise ServiceError("pass parameters as one dict or as keywords, not both")
+        return self._session.execute(self, params if params is not None else kw)
+
+    def execute_async(self, params: Optional[Dict[str, Value]] = None, **kw: Value):
+        """Like :meth:`execute` but returns a ``concurrent.futures.Future``."""
+        if params is not None and kw:
+            raise ServiceError("pass parameters as one dict or as keywords, not both")
+        return self._session.execute_async(self, params if params is not None else kw)
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"${n}" for n in self.param_names) or "no parameters"
+        return f"PreparedStatement({self.shape!r}; {names})"

@@ -1,0 +1,436 @@
+"""The query service: one database, many sessions, amortized optimization.
+
+The ROADMAP's north star is "heavy traffic from millions of users"; PRs
+1–3 built a fast *single-shot* pipeline (parse → rewrite → DP join order →
+cost-based physical plan → streaming execution) that pays the full
+optimization tax on every call and supports exactly one caller.  This
+module adds the missing layer:
+
+* :class:`QueryService` owns a database + catalog and serves many logical
+  :class:`Session`\\ s concurrently over one bounded worker pool;
+* **prepared statements** (``$name`` placeholders, see
+  :mod:`repro.service.prepared`) bind parameters at execution time, so
+  repeated query *shapes* share one plan;
+* the **parameterized plan cache** (:mod:`repro.service.cache`) keys on
+  normalized shape + :attr:`Catalog.version`, so repeated queries skip
+  the expensive rewrite/joinorder/planning phases and go straight to the
+  compiled physical plan (raw-text executions still parse once per call
+  to compute the shape key; prepared statements skip that too), and
+  ``analyze()`` / ``create_index()`` invalidate every cached plan at the
+  next lookup;
+* **admission control**: at most ``max_in_flight`` queries execute
+  concurrently and at most ``queue_depth`` more may wait; beyond that
+  :class:`~repro.datamodel.errors.AdmissionError` pushes back instead of
+  letting the queue grow without bound.
+
+Isolation contract: *all mutable execution state is per-execution*.
+Every query run gets a fresh :class:`~repro.engine.stats.Stats` and a
+fresh :class:`~repro.engine.plan.ExecRuntime` (hence its own interpreter,
+compiler, closure caches and parameter bindings); the shared pieces — the
+database extents, catalog snapshots, cached :class:`CachedPlan` trees —
+are immutable or internally locked.  That is what makes "8 concurrent
+sessions return exactly the serial results" hold by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.datamodel.errors import AdmissionError, ServiceError
+from repro.datamodel.values import Value
+from repro.engine.plan import ExecRuntime
+from repro.engine.planner import Planner
+from repro.engine.stats import Stats
+from repro.rewrite.strategy import Optimizer
+from repro.service.cache import CachedPlan, PlanCache
+from repro.service.prepared import PreparedStatement, check_bindings, normalize_shape
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One execution's outcome: rows plus per-query accounting."""
+
+    rows: frozenset
+    wall_s: float
+    stats: dict                      # Stats.snapshot() of this execution
+    cache_hit: bool
+    session_id: str
+    shape: str
+    option: str                      # winning rewrite pipeline
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class SessionStats:
+    """Per-session accounting, merged under the session's lock."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+    work: Stats = field(default_factory=Stats)
+
+    def snapshot(self) -> dict:
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "wall_s": self.wall_s,
+            "work": self.work.snapshot(),
+        }
+
+
+class Session:
+    """A logical client connection: prepared statements + its own stats.
+
+    Sessions are cheap (no thread, no transaction) and thread-compatible:
+    each :meth:`execute` runs with per-execution state, and the session's
+    own counters are lock-protected, so a session object may even be
+    shared — though one session per logical client is the intended shape.
+    """
+
+    def __init__(self, service: "QueryService", session_id: str) -> None:
+        self.service = service
+        self.id = session_id
+        self._lock = threading.Lock()
+        self._stats = SessionStats()
+        self._closed = False
+
+    # -- client API ----------------------------------------------------------
+    def prepare(self, text: str) -> PreparedStatement:
+        """Parse, normalize and compile (or cache-hit) ``text`` now."""
+        self._check_open()
+        shape, param_names = normalize_shape(text)
+        # compile eagerly so prepare-time errors surface at prepare time
+        self.service._lookup_or_compile(shape, param_names)
+        return PreparedStatement(self, text, shape, param_names)
+
+    def execute(
+        self,
+        query: Union[str, PreparedStatement],
+        params: Optional[Dict[str, Value]] = None,
+    ) -> QueryResult:
+        """Run a query (text or prepared statement), waiting for the result."""
+        return self.execute_async(query, params).result()
+
+    def execute_async(
+        self,
+        query: Union[str, PreparedStatement],
+        params: Optional[Dict[str, Value]] = None,
+    ) -> "Future[QueryResult]":
+        """Submit a query to the service's worker pool.
+
+        Raises :class:`AdmissionError` immediately when the service is at
+        its in-flight + queue-depth limit.
+        """
+        self._check_open()
+        if isinstance(query, PreparedStatement):
+            shape, param_names = query.shape, query.param_names
+        else:
+            shape, param_names = normalize_shape(query)
+        bindings = check_bindings(param_names, params, what=f"query {shape!r}")
+        return self.service._submit(self, shape, param_names, bindings)
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return self._stats.snapshot()
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError(f"session {self.id!r} is closed")
+
+    def _record(self, result: Optional[QueryResult], work: Stats) -> None:
+        with self._lock:
+            self._stats.queries += 1
+            if result is None:
+                self._stats.errors += 1
+                return
+            self._stats.cache_hits += int(result.cache_hit)
+            self._stats.wall_s += result.wall_s
+            self._stats.work = self._stats.work + work
+
+
+class QueryService:
+    """Owns one database + catalog; serves sessions through a worker pool.
+
+    Parameters
+    ----------
+    db:
+        Any store satisfying the interpreter protocol (``extent``/``deref``).
+    schema:
+        Optional OOSQL schema (or flat ADL type catalog) used for type
+        checking, translation and the rewrite strategy.
+    catalog:
+        Optional :class:`~repro.storage.catalog.Catalog`; enables
+        cost-ranked rewriting, DP join reordering, cost-based physical
+        planning and index access paths.  Its monotonic ``version`` is
+        part of every plan-cache key.
+    max_workers / max_in_flight:
+        Worker threads in the pool / concurrently executing queries
+        (default: equal; ``max_in_flight`` may be lower but never higher —
+        the pool could not honor it).  ``queue_depth`` more submissions
+        may wait; beyond that :class:`AdmissionError` is raised
+        (back-pressure).
+    cache_size:
+        Plan-cache capacity in distinct query shapes; ``0`` disables
+        caching (every call re-optimizes — the benchmark's cold path).
+    """
+
+    def __init__(
+        self,
+        db,
+        schema=None,
+        catalog=None,
+        *,
+        max_workers: int = 4,
+        max_in_flight: Optional[int] = None,
+        queue_depth: int = 16,
+        cache_size: int = 64,
+        reorder: bool = True,
+        bushy: bool = False,
+        compile_exprs: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.db = db
+        self.schema = schema
+        self.catalog = catalog if catalog is not None else getattr(db, "catalog", None)
+        self.cache = PlanCache(cache_size)
+        self.reorder = reorder
+        self.bushy = bushy
+        self.compile_exprs = compile_exprs
+        self.max_in_flight = max_in_flight if max_in_flight is not None else max_workers
+        if self.max_in_flight < 1:
+            raise ServiceError(f"max_in_flight must be >= 1, got {self.max_in_flight}")
+        if self.max_in_flight > max_workers:
+            # the pool can never run more than max_workers at once; a larger
+            # in-flight limit would just be a hidden extra queue and make
+            # every admission number a lie
+            raise ServiceError(
+                f"max_in_flight ({self.max_in_flight}) cannot exceed "
+                f"max_workers ({max_workers})"
+            )
+        if queue_depth < 0:
+            raise ServiceError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.queue_depth = queue_depth
+        self._pool = ThreadPoolExecutor(
+            max_workers=min(max_workers, self.max_in_flight),
+            thread_name_prefix="repro-query",
+        )
+        # admission: in-flight executions + queued submissions together may
+        # not exceed max_in_flight + queue_depth
+        self._slots = threading.Semaphore(self.max_in_flight + self.queue_depth)
+        self._compile_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+        self._closed = False
+        self.executed = 0
+        self.rejected = 0
+        self.compilations = 0
+        self._in_flight = 0
+        self.peak_in_flight = 0
+
+    # -- sessions ------------------------------------------------------------
+    def session(self) -> Session:
+        """Open a new logical session."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        return Session(self, f"session-{next(self._session_ids)}")
+
+    # -- one-shot convenience --------------------------------------------------
+    def execute(
+        self, text: str, params: Optional[Dict[str, Value]] = None
+    ) -> QueryResult:
+        """Run one query on a throwaway session (scripts, tests)."""
+        with self.session() as session:
+            return session.execute(text, params)
+
+    def explain(self, text: str) -> str:
+        """The physical plan that executions of ``text`` will run.
+
+        Read-only introspection: uses counter-free cache peeks so polling
+        ``explain`` never skews the hit/miss statistics or the LRU order
+        real queries see (it still compiles — and caches — on a miss, so
+        the answer is always the plan executions will actually run).
+        """
+        shape, param_names = normalize_shape(text)
+        entry = self.cache.peek(shape, self._catalog_version())
+        if entry is None:
+            with self._compile_lock:
+                entry = self.cache.peek(shape, self._catalog_version())
+                if entry is None:
+                    entry = self._compile(shape, param_names)
+                    self.cache.put(entry)
+        return entry.explain
+
+    # -- plan cache ------------------------------------------------------------
+    def _catalog_version(self) -> int:
+        return self.catalog.version if self.catalog is not None else 0
+
+    def _lookup_or_compile(
+        self, shape: str, param_names: Tuple[str, ...]
+    ) -> Tuple[CachedPlan, bool]:
+        """Return ``(entry, was_hit)`` — ``was_hit`` is False iff this call
+        had to compile (or wait for a concurrent compile of) the shape."""
+        entry = self.cache.get(shape, self._catalog_version())
+        if entry is not None:
+            return entry, True
+        # one compile at a time: concurrent first executions of the same
+        # shape would otherwise duplicate the (expensive) optimize+plan
+        # work; distinct shapes briefly serialize too — a documented
+        # simplification (compilation is the slow path either way)
+        with self._compile_lock:
+            # peek, not get: the lookup above already accounted the miss
+            entry = self.cache.peek(shape, self._catalog_version())
+            if entry is not None:
+                # a concurrent compile landed while we waited for the lock;
+                # this call still paid (part of) the miss
+                return entry, False
+            entry = self._compile(shape, param_names)
+            self.cache.put(entry)
+            return entry, False
+
+    def _compile(self, shape: str, param_names: Tuple[str, ...]) -> CachedPlan:
+        """The full PR 1–3 pipeline, run once per shape per catalog version."""
+        from repro.translate.translator import compile_oosql
+
+        # snapshot the version *before* optimizing: a bump landing during
+        # compilation (concurrent create_index/analyze, or planning's own
+        # lazy statistics refresh) makes this entry stale on arrival — the
+        # next lookup sees the newer version, drops it and recompiles once
+        # against the settled catalog.  Tagging with the post-plan version
+        # instead could pin a pre-DDL plan under the post-DDL version
+        # forever.
+        version = self._catalog_version()
+        adl = compile_oosql(shape, self.schema)
+        optimizer = Optimizer(self.schema, catalog=self.catalog)
+        chosen = optimizer.optimize(adl)
+        planner = Planner(self.catalog, reorder=self.reorder, bushy=self.bushy)
+        plan = planner.plan(chosen.expr)
+        with self._state_lock:
+            self.compilations += 1
+        return CachedPlan(
+            shape=shape,
+            catalog_version=version,
+            expr=chosen.expr,
+            plan=plan,
+            param_names=param_names,
+            option=chosen.option,
+            explain=plan.explain(),
+            set_oriented=chosen.set_oriented,
+        )
+
+    # -- execution -------------------------------------------------------------
+    def _submit(
+        self,
+        session: Session,
+        shape: str,
+        param_names: Tuple[str, ...],
+        bindings: Dict[str, Value],
+    ) -> "Future[QueryResult]":
+        if self._closed:
+            raise ServiceError("service is closed")
+        if not self._slots.acquire(blocking=False):
+            with self._state_lock:
+                self.rejected += 1
+            raise AdmissionError(
+                f"service saturated: {self.max_in_flight} in flight plus "
+                f"{self.queue_depth} queued"
+            )
+        try:
+            future = self._pool.submit(
+                self._run, session, shape, param_names, bindings
+            )
+        except BaseException:
+            self._slots.release()
+            raise
+        future.add_done_callback(lambda _f: self._slots.release())
+        return future
+
+    def _run(
+        self,
+        session: Session,
+        shape: str,
+        param_names: Tuple[str, ...],
+        bindings: Dict[str, Value],
+    ) -> QueryResult:
+        with self._state_lock:
+            self._in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
+        work = Stats()
+        try:
+            entry, cache_hit = self._lookup_or_compile(shape, param_names)
+            # all mutable execution state is local to this runtime: stats,
+            # interpreter, compiled closures, parameter bindings
+            runtime = ExecRuntime(
+                self.db,
+                work,
+                compile_exprs=self.compile_exprs,
+                catalog=self.catalog,
+                params=bindings,
+            )
+            start = time.perf_counter()
+            rows = entry.plan.execute(runtime)
+            wall = time.perf_counter() - start
+            result = QueryResult(
+                rows=rows,
+                wall_s=wall,
+                stats=work.snapshot(),
+                cache_hit=cache_hit,
+                session_id=session.id,
+                shape=shape,
+                option=entry.option,
+            )
+            session._record(result, work)
+            with self._state_lock:
+                self.executed += 1
+            return result
+        except BaseException:
+            session._record(None, work)
+            raise
+        finally:
+            with self._state_lock:
+                self._in_flight -= 1
+
+    # -- reporting / lifecycle ---------------------------------------------------
+    def stats(self) -> dict:
+        with self._state_lock:
+            out = {
+                "executed": self.executed,
+                "rejected": self.rejected,
+                "compilations": self.compilations,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "catalog_version": self._catalog_version(),
+                "cache": self.cache.stats.snapshot(),
+                "cached_shapes": len(self.cache),
+            }
+        return out
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -35,6 +35,7 @@ catalog can be introduced incrementally.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -106,16 +107,34 @@ class Catalog:
         #: how many times :meth:`stats` lazily re-analyzed a stale extent
         #: (the statistics analogue of the runtime index-rebuild counter)
         self.stat_refreshes: int = 0
+        #: monotonic catalog version: bumped whenever the optimizer-visible
+        #: state changes — :meth:`analyze` (new statistics),
+        #: :meth:`create_index` (new/rebuilt access path), and the lazy
+        #: stale-statistics refresh inside :meth:`stats`.  Plan caches key
+        #: on it: a cached plan is valid only for the version it was
+        #: planned under, so an ANALYZE or index change invalidates every
+        #: cached plan at the next lookup.
+        self.version: int = 0
+        # reentrant: the lazy refresh in stats() holds it across
+        # _analyze_one and the version bump
+        self._lock = threading.RLock()
         # the catalog is *the database's* catalog: registering it on the
         # store lets execution runtimes find the indexes without explicit
         # threading (last constructed catalog wins)
         db.catalog = self
+
+    def _bump_version(self) -> None:
+        # += on an int is a read-modify-write; concurrent execution-time
+        # index rebuilds would otherwise lose increments
+        with self._lock:
+            self.version += 1
 
     # -- statistics ----------------------------------------------------------
     def analyze(self, extents: Optional[Iterable[str]] = None) -> Dict[str, ExtentStats]:
         """Full-pass statistics for ``extents`` (default: every extent)."""
         for name in self._extent_names(extents):
             self._stats[name] = self._analyze_one(name)
+        self._bump_version()
         return dict(self._stats)
 
     def stats(self, extent: str) -> Optional[ExtentStats]:
@@ -137,9 +156,18 @@ class Catalog:
             except Exception:
                 return stale
             if current is not stale.source_rows:
-                fresh = self._analyze_one(extent)
-                self._stats[extent] = fresh
-                self.stat_refreshes += 1
+                # check-then-act under the lock: concurrent planners over a
+                # shared catalog must not both re-analyze (each bump would
+                # needlessly invalidate the other's freshly cached plans)
+                # and the counter increment must not lose updates
+                with self._lock:
+                    stale = self._stats.get(extent)
+                    if stale is not None and current is stale.source_rows:
+                        return stale  # another thread already refreshed
+                    fresh = self._analyze_one(extent)
+                    self._stats[extent] = fresh
+                    self.stat_refreshes += 1
+                    self._bump_version()
                 return fresh
         return stale
 
@@ -190,32 +218,52 @@ class Catalog:
         Replaces any previous index on the same ``(extent, attr)`` pair;
         reusing a name for a *different* extent/attribute is an error
         (plans resolve indexes by name — a silently re-pointed name would
-        make them probe the wrong attribute).
+        make them probe the wrong attribute).  Re-issuing an identical
+        ``create_index`` whose snapshot is already current (same extent
+        value, same name and kind) returns the registered index unchanged
+        — no rebuild, no version bump.
         """
         index_name = name or f"idx_{extent}_{attr}"
-        existing = self._by_name.get(index_name)
-        if existing is not None and (existing.extent, existing.attr) != (extent, attr):
-            raise StorageError(
-                f"index name {index_name!r} already registered for "
-                f"{existing.extent}.{existing.attr}"
+        # the whole body runs under the lock: execution-time staleness
+        # rebuilds may arrive from several worker threads at once, and the
+        # registry must never be observable half-updated (nor should two
+        # racing rebuilds each pay an O(n) build and a cache-invalidating
+        # version bump)
+        with self._lock:
+            existing = self._by_name.get(index_name)
+            if existing is not None and (existing.extent, existing.attr) != (extent, attr):
+                raise StorageError(
+                    f"index name {index_name!r} already registered for "
+                    f"{existing.extent}.{existing.attr}"
+                )
+            rows = self.db.extent(extent)
+            replaced = self._indexes.get((extent, attr))
+            if (
+                replaced is not None
+                and replaced.name == index_name
+                and replaced.multi == multi
+                and replaced.source_rows is rows
+            ):
+                # already fresh for the current extent value — a concurrent
+                # rebuild beat us here; rebuilding again would only bump
+                # the version and invalidate every cached plan for nothing
+                return replaced
+            built = HashIndex(rows, key=lambda row: row[attr], multi=multi)
+            named = NamedIndex(
+                name=index_name,
+                extent=extent,
+                attr=attr,
+                multi=multi,
+                index=built,
+                built_cardinality=len(rows),
+                source_rows=rows,
             )
-        replaced = self._indexes.get((extent, attr))
-        rows = self.db.extent(extent)
-        built = HashIndex(rows, key=lambda row: row[attr], multi=multi)
-        named = NamedIndex(
-            name=index_name,
-            extent=extent,
-            attr=attr,
-            multi=multi,
-            index=built,
-            built_cardinality=len(rows),
-            source_rows=rows,
-        )
-        if replaced is not None and replaced.name != index_name:
-            self._by_name.pop(replaced.name, None)
-        self._indexes[(extent, attr)] = named
-        self._by_name[index_name] = named
-        return named
+            if replaced is not None and replaced.name != index_name:
+                self._by_name.pop(replaced.name, None)
+            self._indexes[(extent, attr)] = named
+            self._by_name[index_name] = named
+            self._bump_version()
+            return named
 
     def index_on(self, extent: str, attr: str) -> Optional[NamedIndex]:
         return self._indexes.get((extent, attr))

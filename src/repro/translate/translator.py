@@ -99,6 +99,9 @@ class Translator:
                 return A.ExtentRef(node.name)
             raise TranslationError(f"unknown name {node.name!r} (not a variable or base table)")
 
+        if isinstance(node, Q.Param):
+            return A.Param(node.name)
+
         if isinstance(node, Q.Path):
             return A.AttrAccess(self._tr(node.base, env), node.attr)
 

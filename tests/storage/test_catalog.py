@@ -75,9 +75,20 @@ class TestIndexes:
     def test_replacing_same_slot(self, db):
         catalog = Catalog(db)
         first = catalog.create_index("Y", "d")
+        # identical re-issue over an unchanged extent is a no-op: same
+        # registered index, no rebuild, no version bump (concurrent
+        # staleness rebuilds must not thrash the plan cache)
+        version = catalog.version
         second = catalog.create_index("Y", "d")
         assert catalog.index_on("Y", "d") is second
-        assert first is not second
+        assert first is second
+        assert catalog.version == version
+        # ... but a changed extent value really does rebuild and bump
+        db.set_extent("Y", list(db.extent("Y")) + [VTuple(d=99, e=99)])
+        third = catalog.create_index("Y", "d")
+        assert third is not first
+        assert catalog.version > version
+        assert third.lookup(99)
 
     def test_name_collision_across_extents(self, db):
         catalog = Catalog(db)
