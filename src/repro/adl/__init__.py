@@ -8,6 +8,7 @@ Submodules:
 * :mod:`repro.adl.subst` — capture-avoiding substitution;
 * :mod:`repro.adl.compare` — alpha-equivalence;
 * :mod:`repro.adl.pretty` — the paper's surface notation;
+* :mod:`repro.adl.parser` — its inverse (the fragment-shipping surface);
 * :mod:`repro.adl.typecheck` — static typing.
 """
 
@@ -20,6 +21,7 @@ from repro.adl.freevars import (
     fresh_name,
     is_correlated,
 )
+from repro.adl.parser import parse_adl
 from repro.adl.pretty import pretty, pretty_tree
 from repro.adl.subst import rename_bound, substitute
 from repro.adl.typecheck import TypeChecker
@@ -34,6 +36,7 @@ __all__ = [
     "free_vars",
     "fresh_name",
     "is_correlated",
+    "parse_adl",
     "pretty",
     "pretty_tree",
     "rename_bound",

@@ -1,0 +1,535 @@
+"""Parser for the ADL pretty syntax — the fragment-shipping surface.
+
+:mod:`repro.adl.pretty` renders ADL expressions in the paper's Section 3
+notation.  This module is its inverse: it re-parses that canonical text
+back into :class:`repro.adl.ast` nodes, which is what lets the
+partition-parallel executor (:mod:`repro.shard`) ship plan fragments to
+worker processes **as text** — the same re-parseable-shape trick the
+PR-4 plan cache plays with OOSQL text, one layer down.  A worker
+receives ``pretty(expr)`` plus shard bindings, re-parses, re-plans
+locally, and executes against its shard; no plan trees ever cross the
+process boundary.
+
+The grammar is exactly what ``pretty`` emits.  Two deliberate
+normalizations (both semantics-preserving, documented here because they
+make ``parse_adl`` a *left* inverse up to evaluation, not up to node
+identity):
+
+* ``SetCompare("seteq"/"setneq", l, r)`` prints as ``l = r`` / ``l ≠ r``
+  and re-parses as :class:`~repro.adl.ast.Compare` — scalar equality is
+  defined on all values, including sets, so evaluation agrees;
+* a ``Literal`` holding a set/tuple value re-parses as the equivalent
+  :class:`~repro.adl.ast.SetExpr` / :class:`~repro.adl.ast.TupleExpr`
+  constructor over literal parts.
+
+Name resolution follows :mod:`repro.adl.freevars` scoping exactly: a
+bare name is a :class:`~repro.adl.ast.Var` when an enclosing binder
+(select/map/join/quantifier) introduced it, an
+:class:`~repro.adl.ast.ExtentRef` otherwise.  Closed expressions — the
+only ones fragments ship — therefore round-trip without a symbol table.
+
+Known limits (acceptable for fragment shipping, asserted by tests):
+string literals must not contain ``"`` (``format_value`` does not escape
+them); an ``OuterJoin`` loses its ``right_attrs`` (not printed); and a
+complete parenthesized ``(NAME = value)`` with ``NAME`` unbound parses
+as a unary tuple constructor, not a comparison of an extent (see
+``_Parser._parenthesized`` — incomplete field lists like
+``(X = 1 ∧ p)`` backtrack correctly).  The planner never ships any of
+these forms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Tuple
+
+from repro.adl import ast as A
+from repro.datamodel.errors import ADLSyntaxError
+from repro.datamodel.values import Oid
+
+__all__ = ["parse_adl"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<string>"[^"]*")
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|!=|[()\[\]{},:;.=<>+\-*/@•∅σαπρμν⊔×⋈⋉▷⟕⊣÷∪∩−∈∉⊂⊆⊇⊃∋∌∧∨¬∃∀⟨⟩→≠])
+    """,
+    re.VERBOSE,
+)
+
+#: binary operators dispatched by :meth:`_Parser._binary` — kept in tiers so
+#: conventional precedence falls out even though ``pretty`` always
+#: parenthesizes its own binary nodes.
+_BOOL_OPS = ("∧", "∨")
+_CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_SETCMP_SYMBOLS = {
+    "∈": "in",
+    "∉": "notin",
+    "⊂": "subset",
+    "⊆": "subseteq",
+    "⊇": "supseteq",
+    "⊃": "supset",
+    "∋": "ni",
+    "∌": "notni",
+    "≠": "setneq",
+}
+_ADD_OPS = ("+", "-", "−", "∪")
+_MUL_OPS = ("*", "/", "mod", "×", "∩", "÷")
+_JOIN_OPS = ("⋈", "⋉", "▷", "⟕", "⊣", "o")
+
+_JOIN_NODE = {"⋈": A.Join, "⋉": A.SemiJoin, "▷": A.AntiJoin}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.pos}"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ADLSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token machinery ----------------------------------------------------
+    def peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ADLSyntaxError(
+                f"expected {text!r} but found {token.text or 'end of input'!r} "
+                f"at offset {token.pos}"
+            )
+        return token
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def _fail(self, what: str) -> None:
+        token = self.peek()
+        raise ADLSyntaxError(
+            f"expected {what} but found {token.text or 'end of input'!r} "
+            f"at offset {token.pos}"
+        )
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> A.Expr:
+        expr = self.expr(frozenset())
+        if self.peek().kind != "eof":
+            self._fail("end of input")
+        return expr
+
+    def expr(self, bound: FrozenSet[str]) -> A.Expr:
+        return self._bool(bound)
+
+    def _bool(self, bound: FrozenSet[str]) -> A.Expr:
+        left = self._cmp(bound)
+        while self.peek().text in _BOOL_OPS:
+            op = self.next().text
+            right = self._cmp(bound)
+            left = A.And(left, right) if op == "∧" else A.Or(left, right)
+        return left
+
+    def _cmp(self, bound: FrozenSet[str]) -> A.Expr:
+        left = self._add(bound)
+        text = self.peek().text
+        if text in _CMP_OPS:
+            self.next()
+            if text == "=" and self.at("∅"):
+                self.next()
+                return A.IsEmpty(left)
+            right = self._add(bound)
+            if text == "=" and right == A.SetExpr(()):
+                return A.IsEmpty(left)
+            return A.Compare(text, left, right)
+        if text in _SETCMP_SYMBOLS:
+            self.next()
+            right = self._add(bound)
+            return A.SetCompare(_SETCMP_SYMBOLS[text], left, right)
+        return left
+
+    def _add(self, bound: FrozenSet[str]) -> A.Expr:
+        left = self._mul(bound)
+        while self.peek().text in _ADD_OPS:
+            op = self.next().text
+            right = self._mul(bound)
+            if op == "∪":
+                left = A.Union(left, right)
+            elif op == "−":
+                left = A.Difference(left, right)
+            else:
+                left = A.Arith(op, left, right)
+        return left
+
+    def _mul(self, bound: FrozenSet[str]) -> A.Expr:
+        left = self._join(bound)
+        while self.peek().text in _MUL_OPS:
+            op = self.next().text
+            right = self._join(bound)
+            if op == "×":
+                left = A.CartProd(left, right)
+            elif op == "∩":
+                left = A.Intersect(left, right)
+            elif op == "÷":
+                left = A.Division(left, right)
+            else:
+                left = A.Arith(op, left, right)
+        return left
+
+    def _join(self, bound: FrozenSet[str]) -> A.Expr:
+        left = self._postfix(bound)
+        while True:
+            text = self.peek().text
+            if text == "o" and self.peek().kind == "name":
+                self.next()
+                left = A.Concat(left, self._postfix(bound))
+                continue
+            if text in ("⋈", "⋉", "▷", "⟕"):
+                self.next()
+                lvar, rvar, pred = self._join_head(bound)
+                right = self._postfix(bound)
+                if text == "⟕":
+                    # right_attrs are not part of the printed form; see the
+                    # module docstring — the planner never ships outerjoins
+                    left = A.OuterJoin(left, right, lvar, rvar, pred, ())
+                else:
+                    left = _JOIN_NODE[text](left, right, lvar, rvar, pred)
+                continue
+            if text == "⊣":
+                self.next()
+                self.expect("⟨")
+                lvar = self._name("join variable")
+                self.expect(",")
+                rvar = self._name("join variable")
+                self.expect(":")
+                inner = bound | {lvar, rvar}
+                pred = self.expr(inner)
+                self.expect(";")
+                result = self.expr(inner)
+                self.expect(";")
+                as_attr = self._name("nestjoin attribute")
+                self.expect("⟩")
+                right = self._postfix(bound)
+                left = A.NestJoin(left, right, lvar, rvar, pred, as_attr, result)
+                continue
+            return left
+
+    def _join_head(self, bound: FrozenSet[str]) -> Tuple[str, str, A.Expr]:
+        self.expect("⟨")
+        lvar = self._name("join variable")
+        self.expect(",")
+        rvar = self._name("join variable")
+        self.expect(":")
+        pred = self.expr(bound | {lvar, rvar})
+        self.expect("⟩")
+        return lvar, rvar, pred
+
+    def _postfix(self, bound: FrozenSet[str]) -> A.Expr:
+        expr = self._primary(bound)
+        while True:
+            if self.at("."):
+                self.next()
+                expr = A.AttrAccess(expr, self._name("attribute"))
+            elif self.at("["):
+                self.next()
+                attrs = self._name_list("]")
+                expr = A.TupleSubscript(expr, attrs)
+            elif self.at("except"):
+                self.next()
+                self.expect("(")
+                expr = A.TupleUpdate(expr, self._fields(bound))
+            else:
+                return expr
+
+    # -- primaries -----------------------------------------------------------
+    def _primary(self, bound: FrozenSet[str]) -> A.Expr:
+        token = self.peek()
+        text = token.text
+        if token.kind == "number":
+            self.next()
+            return A.Literal(self._number(text))
+        if token.kind == "string":
+            self.next()
+            return A.Literal(text[1:-1])
+        if token.kind == "param":
+            self.next()
+            return A.Param(text[1:])
+        if text == "-":
+            self.next()
+            operand = self._postfix(bound)
+            if isinstance(operand, A.Literal) and isinstance(operand.value, (int, float)):
+                return A.Literal(-operand.value)
+            return A.Neg(operand)
+        if text == "@":
+            return A.Literal(self._oid())
+        if text == "∅":
+            self.next()
+            return A.Literal(frozenset())
+        if text == "{":
+            self.next()
+            elements: List[A.Expr] = []
+            if not self.at("}"):
+                elements.append(self.expr(bound))
+                while self.at(","):
+                    self.next()
+                    elements.append(self.expr(bound))
+            self.expect("}")
+            return A.SetExpr(tuple(elements))
+        if text == "(":
+            return self._parenthesized(bound)
+        if text == "¬":
+            self.next()
+            self.expect("(")
+            operand = self.expr(bound)
+            self.expect(")")
+            return A.Not(operand)
+        if text in ("∃", "∀"):
+            self.next()
+            var = self._name("quantifier variable")
+            self.expect("∈")
+            source = self._postfix(bound)
+            self.expect("•")
+            pred = self.expr(bound | {var})
+            node = A.Exists if text == "∃" else A.Forall
+            return node(var, source, pred)
+        if text in ("σ", "α"):
+            self.next()
+            self.expect("[")
+            var = self._name("iterator variable")
+            self.expect(":")
+            body = self.expr(bound | {var})
+            self.expect("]")
+            self.expect("(")
+            source = self.expr(bound)
+            self.expect(")")
+            return A.Select(var, body, source) if text == "σ" else A.Map(var, body, source)
+        if text == "π":
+            self.next()
+            self._underscore()
+            self.expect("{")
+            attrs = self._name_list("}")
+            return A.Project(self._parens_source(bound), attrs)
+        if text == "ρ":
+            self.next()
+            self._underscore()
+            self.expect("{")
+            renames: List[Tuple[str, str]] = []
+            while True:
+                old = self._name("attribute")
+                self.expect("→")
+                renames.append((old, self._name("attribute")))
+                if not self.at(","):
+                    break
+                self.next()
+            self.expect("}")
+            return A.Rename(self._parens_source(bound), tuple(renames))
+        if text == "μ":
+            self.next()
+            attr = self._trailing_name()
+            return A.Unnest(self._parens_source(bound), attr)
+        if text == "ν":
+            self.next()
+            self._underscore()
+            self.expect("{")
+            attrs = [self._name("attribute")]
+            while self.at(","):
+                self.next()
+                attrs.append(self._name("attribute"))
+            self.expect("→")
+            as_attr = self._name("attribute")
+            self.expect("}")
+            return A.Nest(self._parens_source(bound), tuple(attrs), as_attr)
+        if text == "⊔":
+            self.next()
+            return A.Flatten(self._parens_source(bound))
+        if text == "mat_":
+            # the name token swallows the separator: ``mat_{a→b : C}(e)``
+            self.next()
+            self.expect("{")
+            attr = self._name("attribute")
+            self.expect("→")
+            as_attr = self._name("attribute")
+            self.expect(":")
+            class_name = self._name("class name")
+            self.expect("}")
+            return A.Materialize(self._parens_source(bound), attr, as_attr, class_name)
+        if text == "disjoint" and self.peek(1).text == "(":
+            self.next()
+            self.next()
+            left = self.expr(bound)
+            self.expect(",")
+            right = self.expr(bound)
+            self.expect(")")
+            return A.SetCompare("disjoint", left, right)
+        if token.kind == "name":
+            if text == "true":
+                self.next()
+                return A.Literal(True)
+            if text == "false":
+                self.next()
+                return A.Literal(False)
+            if text == "null":
+                self.next()
+                return A.Literal(None)
+            if (
+                text in A.AGGREGATE_FUNCS
+                and text not in bound
+                and self.peek(1).text == "("
+            ):
+                self.next()
+                self.next()
+                source = self.expr(bound)
+                self.expect(")")
+                return A.Aggregate(text, source)
+            self.next()
+            return A.Var(text) if text in bound else A.ExtentRef(text)
+        self._fail("an expression")
+        raise AssertionError("unreachable")
+
+    def _parenthesized(self, bound: FrozenSet[str]) -> A.Expr:
+        """``(`` ... ``)`` — a tuple constructor when the content parses
+        as a ``name = value, ...`` field list over *unbound* names,
+        otherwise a (possibly binary) parenthesized expression.
+
+        The field attempt backtracks: ``(X = 1 ∧ true)`` starts like a
+        field list but cannot finish as one (field values are
+        comparison-level — any tuple field holding a boolean/binary
+        expression is self-parenthesized by ``pretty``), so it re-parses
+        as the comparison it is.  The one residual ambiguity is a
+        *complete* single-field form like ``(X = 1)`` with ``X`` unbound,
+        which parses as the (far more common) unary tuple — planner
+        fragments never compare extents, so no shipped fragment hits it.
+        """
+        self.expect("(")
+        head = self.peek()
+        if (
+            head.kind == "name"
+            and head.text not in bound
+            and self.peek(1).text == "="
+            and head.text not in ("true", "false", "null")
+        ):
+            saved = self.index
+            try:
+                return A.TupleExpr(self._fields(bound))
+            except ADLSyntaxError:
+                self.index = saved  # not a field list after all
+        expr = self.expr(bound)
+        self.expect(")")
+        return expr
+
+    def _fields(self, bound: FrozenSet[str]) -> Tuple[Tuple[str, A.Expr], ...]:
+        """``name = value, ...`` up to and including the closing ``)``.
+
+        Values parse at comparison level (no top-level ``∧``/``∨``):
+        ``pretty`` self-parenthesizes boolean and binary nodes, so a
+        legitimate field value never needs more — and stopping there is
+        what lets :meth:`_parenthesized` detect that ``(X = 1 ∧ …)`` is
+        a comparison, not a field list."""
+        fields: List[Tuple[str, A.Expr]] = []
+        while True:
+            name = self._name("field name")
+            self.expect("=")
+            fields.append((name, self._cmp(bound)))
+            if self.at(","):
+                self.next()
+                continue
+            self.expect(")")
+            return tuple(fields)
+
+    # -- lexical helpers -----------------------------------------------------
+    def _name(self, what: str) -> str:
+        token = self.next()
+        if token.kind != "name":
+            raise ADLSyntaxError(
+                f"expected {what} but found {token.text or 'end of input'!r} "
+                f"at offset {token.pos}"
+            )
+        return token.text
+
+    def _name_list(self, closer: str) -> Tuple[str, ...]:
+        names = [self._name("attribute")]
+        while self.at(","):
+            self.next()
+            names.append(self._name("attribute"))
+        self.expect(closer)
+        return tuple(names)
+
+    def _underscore(self) -> None:
+        token = self.next()
+        if token.text != "_":
+            raise ADLSyntaxError(f"expected '_' at offset {token.pos}")
+
+    def _trailing_name(self) -> str:
+        """The ``_attr`` suffix of ``μ_attr`` — one name token whose leading
+        underscore is the separator."""
+        token = self.next()
+        if token.kind != "name" or not token.text.startswith("_") or len(token.text) < 2:
+            raise ADLSyntaxError(
+                f"expected '_attribute' but found {token.text!r} at offset {token.pos}"
+            )
+        return token.text[1:]
+
+    def _parens_source(self, bound: FrozenSet[str]) -> A.Expr:
+        self.expect("(")
+        source = self.expr(bound)
+        self.expect(")")
+        return source
+
+    def _number(self, text: str):
+        if "." in text or "e" in text or "E" in text:
+            return float(text)
+        return int(text)
+
+    def _oid(self) -> Oid:
+        self.expect("@")
+        class_name = self._name("class name")
+        self.expect(":")
+        token = self.next()
+        if token.kind != "number" or not token.text.isdigit():
+            raise ADLSyntaxError(f"expected oid number at offset {token.pos}")
+        return Oid(class_name, int(token.text))
+
+
+def parse_adl(text: str) -> A.Expr:
+    """Parse canonical ADL pretty text back into an expression tree.
+
+    Inverse of :func:`repro.adl.pretty.pretty` up to the documented
+    normalizations; raises :class:`~repro.datamodel.errors.ADLSyntaxError`
+    on malformed input.
+    """
+    return _Parser(text).parse()

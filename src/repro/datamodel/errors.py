@@ -45,6 +45,13 @@ class OOSQLSyntaxError(ReproError):
         self.column = column
 
 
+class ADLSyntaxError(ReproError):
+    """Canonical ADL pretty text could not be re-parsed.
+
+    Raised by :func:`repro.adl.parser.parse_adl` — the fragment-shipping
+    surface of the partition-parallel executor."""
+
+
 class TypeCheckError(ReproError):
     """An OOSQL or ADL expression is ill-typed."""
 
@@ -87,6 +94,11 @@ class UnknownExtentError(EvaluationError):
 
 class StorageError(ReproError):
     """The paged store was used inconsistently (bad oid, page overflow...)."""
+
+
+class PartitionError(StorageError):
+    """A partitioned extent was declared or used inconsistently (bad
+    partition count, non-atomic partitioning key, unknown shard...)."""
 
 
 class PlanError(ReproError):

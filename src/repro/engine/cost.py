@@ -105,6 +105,19 @@ HASH_INSERT_COST = 1.5   # hash-table build, per tuple
 HASH_PROBE_COST = 1.0    # hash-table probe, per tuple
 INDEX_PROBE_COST = 1.0   # persistent-index lookup, per probe
 
+# -- partition-parallel execution (PR 5) ------------------------------------
+
+#: Moving one tuple across a partition boundary (the gather exchange that
+#: merges fragment outputs back into one stream).
+EXCHANGE_TUPLE_COST = 0.5
+
+#: Fixed per-fragment overhead of parallel execution: dispatch to a
+#: worker, re-parse + re-plan of the shipped ADL text, result merge.
+#: This constant *is* the parallelism threshold — a join whose total
+#: work is small against it prices serial plans cheaper, which is what
+#: keeps tiny queries off the pool (golden-tested).
+PARALLEL_FRAGMENT_OVERHEAD = 500.0
+
 
 @dataclass(frozen=True)
 class Estimate:
@@ -464,6 +477,69 @@ class CostModel:
             + left.rows * right.rows * PREDICATE_COST
             + out_rows * TUPLE_COST
         )
+
+    def parallel_join_cost(
+        self,
+        strategy: str,
+        build: Estimate,
+        probe: Estimate,
+        out_rows: float,
+        parts: int,
+        workers: int,
+        balance: Optional[float] = None,
+    ) -> float:
+        """Elapsed-work cost of a ``parts``-way partitioned hash join.
+
+        ``balance`` is the fraction of rows in the *largest* shard (from
+        the registered partitioning's per-shard statistics) — the
+        critical-path divisor for partition-divided work, floored at the
+        even split ``1/eff``.  ``None`` (no stored partitioning to read,
+        e.g. repartition) assumes an even hash split.
+
+        Costs model the *critical path* under ``min(parts, workers)``
+        effective parallelism — per-partition work divides, work every
+        fragment repeats does not:
+
+        * ``partition-wise`` — co-partitioned inputs: scans, build and
+          probe all divide by the effective parallelism (fragments read
+          stored shards; no exchange);
+        * ``broadcast`` — every fragment reads and builds the *whole*
+          (small) build side, so that part is paid in full; the
+          partitioned probe side divides;
+        * ``repartition`` — the shared-scan exchange: every fragment
+          scans both full inputs to hash-filter out its bucket (paid in
+          full), then the hash work divides.
+
+        All strategies add the per-fragment dispatch overhead
+        (:data:`PARALLEL_FRAGMENT_OVERHEAD`, amortized over parallel
+        waves) and the gather of ``out_rows`` results
+        (:data:`EXCHANGE_TUPLE_COST` each).
+        """
+        effective = max(1, min(parts, workers))
+        # the biggest fragment is the critical path: never better than the
+        # even split, degrading toward serial as one shard dominates
+        share = max(1.0 / effective, min(balance, 1.0)) if balance else 1.0 / effective
+        hash_work = (
+            build.rows * HASH_INSERT_COST
+            + probe.rows * HASH_PROBE_COST
+            + out_rows * TUPLE_COST
+        )
+        if strategy == "partition-wise":
+            elapsed = (build.cost + probe.cost + hash_work) * share
+        elif strategy == "broadcast":
+            elapsed = (
+                build.cost
+                + build.rows * HASH_INSERT_COST
+                + (probe.cost + probe.rows * HASH_PROBE_COST + out_rows * TUPLE_COST)
+                * share
+            )
+        elif strategy == "repartition":
+            elapsed = build.cost + probe.cost + hash_work * share
+        else:
+            raise ValueError(f"unknown parallel join strategy {strategy!r}")
+        startup = PARALLEL_FRAGMENT_OVERHEAD * parts / effective
+        gather = out_rows * EXCHANGE_TUPLE_COST
+        return startup + elapsed + gather
 
     # -- selection alternatives ----------------------------------------------
     def index_scan_cost(self, matching_rows: float) -> float:

@@ -101,12 +101,17 @@ class ExecRuntime:
         compile_exprs: bool = True,
         catalog=None,
         params: Optional[Dict[str, Value]] = None,
+        parallel=None,
     ) -> None:
         self.db = db
         # default to the database's own catalog (a Catalog registers
         # itself on its store at construction)
         self.catalog = catalog if catalog is not None else getattr(db, "catalog", None)
         self.stats = stats if stats is not None else Stats()
+        #: optional :class:`repro.shard.executor.ParallelExecutor` — when
+        #: set, gather exchanges ship their fragments to the worker pool
+        #: instead of running them inline
+        self.parallel = parallel
         #: prepared-statement parameter bindings for this run; ``Param``
         #: expressions resolve against it in both evaluation engines
         self.params: Dict[str, Value] = dict(params or {})

@@ -134,13 +134,23 @@ class Planner:
     decision is kept in :attr:`last_join_orders` for ``explain()``.
     """
 
-    def __init__(self, catalog=None, *, reorder: bool = True, bushy: bool = False) -> None:
+    def __init__(
+        self,
+        catalog=None,
+        *,
+        reorder: bool = True,
+        bushy: bool = False,
+        parallel_workers: int = 0,
+    ) -> None:
         self.catalog = catalog
         self.cost_model: Optional[CostModel] = (
             CostModel(catalog) if catalog is not None else None
         )
         self.reorder = reorder
         self.bushy = bushy
+        #: > 1 enables partition-parallel candidates (the cost model still
+        #: decides; this is capacity, not a switch)
+        self.parallel_workers = parallel_workers
         self.last_join_orders: List[JoinOrderDecision] = []
 
     def plan(self, expr: A.Expr) -> PlanNode:
@@ -397,6 +407,14 @@ class Planner:
             (model.nested_loop_cost(left_est, right_est, out.rows), nested_loop)
         )
 
+        # partition-parallel alternatives enter the same enumeration: the
+        # cost model, not a flag, decides when a parallel plan wins (ties
+        # keep the earlier — serial — candidate)
+        if self.parallel_workers > 1 and kind in ("join", "semijoin") and recipe.equi_left:
+            candidates.extend(
+                self._parallel_candidates(expr, kind, recipe, left_est, right_est, out)
+            )
+
         cost, builder = min(candidates, key=lambda c: c[0])
         node = builder()
         node.est_rows = out.rows
@@ -472,6 +490,191 @@ class Planner:
 
         return (cost, build)
 
+    # -- partition-parallel candidates (PR 5) --------------------------------
+    @staticmethod
+    def _fragment_base(operand: A.Expr) -> Optional[str]:
+        """The unique base extent of a fragment-shippable operand (a bare
+        extent, or *selections* over one), else ``None``.
+
+        Maps are deliberately excluded: a map can rename or recompute
+        attributes, so a join key named after the map's output would be
+        shard-routed against base-extent rows carrying different
+        attributes — a crash at best, silently wrong routing at worst.
+        Selections leave attributes untouched, so routing by the join
+        attribute against base rows is sound.
+        """
+        node = operand
+        while isinstance(node, A.Select):
+            node = node.source
+        return node.name if isinstance(node, A.ExtentRef) else None
+
+    def _operand_chain(self, operand: A.Expr, base: PlanNode) -> PlanNode:
+        """Rebuild an operand's filter chain over ``base`` — the
+        per-partition input description ``explain()`` renders."""
+        if isinstance(operand, A.Select):
+            return P.Filter(
+                operand.var, operand.pred, self._operand_chain(operand.source, base)
+            )
+        return base
+
+    def _parallel_candidates(
+        self, expr, kind, recipe, left_est: Estimate, right_est: Estimate, out: Estimate
+    ) -> List[Tuple[float, object]]:
+        """Partitioned hash-join alternatives for one join.
+
+        Three strategies, all priced by
+        :meth:`~repro.engine.cost.CostModel.parallel_join_cost`:
+        partition-wise when the inputs are co-partitioned on a join-key
+        pair, broadcast when the left input is partitioned (the right is
+        read whole by every fragment), and repartition (shared-scan hash
+        filter of both inputs, ``workers``-way) whenever both join keys
+        are directly-bound attributes.  ``semijoin`` participates — each
+        left tuple lands in exactly one fragment with all of its matches
+        co-located, so the union of fragment outputs is exact; the
+        remaining join kinds stay serial (a documented simplification).
+        """
+        import dataclasses
+
+        from repro.shard.fragment import (
+            LEFT_PLACEHOLDER,
+            RIGHT_PLACEHOLDER,
+            ShardRef,
+            rebind_extent,
+        )
+        from repro.shard.nodes import Exchange, PartitionedHashJoin, PartitionedScan
+
+        model = self.cost_model
+        workers = self.parallel_workers
+        l_ext = self._fragment_base(expr.left)
+        r_ext = self._fragment_base(expr.right)
+        if l_ext is None or r_ext is None:
+            return []
+        template = dataclasses.replace(
+            expr,
+            left=rebind_extent(expr.left, LEFT_PLACEHOLDER),
+            right=rebind_extent(expr.right, RIGHT_PLACEHOLDER),
+        )
+        key_pairs = [
+            (_bound_attr(l, expr.lvar), _bound_attr(r, expr.rvar))
+            for l, r in zip(recipe.equi_left, recipe.equi_right)
+        ]
+        lp = self.catalog.partitioning(l_ext)
+        rp = self.catalog.partitioning(r_ext)
+
+        def shard_balance(pe) -> Optional[float]:
+            """Largest-shard row fraction from the per-shard statistics —
+            how the registered partitioning's skew reaches the cost."""
+            total = sum(pe.cardinalities)
+            return max(pe.cardinalities) / total if total else None
+
+        def candidate(strategy, parts, bindings, left_node_fn, right_node_fn,
+                      balance=None):
+            cost = model.parallel_join_cost(
+                strategy, right_est, left_est, out.rows, parts, workers,
+                balance=balance,
+            )
+
+            def build() -> PlanNode:
+                join = PartitionedHashJoin(
+                    kind, expr.lvar, expr.rvar, expr.pred, strategy, parts,
+                    template, bindings, left_node_fn(), right_node_fn(),
+                )
+                join.est_rows = out.rows
+                join.est_cost = cost
+                gather = Exchange("gather", join, parts)
+                return gather
+
+            return (cost, build)
+
+        candidates: List[Tuple[float, object]] = []
+
+        if lp is not None and rp is not None and lp.parts == rp.parts:
+            for l_attr, r_attr in key_pairs:
+                if l_attr == lp.attr and r_attr == rp.attr and l_attr and r_attr:
+                    parts = lp.parts
+                    bindings = [
+                        {
+                            LEFT_PLACEHOLDER: ShardRef(l_ext, lp.attr, parts, i),
+                            RIGHT_PLACEHOLDER: ShardRef(r_ext, rp.attr, parts, i),
+                        }
+                        for i in range(parts)
+                    ]
+                    balances = [b for b in (shard_balance(lp), shard_balance(rp)) if b]
+                    candidates.append(candidate(
+                        "partition-wise", parts, bindings,
+                        lambda: self._operand_chain(
+                            expr.left, self._annotate(
+                                PartitionedScan(l_ext, lp.attr, lp.parts), l_ext)),
+                        lambda: self._operand_chain(
+                            expr.right, self._annotate(
+                                PartitionedScan(r_ext, rp.attr, rp.parts), r_ext)),
+                        balance=max(balances) if balances else None,
+                    ))
+                    break
+
+        if lp is not None:
+            parts = lp.parts
+            bindings = [
+                {
+                    LEFT_PLACEHOLDER: ShardRef(l_ext, lp.attr, parts, i),
+                    RIGHT_PLACEHOLDER: ShardRef(r_ext),
+                }
+                for i in range(parts)
+            ]
+            candidates.append(candidate(
+                "broadcast", parts, bindings,
+                lambda: self._operand_chain(
+                    expr.left, self._annotate(
+                        PartitionedScan(l_ext, lp.attr, lp.parts), l_ext)),
+                lambda: Exchange("broadcast", self._plan(expr.right), parts),
+                balance=shard_balance(lp),
+            ))
+
+        repart = next(((l, r) for l, r in key_pairs if l and r), None)
+        if repart is not None and workers > 1:
+            l_attr, r_attr = repart
+            bindings = [
+                {
+                    LEFT_PLACEHOLDER: ShardRef(l_ext, l_attr, workers, i),
+                    RIGHT_PLACEHOLDER: ShardRef(r_ext, r_attr, workers, i),
+                }
+                for i in range(workers)
+            ]
+            def repart_balance(ext, attr, pe):
+                # a stored partitioning on this very attribute measured the
+                # real hash spread; otherwise the distinct count bounds it
+                # (nd values over the buckets put ≥ 1/nd in the hottest one)
+                if pe is not None and pe.attr == attr:
+                    return shard_balance(pe)
+                nd = model.estimator.distinct_for(ext, attr)
+                return 1.0 / nd if nd else None
+
+            shares = [
+                share
+                for share in (
+                    repart_balance(l_ext, l_attr, lp),
+                    repart_balance(r_ext, r_attr, rp),
+                )
+                if share
+            ]
+            candidates.append(candidate(
+                "repartition", workers, bindings,
+                lambda: Exchange(
+                    "repartition", self._plan(expr.left), workers, key_attr=l_attr),
+                lambda: Exchange(
+                    "repartition", self._plan(expr.right), workers, key_attr=r_attr),
+                balance=max(shares) if shares else None,
+            ))
+        return candidates
+
+    def _annotate(self, node: PlanNode, extent: str) -> PlanNode:
+        """Attach the extent's estimate to a constructed scan node."""
+        if self.cost_model is not None:
+            est = self.cost_model.estimate(A.ExtentRef(extent))
+            node.est_rows = est.rows
+            node.est_cost = est.cost
+        return node
+
 
 class Executor:
     """Facade: plan + execute ADL expressions against a database.
@@ -498,11 +701,21 @@ class Executor:
         catalog=None,
         reorder: bool = True,
         bushy: bool = False,
+        parallel=None,
     ) -> None:
         self.db = db
         self.stats = stats if stats is not None else Stats()
         self.catalog = catalog
-        self.planner = Planner(catalog, reorder=reorder, bushy=bushy)
+        #: optional :class:`repro.shard.executor.ParallelExecutor`; its
+        #: worker count feeds the planner's parallel candidates and its
+        #: pool runs gather fragments (caller owns its lifecycle)
+        self.parallel = parallel
+        self.planner = Planner(
+            catalog,
+            reorder=reorder,
+            bushy=bushy,
+            parallel_workers=parallel.workers if parallel is not None else 0,
+        )
         self.materialized = materialized
         self.compile_exprs = compile_exprs
 
@@ -514,6 +727,7 @@ class Executor:
             compile_exprs=self.compile_exprs,
             catalog=self.catalog,
             params=params,
+            parallel=self.parallel,
         )
 
     def execute(self, expr: A.Expr, params=None):

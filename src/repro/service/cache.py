@@ -58,6 +58,9 @@ class CachedPlan:
     option: str                       # which rewrite pipeline won
     explain: str                      # rendered physical plan, for tooling
     set_oriented: bool = True
+    #: the plan contains a gather exchange: executions route through the
+    #: service's parallel executor (when one is configured)
+    parallel: bool = False
 
 
 @dataclass

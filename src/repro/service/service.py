@@ -38,6 +38,7 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
@@ -192,6 +193,16 @@ class QueryService:
     cache_size:
         Plan-cache capacity in distinct query shapes; ``0`` disables
         caching (every call re-optimizes — the benchmark's cold path).
+    parallel_workers / parallel_mode:
+        ``parallel_workers >= 2`` enables partition-parallel execution:
+        the planner enumerates partitioned join candidates (the cost
+        model decides per query shape) and plans that contain a gather
+        exchange route through a :class:`repro.shard.ParallelExecutor`
+        — a forked ``multiprocessing`` pool (``parallel_mode="process"``,
+        the default) or the in-process fragment loop
+        (``parallel_mode="inline"``).  The pool's worker snapshot is
+        retired and re-forked whenever the catalog version moves, the
+        same trigger that retires cached plans.
     """
 
     def __init__(
@@ -207,6 +218,8 @@ class QueryService:
         reorder: bool = True,
         bushy: bool = False,
         compile_exprs: bool = True,
+        parallel_workers: int = 0,
+        parallel_mode: str = "process",
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -238,7 +251,16 @@ class QueryService:
         # admission: in-flight executions + queued submissions together may
         # not exceed max_in_flight + queue_depth
         self._slots = threading.Semaphore(self.max_in_flight + self.queue_depth)
-        self._compile_lock = threading.Lock()
+        # compilation serializes *per shape* (no duplicate compiles of one
+        # shape; distinct shapes compile concurrently).  Entries are
+        # refcounted [lock, waiters] pairs so the registry stays bounded
+        # by the number of shapes currently compiling.
+        self._compile_locks: Dict[str, list] = {}
+        self._compile_locks_guard = threading.Lock()
+        self.parallel_workers = parallel_workers
+        self.parallel_mode = parallel_mode
+        self._parallel = None
+        self._parallel_guard = threading.Lock()
         self._state_lock = threading.Lock()
         self._session_ids = itertools.count(1)
         self._closed = False
@@ -274,7 +296,7 @@ class QueryService:
         shape, param_names = normalize_shape(text)
         entry = self.cache.peek(shape, self._catalog_version())
         if entry is None:
-            with self._compile_lock:
+            with self._shape_lock(shape):
                 entry = self.cache.peek(shape, self._catalog_version())
                 if entry is None:
                     entry = self._compile(shape, param_names)
@@ -285,6 +307,32 @@ class QueryService:
     def _catalog_version(self) -> int:
         return self.catalog.version if self.catalog is not None else 0
 
+    @contextmanager
+    def _shape_lock(self, shape: str):
+        """The compile lock for one query shape.
+
+        Per-shape locking keeps the no-duplicate-compile guarantee (two
+        concurrent first executions of one shape compile once) without
+        serializing *distinct* shapes — the PR-4 known simplification,
+        fixed.  Entries are refcounted and dropped when the last waiter
+        leaves, so the registry never outgrows the set of shapes
+        currently compiling.
+        """
+        with self._compile_locks_guard:
+            entry = self._compile_locks.get(shape)
+            if entry is None:
+                entry = self._compile_locks[shape] = [threading.Lock(), 0]
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._compile_locks_guard:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._compile_locks.pop(shape, None)
+
     def _lookup_or_compile(
         self, shape: str, param_names: Tuple[str, ...]
     ) -> Tuple[CachedPlan, bool]:
@@ -293,11 +341,11 @@ class QueryService:
         entry = self.cache.get(shape, self._catalog_version())
         if entry is not None:
             return entry, True
-        # one compile at a time: concurrent first executions of the same
-        # shape would otherwise duplicate the (expensive) optimize+plan
-        # work; distinct shapes briefly serialize too — a documented
-        # simplification (compilation is the slow path either way)
-        with self._compile_lock:
+        # one compile at a time *per shape*: concurrent first executions of
+        # the same shape would otherwise duplicate the (expensive)
+        # optimize+plan work; distinct shapes compile concurrently under
+        # their own locks
+        with self._shape_lock(shape):
             # peek, not get: the lookup above already accounted the miss
             entry = self.cache.peek(shape, self._catalog_version())
             if entry is not None:
@@ -323,8 +371,16 @@ class QueryService:
         adl = compile_oosql(shape, self.schema)
         optimizer = Optimizer(self.schema, catalog=self.catalog)
         chosen = optimizer.optimize(adl)
-        planner = Planner(self.catalog, reorder=self.reorder, bushy=self.bushy)
+        planner = Planner(
+            self.catalog,
+            reorder=self.reorder,
+            bushy=self.bushy,
+            parallel_workers=self.parallel_workers,
+        )
         plan = planner.plan(chosen.expr)
+        from repro.shard.nodes import Exchange
+
+        parallel = any(isinstance(op, Exchange) for op in plan.operators())
         with self._state_lock:
             self.compilations += 1
         return CachedPlan(
@@ -336,7 +392,33 @@ class QueryService:
             option=chosen.option,
             explain=plan.explain(),
             set_oriented=chosen.set_oriented,
+            parallel=parallel,
         )
+
+    # -- parallel execution -----------------------------------------------------
+    def _parallel_handle(self):
+        """The service's :class:`~repro.shard.ParallelExecutor`, created
+        lazily once.  Staleness needs no handling here: the executor
+        itself re-forks its pool whenever the catalog version or any read
+        extent's identity moves (and keeping one executor keeps its
+        ``runs``/``pool_rebuilds`` counters meaningful across bumps)."""
+        if self.parallel_workers < 2:
+            return None
+        from repro.shard.executor import ParallelExecutor
+
+        with self._parallel_guard:
+            if self._closed:
+                # a query racing close(): no new executor — the caller
+                # falls back to inline fragment execution
+                return None
+            if self._parallel is None:
+                self._parallel = ParallelExecutor(
+                    self.db,
+                    self.catalog,
+                    workers=self.parallel_workers,
+                    mode=self.parallel_mode,
+                )
+            return self._parallel
 
     # -- execution -------------------------------------------------------------
     def _submit(
@@ -386,6 +468,7 @@ class QueryService:
                 compile_exprs=self.compile_exprs,
                 catalog=self.catalog,
                 params=bindings,
+                parallel=self._parallel_handle() if entry.parallel else None,
             )
             start = time.perf_counter()
             rows = entry.plan.execute(runtime)
@@ -423,11 +506,23 @@ class QueryService:
                 "cache": self.cache.stats.snapshot(),
                 "cached_shapes": len(self.cache),
             }
+        with self._parallel_guard:
+            if self._parallel is not None:
+                out["parallel"] = {
+                    "workers": self._parallel.workers,
+                    "mode": self._parallel.mode,
+                    "runs": self._parallel.runs,
+                    "pool_rebuilds": self._parallel.pool_rebuilds,
+                }
         return out
 
     def close(self, wait: bool = True) -> None:
         self._closed = True
         self._pool.shutdown(wait=wait)
+        with self._parallel_guard:
+            if self._parallel is not None:
+                self._parallel.close()
+                self._parallel = None
 
     def __enter__(self) -> "QueryService":
         return self

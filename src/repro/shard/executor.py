@@ -1,0 +1,230 @@
+"""The process-pool fragment executor.
+
+:class:`ParallelExecutor` fans plan fragments out to a
+``multiprocessing`` worker pool and merges partial results plus
+per-worker :class:`~repro.engine.stats.Stats` snapshots.  What crosses
+the process boundary is exactly the fragment-shipping contract of
+:mod:`repro.shard.fragment` — canonical ADL text, shard bindings,
+parameter bindings out; row sets and counter snapshots back.
+
+Pool lifecycle
+==============
+
+Workers are forked with a point-in-time state: the database object and
+a plain ``{extent: PartitionedExtent}`` snapshot of the catalog's
+partitionings (never the live catalog — a forked child must not inherit
+or touch its locks).  Staleness is caught on *three* triggers, checked
+per run before the pool is used:
+
+* the snapshot itself performs the extent-identity handshake
+  (``Catalog.partition_snapshot`` → ``partitioning()``), so stale
+  shards re-derive before they are forked;
+* a catalog **version** move (ANALYZE / ``create_index`` /
+  ``partition()`` / statistics refresh) retires the pool the same way
+  it retires cached plans;
+* the **identity of every extent the fragment batch reads** — including
+  un-partitioned broadcast sides, which have no partitioning to
+  handshake through — is compared against the identities recorded at
+  fork time; any change (e.g. a notified ``insert_rows`` that bumped
+  nothing yet) re-forks, because forked children hold a copy-on-write
+  image of the parent's pre-mutation heap.
+
+Mutations invisible to all three (a store mutating rows in place
+without replacing the extent value) require an explicit
+:meth:`refresh`.
+
+``mode="inline"`` runs fragments in-process through the identical
+:func:`~repro.shard.fragment.execute_fragment` path (no pool, fully
+deterministic) — the fallback when ``fork`` is unavailable and the
+default engine for tests.  Per-run accounting lands in
+:attr:`last_report`: per-fragment work snapshots, their sum, and the
+critical path (the largest single fragment) — the number the PR-5
+benchmark's checked speedup is built from.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.errors import ServiceError
+from repro.shard.fragment import (
+    FragmentSpec,
+    execute_fragment,
+    fragment_stats_total,
+)
+
+#: Worker-process state: ``(db, partitions)`` installed by the pool
+#: initializer (inherited via fork, never pickled).
+_WORKER_STATE: Optional[Tuple[object, Dict[str, object]]] = None
+
+
+def _init_worker(state) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_fragment(spec: FragmentSpec):
+    db, partitions = _WORKER_STATE
+    return execute_fragment(db, partitions, spec)
+
+
+class ParallelExecutor:
+    """Runs fragment batches, in a forked worker pool or inline.
+
+    Parameters
+    ----------
+    db / catalog:
+        The store fragments read and the catalog whose partitionings
+        (and version) worker snapshots are derived from.  ``catalog``
+        defaults to the store's own registered catalog.
+    workers:
+        Pool size; also the effective-parallelism figure the planner's
+        cost formulas divide by.
+    mode:
+        ``"process"`` (default) forks a pool; ``"inline"`` runs
+        fragments in-process.  Process mode degrades to inline (with
+        :attr:`degraded` set) when ``fork`` is unavailable.
+    """
+
+    def __init__(self, db, catalog=None, *, workers: int = 4, mode: str = "process") -> None:
+        if workers < 1:
+            raise ServiceError(f"parallel workers must be >= 1, got {workers}")
+        if mode not in ("process", "inline"):
+            raise ServiceError(f"unknown parallel mode {mode!r}")
+        self.db = db
+        self.catalog = catalog if catalog is not None else getattr(db, "catalog", None)
+        self.workers = workers
+        self.mode = mode
+        self.degraded = False
+        #: accounting of the most recent :meth:`run_fragments` call
+        self.last_report: Optional[dict] = None
+        self.runs = 0
+        self.pool_rebuilds = 0
+        self._pool = None
+        self._pool_version: Optional[int] = None
+        #: extent-value identities observed at fork time; a changed
+        #: identity for any extent a batch reads re-forks the pool
+        self._pool_extents: Dict[str, object] = {}
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- pool lifecycle ------------------------------------------------------
+    def _catalog_version(self) -> int:
+        return self.catalog.version if self.catalog is not None else 0
+
+    def _snapshot(self) -> Dict[str, object]:
+        if self.catalog is None:
+            return {}
+        return self.catalog.partition_snapshot()
+
+    def _extent_identities(self, specs: Sequence[FragmentSpec]) -> Dict[str, object]:
+        """Current extent-value identity of every extent ``specs`` read."""
+        out: Dict[str, object] = {}
+        if not hasattr(self.db, "extent"):
+            return out
+        for spec in specs:
+            for _, ref in spec.shards:
+                if ref.extent not in out:
+                    try:
+                        out[ref.extent] = self.db.extent(ref.extent)
+                    except Exception:
+                        pass
+        return out
+
+    def _ensure_pool(self, identities: Dict[str, object]):
+        """The live pool, re-forked when any staleness trigger fires
+        (see the module docstring); ``None`` in inline/degraded mode.
+
+        The partition snapshot is taken *first*: its staleness handshake
+        may itself bump the catalog version, and the pool must be tagged
+        with the settled number.
+
+        A **closed** executor never forks: a caller that captured this
+        handle before its owner retired it (e.g. a service replacing the
+        executor on a catalog bump mid-query) falls through to the
+        inline path — correct results, no orphaned worker pool.
+        """
+        if self._closed or self.mode != "process" or self.degraded:
+            return None
+        snapshot = self._snapshot()  # runs the identity handshake per entry
+        version = self._catalog_version()
+        if (
+            self._pool is not None
+            and self._pool_version == version
+            and all(
+                self._pool_extents.get(name) is rows
+                for name, rows in identities.items()
+            )
+        ):
+            return self._pool
+        self._close_pool()
+        import multiprocessing as mp
+
+        try:
+            context = mp.get_context("fork")
+        except ValueError:
+            self.degraded = True  # no fork (non-POSIX): run inline
+            return None
+        state = (self.db, snapshot)
+        self._pool = context.Pool(
+            self.workers, initializer=_init_worker, initargs=(state,)
+        )
+        self._pool_version = version
+        self._pool_extents = dict(identities)
+        self.pool_rebuilds += 1
+        return self._pool
+
+    def refresh(self) -> None:
+        """Force the next run to fork a fresh worker snapshot (for data
+        mutations that bypass the catalog version)."""
+        with self._lock:
+            self._close_pool()
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_version = None
+            self._pool_extents = {}
+
+    def close(self) -> None:
+        """Shut the pool down for good: in-flight callers holding this
+        handle finish their current batch; later batches run inline."""
+        with self._lock:
+            self._closed = True
+            self._close_pool()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+    def run_fragments(self, specs: Sequence[FragmentSpec]) -> List[Tuple[frozenset, dict]]:
+        """Execute every fragment; return ``[(rows, stats_snapshot), ...]``
+        in fragment order.  One batch runs at a time (the batch itself is
+        the unit of parallelism)."""
+        specs = list(specs)
+        with self._lock:
+            pool = self._ensure_pool(self._extent_identities(specs))
+            if pool is not None:
+                results = pool.map(_run_fragment, specs)
+            else:
+                partitions = self._snapshot()
+                results = [
+                    execute_fragment(self.db, partitions, spec) for spec in specs
+                ]
+            per_fragment = [fragment_stats_total(snapshot) for _, snapshot in results]
+            self.runs += 1
+            self.last_report = {
+                "fragments": len(specs),
+                "mode": "inline" if pool is None else "process",
+                "per_fragment_work": per_fragment,
+                "total_work": sum(per_fragment),
+                "critical_path_work": max(per_fragment) if per_fragment else 0,
+                "result_rows": sum(len(rows) for rows, _ in results),
+            }
+            return results

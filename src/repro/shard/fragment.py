@@ -1,0 +1,212 @@
+"""The fragment-shipping contract of partition-parallel execution.
+
+A *fragment* is one partition's share of a parallel plan region,
+expressed as data that can cross a process boundary:
+
+* ``text`` — the fragment's logical form as **canonical pretty-printed
+  ADL text** (:mod:`repro.adl.pretty`), with placeholder extent names
+  (``__lshard__`` / ``__rshard__`` / ``__shard__``) where partitioned
+  inputs go.  Receivers re-parse it with :func:`repro.adl.parser.parse_adl`
+  and re-plan locally — the same re-parseable-shape trick the PR-4 plan
+  cache plays with OOSQL text.  No plan trees, closures or locks ever
+  ship;
+* ``shards`` — placeholder → :class:`ShardRef` bindings saying which
+  shard of which extent each placeholder denotes;
+* ``params`` — the execution's prepared-statement parameter bindings,
+  forwarded verbatim (``$name`` placeholders survive into the fragment
+  text exactly as they survive into cached plans).
+
+:func:`execute_fragment` is the single execution path for fragments —
+the coordinator's inline fallback and the pool workers run the *same
+function*, which is what makes parallel/serial parity hold by
+construction.
+
+Shard resolution (:class:`ShardView`) has two speeds:
+
+* the binding matches a registered partitioning (same attribute, same
+  part count) → the stored shard is used directly — the co-partitioned
+  fast path that "skips the exchange entirely";
+* otherwise the full extent is scanned and hash-filtered to the
+  requested bucket — a *shared-scan repartition*, each worker reading
+  everything and keeping its share.  This is a materializing exchange:
+  it charges the scanned tuples and counts a pipeline break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.adl import ast as A
+from repro.datamodel.errors import PartitionError
+from repro.datamodel.values import Value
+from repro.engine.stats import Stats
+from repro.shard.partition import partition_of
+
+#: Placeholder extent names used by planner-built fragments.  Any name
+#: may be bound — these are just the conventional ones.
+LEFT_PLACEHOLDER = "__lshard__"
+RIGHT_PLACEHOLDER = "__rshard__"
+SCAN_PLACEHOLDER = "__shard__"
+
+
+
+@dataclass(frozen=True)
+class ShardRef:
+    """One placeholder's binding: shard ``index`` of ``parts``-way hash
+    partitioning of ``extent`` on ``attr`` — or, with ``attr=None``, the
+    whole extent (the broadcast binding)."""
+
+    extent: str
+    attr: Optional[str] = None
+    parts: Optional[int] = None
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.attr is not None:
+            if not self.parts or self.parts < 1:
+                raise PartitionError(f"shard ref needs parts >= 1, got {self.parts}")
+            if self.index is None or not 0 <= self.index < self.parts:
+                raise PartitionError(
+                    f"shard index {self.index} out of range for {self.parts} parts"
+                )
+
+
+@dataclass(frozen=True)
+class FragmentSpec:
+    """One shippable fragment: ADL text + shard bindings + parameters.
+
+    Plain picklable data — this is exactly what crosses the process
+    boundary to a pool worker.
+    """
+
+    text: str
+    shards: Tuple[Tuple[str, ShardRef], ...]
+    params: Tuple[Tuple[str, Value], ...] = ()
+
+    @staticmethod
+    def make(
+        text: str,
+        shards: Mapping[str, ShardRef],
+        params: Optional[Mapping[str, Value]] = None,
+    ) -> "FragmentSpec":
+        return FragmentSpec(
+            text=text,
+            shards=tuple(sorted(shards.items())),
+            params=tuple(sorted((params or {}).items())),
+        )
+
+    @property
+    def shard_map(self) -> Dict[str, ShardRef]:
+        return dict(self.shards)
+
+    @property
+    def param_map(self) -> Dict[str, Value]:
+        return dict(self.params)
+
+
+class ShardView:
+    """A database view resolving placeholder extents to shard row sets.
+
+    Satisfies the interpreter protocol (``extent`` / ``deref``); every
+    other name passes through to the underlying store.  ``partitions``
+    is a plain ``{extent: PartitionedExtent}`` snapshot — resolution
+    never takes catalog locks, so forked workers cannot inherit a held
+    lock and deadlock.
+    """
+
+    def __init__(
+        self,
+        db,
+        partitions: Mapping[str, object],
+        shards: Mapping[str, ShardRef],
+        stats: Stats,
+    ) -> None:
+        self._db = db
+        self._partitions = partitions
+        self._shards = dict(shards)
+        self._stats = stats
+        self._resolved: Dict[str, frozenset] = {}
+
+    def extent(self, name: str) -> frozenset:
+        if name not in self._shards:
+            return self._db.extent(name)
+        cached = self._resolved.get(name)
+        if cached is None:
+            cached = self._resolved[name] = self._resolve(self._shards[name])
+        return cached
+
+    def deref(self, oid):
+        return self._db.deref(oid)
+
+    def _resolve(self, ref: ShardRef) -> frozenset:
+        if ref.attr is None:
+            return self._db.extent(ref.extent)  # broadcast: the whole extent
+        pe = self._partitions.get(ref.extent)
+        if pe is not None and pe.attr == ref.attr and pe.parts == ref.parts:
+            return pe.shard(ref.index)  # co-partitioned: stored shard, no exchange
+        # shared-scan repartition: scan everything, keep this bucket — a
+        # materializing exchange, charged and counted as a pipeline break
+        rows = self._db.extent(ref.extent)
+        self._stats.pipeline_breaks += 1
+        self._stats.tuples_visited += len(rows)
+        return frozenset(
+            row for row in rows if partition_of(row[ref.attr], ref.parts) == ref.index
+        )
+
+
+def execute_fragment(db, partitions, spec: FragmentSpec):
+    """Re-parse, re-plan and execute one fragment; return ``(rows, stats)``.
+
+    ``stats`` is a plain :meth:`~repro.engine.stats.Stats.snapshot` dict
+    (picklable).  The fragment is planned heuristically (no catalog):
+    fragments are single join/scan shapes whose strategy the coordinator
+    already chose, and keeping workers off the shared catalog avoids
+    cross-process staleness races.
+    """
+    from repro.adl.parser import parse_adl
+    from repro.engine.plan import ExecRuntime
+    from repro.engine.planner import Planner
+
+    expr = parse_adl(spec.text)
+    stats = Stats()
+    view = ShardView(db, partitions, spec.shard_map, stats)
+    plan = Planner().plan(expr)
+    rows = plan.execute(ExecRuntime(view, stats, params=spec.param_map))
+    return rows, stats.snapshot()
+
+
+def merge_stats_snapshot(stats: Stats, snapshot: Mapping[str, int]) -> None:
+    """Fold one fragment's counter snapshot into a live ``Stats``."""
+    for name, value in snapshot.items():
+        setattr(stats, name, getattr(stats, name) + value)
+
+
+def fragment_stats_total(snapshot: Mapping[str, int]) -> int:
+    """``Stats.total_work`` computed over a snapshot dict — the per-worker
+    effort number the benchmark's critical-path speedup is built from.
+    Rehydrates a real ``Stats`` so the definition of "work" lives in one
+    place and cannot drift from the serial side's accounting."""
+    stats = Stats()
+    merge_stats_snapshot(stats, snapshot)
+    return stats.total_work()
+
+
+def rebind_extent(operand: A.Expr, placeholder: str) -> A.Expr:
+    """Swap the base :class:`~repro.adl.ast.ExtentRef` of a fragment
+    operand (a bare extent, or selections over one) for a placeholder
+    name.  Raises :class:`PartitionError` when the operand has no unique
+    base extent — such operands are not fragment-shippable.  Maps are
+    rejected like any other shape: they can rename attributes, which
+    would break shard routing by attribute name (see
+    ``Planner._fragment_base``).
+    """
+    if isinstance(operand, A.ExtentRef):
+        return A.ExtentRef(placeholder)
+    if isinstance(operand, A.Select):
+        return A.Select(
+            operand.var, operand.pred, rebind_extent(operand.source, placeholder)
+        )
+    raise PartitionError(
+        f"operand {type(operand).__name__} has no unique base extent to shard"
+    )

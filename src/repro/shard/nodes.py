@@ -1,0 +1,262 @@
+"""Parallel physical operators: partitioned scans, exchanges, joins.
+
+These nodes join the planner's candidate enumeration
+(:meth:`repro.engine.planner.Planner._plan_join_cost_based`) with real
+cost formulas (:meth:`repro.engine.cost.CostModel.parallel_join_cost`),
+so the cost model — not a flag — decides when a parallel plan beats the
+serial one.  ``explain()`` renders partition counts and exchange kinds
+on every node.
+
+Execution contract
+==================
+
+A parallel region always looks like::
+
+    Exchange(gather) [4 parts] <gathers 4 partitions>
+      PartitionedHashJoin(join) [x.k = y.k ; partition-wise, 4 parts]
+        PartitionedScan [X by k, 4 parts]
+        PartitionedScan [Y by k, 4 parts]
+
+The :class:`Exchange` gather node *drives* the region: when the runtime
+carries a :class:`~repro.shard.executor.ParallelExecutor`
+(``rt.parallel``), it ships the join's fragments to the worker pool and
+merges partial results + per-worker statistics; without one it falls
+back to the child's inline iteration, which runs the *same*
+:func:`~repro.shard.fragment.execute_fragment` per partition in-process
+— parity between the two paths holds by construction.  Either way the
+gather materializes its input and counts one ``pipeline_breaks`` (plus
+whatever breaks the fragments themselves report), consistent with every
+other breaker.
+
+Partition-wise joins on co-partitioned inputs resolve stored shards
+directly and skip the exchange entirely; broadcast joins read the small
+side whole in every fragment; repartition joins pay a shared-scan hash
+filter per fragment (counted as a break by the resolver).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.adl import ast as A
+from repro.datamodel.values import Value
+from repro.engine.plan import ExecRuntime, PlanNode
+from repro.shard.fragment import (
+    FragmentSpec,
+    ShardRef,
+    execute_fragment,
+    merge_stats_snapshot,
+)
+
+#: The parallel join strategies the planner enumerates.
+STRATEGIES = ("partition-wise", "broadcast", "repartition")
+
+
+def _partition_lookup(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Dict[str, object]:
+    """A lock-consistent ``{extent: PartitionedExtent}`` snapshot for the
+    extents the fragments reference (inline execution path; the pool path
+    snapshots at pool creation instead)."""
+    out: Dict[str, object] = {}
+    if rt.catalog is None:
+        return out
+    for spec in specs:
+        for _, ref in spec.shards:
+            if ref.attr is not None and ref.extent not in out:
+                pe = rt.catalog.partitioning(ref.extent)
+                if pe is not None:
+                    out[ref.extent] = pe
+    return out
+
+
+def _run_inline(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Iterator[Value]:
+    partitions = _partition_lookup(rt, specs)
+    for spec in specs:
+        rows, snapshot = execute_fragment(rt.db, partitions, spec)
+        merge_stats_snapshot(rt.stats, snapshot)
+        yield from rows
+
+
+class PartitionedScan(PlanNode):
+    """Scan of a hash-partitioned extent — all shards, shard-ordered.
+
+    Semantically identical to :class:`~repro.engine.plan.Scan`; the
+    partitioning is what lets an enclosing gather split it into one
+    fragment per shard (a *gathered scan*).  Streams, no pipeline break.
+    """
+
+    label = "PartitionedScan"
+
+    def __init__(self, extent: str, attr: str, parts: int) -> None:
+        self.extent = extent
+        self.attr = attr
+        self.parts = parts
+
+    def describe(self) -> str:
+        return f"{self.extent} by {self.attr}, {self.parts} parts"
+
+    def _shards(self, rt: ExecRuntime):
+        pe = rt.catalog.partitioning(self.extent) if rt.catalog is not None else None
+        if pe is not None and pe.attr == self.attr and pe.parts == self.parts:
+            return pe.shards
+        return (rt.db.extent(self.extent),)
+
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        for shard in self._shards(rt):
+            for row in shard:
+                rt.stats.tuples_visited += 1
+                yield row
+
+    def payloads(self, params: Optional[Dict[str, Value]] = None) -> List[FragmentSpec]:
+        """One fragment per shard: ``__shard__`` bound to shard *i*."""
+        from repro.adl.pretty import pretty
+        from repro.shard.fragment import SCAN_PLACEHOLDER
+
+        text = pretty(A.ExtentRef(SCAN_PLACEHOLDER))
+        return [
+            FragmentSpec.make(
+                text,
+                {SCAN_PLACEHOLDER: ShardRef(self.extent, self.attr, self.parts, i)},
+                params,
+            )
+            for i in range(self.parts)
+        ]
+
+
+class Exchange(PlanNode):
+    """Data movement between partitions: ``gather`` / ``broadcast`` /
+    ``repartition``.
+
+    All three are pipeline breaks — an exchange materializes what it
+    moves — and all three render their kind and partition count in
+    ``explain()``.  ``gather`` is the driver of a parallel region (see
+    the module docstring); ``broadcast`` and ``repartition`` annotate a
+    :class:`PartitionedHashJoin` input with the movement the fragments
+    pay for, and execute as the semantically-equivalent identity when
+    iterated directly.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        child: PlanNode,
+        parts: int,
+        key_attr: Optional[str] = None,
+    ) -> None:
+        if kind not in ("gather", "broadcast", "repartition"):
+            from repro.datamodel.errors import PlanError
+
+            raise PlanError(f"unknown exchange kind {kind!r}")
+        self.kind = kind
+        self.child = child
+        self.parts = parts
+        self.key_attr = key_attr
+        self.label = f"Exchange({kind})"
+        if kind == "gather":
+            self.break_note = f"gathers {parts} partitions"
+        elif kind == "broadcast":
+            self.break_note = f"broadcasts to {parts} partitions"
+        else:
+            self.break_note = f"repartitions into {parts} partitions"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        if self.key_attr:
+            return f"on {self.key_attr}, {self.parts} parts"
+        return f"{self.parts} parts"
+
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        if self.kind == "gather":
+            rt.stats.pipeline_breaks += 1
+            payloads = getattr(self.child, "payloads", None)
+            if payloads is not None:
+                specs = payloads(rt.params)
+                if rt.parallel is not None:
+                    for rows, snapshot in rt.parallel.run_fragments(specs):
+                        merge_stats_snapshot(rt.stats, snapshot)
+                        yield from rows
+                    return
+                yield from _run_inline(rt, specs)
+                return
+            yield from self.child.iterate(rt)
+            return
+        # broadcast / repartition: moving tuples between partitions is the
+        # identity at whole-stream granularity; the movement cost is paid
+        # (and counted) inside the fragments that consume it
+        yield from self._consume(self.child, rt)
+
+
+class PartitionedHashJoin(PlanNode):
+    """A hash join split into per-partition fragments.
+
+    ``strategy`` says how the inputs line up:
+
+    * ``partition-wise`` — both inputs co-partitioned on the join keys:
+      fragment *i* joins stored shard *i* with stored shard *i*, no
+      exchange at all;
+    * ``broadcast`` — the (partitioned) left input keeps its shards, the
+      small right input is read whole by every fragment;
+    * ``repartition`` — each fragment hash-filters **both** full inputs
+      to bucket *i* on the join keys (a shared-scan exchange) and joins
+      the buckets.
+
+    The node carries its fragments as canonical ADL text + shard
+    bindings (:meth:`payloads`); executing the node inline runs them
+    one-by-one through :func:`~repro.shard.fragment.execute_fragment` —
+    the same path pool workers run.  ``left``/``right`` children are the
+    per-partition input descriptions ``explain()`` renders.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        lvar: str,
+        rvar: str,
+        pred: A.Expr,
+        strategy: str,
+        parts: int,
+        fragment_template: A.Expr,
+        shard_bindings: Sequence[Dict[str, ShardRef]],
+        left: PlanNode,
+        right: PlanNode,
+    ) -> None:
+        from repro.datamodel.errors import PlanError
+
+        if strategy not in STRATEGIES:
+            raise PlanError(f"unknown parallel join strategy {strategy!r}")
+        if len(shard_bindings) != parts:
+            raise PlanError(
+                f"{parts}-way parallel join needs {parts} shard bindings, "
+                f"got {len(shard_bindings)}"
+            )
+        from repro.adl.pretty import pretty
+
+        self.kind = kind
+        self.lvar = lvar
+        self.rvar = rvar
+        self.pred = pred
+        self.strategy = strategy
+        self.parts = parts
+        self.fragment_text = pretty(fragment_template)
+        self.shard_bindings = [dict(b) for b in shard_bindings]
+        self.left = left
+        self.right = right
+        self.label = f"PartitionedHashJoin({kind})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.adl.pretty import pretty
+
+        return f"{self.lvar},{self.rvar}: {pretty(self.pred)} ; {self.strategy}, {self.parts} parts"
+
+    def payloads(self, params: Optional[Dict[str, Value]] = None) -> List[FragmentSpec]:
+        return [
+            FragmentSpec.make(self.fragment_text, bindings, params)
+            for bindings in self.shard_bindings
+        ]
+
+    def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
+        yield from _run_inline(rt, self.payloads(rt.params))

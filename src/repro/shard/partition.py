@@ -1,0 +1,130 @@
+"""Deterministic hash partitioning of extents.
+
+Physical data partitioning is the storage half of partition-parallel
+execution: an extent hash-partitioned on an attribute into *N* shards
+can be scanned, filtered and — when two extents are partitioned on
+their join attributes with equal part counts (*co-partitioned*) —
+joined partition-wise, each shard pair independently.
+
+Everything here must be **stable across processes**: worker processes
+re-derive shard membership locally, so the partitioning function cannot
+depend on Python's salted ``hash()`` (``PYTHONHASHSEED`` varies between
+interpreter launches).  :func:`stable_hash` is a small FNV-1a over a
+canonical byte rendering of the atom kinds partitioning keys may hold.
+
+The :class:`PartitionedExtent` snapshot is registered in the
+:class:`~repro.storage.catalog.Catalog` (see :meth:`Catalog.partition`)
+and carries per-partition statistics computed with the same ANALYZE
+machinery whole extents use, so the cost model can see shard sizes and
+skew.  Like statistics and indexes it records the extent value it was
+computed from and is rebuilt lazily when the identity handshake detects
+staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.datamodel.errors import PartitionError
+from repro.datamodel.values import Oid, Value
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = (1 << 64) - 1
+
+
+def _fnv(data: bytes, acc: int = _FNV_OFFSET) -> int:
+    for byte in data:
+        acc = ((acc ^ byte) * _FNV_PRIME) & _MASK
+    return acc
+
+
+def stable_hash(value: Value) -> int:
+    """A process-stable 64-bit hash of an atomic partitioning key.
+
+    Accepts the atom kinds a partitioning attribute may hold — ``None``,
+    bool, int, float, str, :class:`~repro.datamodel.values.Oid`.  Sets
+    and tuples are rejected: a partitioning key must be atomic (hash
+    routing a composite would silently depend on representation).
+    """
+    if value is None:
+        return _fnv(b"\x00")
+    if isinstance(value, bool):
+        # Python-equal keys must co-locate: True == 1 == 1.0 joins in a
+        # dict-based serial hash join, so all three must share a shard
+        return stable_hash(int(value))
+    if isinstance(value, int):
+        # decimal text keeps the encoding injective for unbounded ints
+        # (a fixed-width to_bytes would overflow past 128 bits)
+        return _fnv(b"\x02" + str(value).encode("ascii"))
+    if isinstance(value, float):
+        if value.is_integer():  # hash-equal ints and integral floats agree
+            return stable_hash(int(value))
+        return _fnv(b"\x03" + repr(value).encode("utf-8"))
+    if isinstance(value, str):
+        return _fnv(b"\x04" + value.encode("utf-8"))
+    if isinstance(value, Oid):
+        return _fnv(
+            b"\x05" + value.class_name.encode("utf-8") + b"\x00"
+            + str(value.number).encode("ascii")
+        )
+    raise PartitionError(
+        f"partitioning keys must be atoms, got {type(value).__name__}: {value!r}"
+    )
+
+
+def partition_of(value: Value, parts: int) -> int:
+    """The shard index of ``value`` under ``parts``-way hash partitioning."""
+    return stable_hash(value) % parts
+
+
+def partition_rows(rows, attr: str, parts: int) -> List[frozenset]:
+    """Split ``rows`` into ``parts`` shards by ``partition_of(row[attr])``."""
+    if parts < 1:
+        raise PartitionError(f"partition count must be >= 1, got {parts}")
+    buckets: List[set] = [set() for _ in range(parts)]
+    for row in rows:
+        buckets[partition_of(row[attr], parts)].add(row)
+    return [frozenset(bucket) for bucket in buckets]
+
+
+@dataclass(frozen=True)
+class PartitionedExtent:
+    """One extent's registered hash partitioning: shards + per-shard stats.
+
+    ``source_rows`` is the extent value the shards were derived from —
+    the same identity handshake statistics and indexes use, so the
+    catalog can detect and lazily rebuild a stale partitioning.
+    ``shard_stats`` holds one :class:`~repro.storage.catalog.ExtentStats`
+    per shard (pages are attributed to the whole extent, not shards).
+    """
+
+    extent: str
+    attr: str
+    parts: int
+    shards: Tuple[frozenset, ...]
+    shard_stats: Tuple
+    source_rows: frozenset
+
+    def shard(self, index: int) -> frozenset:
+        if not 0 <= index < self.parts:
+            raise PartitionError(
+                f"{self.extent} has {self.parts} partitions, no shard {index}"
+            )
+        return self.shards[index]
+
+    @property
+    def cardinalities(self) -> Tuple[int, ...]:
+        return tuple(len(s) for s in self.shards)
+
+    @property
+    def skew(self) -> float:
+        """Largest shard over the even-split size (1.0 = perfectly even)."""
+        total = sum(self.cardinalities)
+        if total == 0:
+            return 1.0
+        return max(self.cardinalities) / (total / self.parts)
+
+    def describe(self) -> str:
+        return f"{self.extent} by {self.attr}, {self.parts} parts"

@@ -104,9 +104,30 @@ class Catalog:
         self._stats: Dict[str, ExtentStats] = {}
         self._indexes: Dict[Tuple[str, str], NamedIndex] = {}
         self._by_name: Dict[str, NamedIndex] = {}
+        #: registered hash partitionings, one per extent
+        #: (:class:`repro.shard.partition.PartitionedExtent`)
+        self._partitions: Dict[str, object] = {}
         #: how many times :meth:`stats` lazily re-analyzed a stale extent
         #: (the statistics analogue of the runtime index-rebuild counter)
         self.stat_refreshes: int = 0
+        #: how many times :meth:`stats` absorbed a change *incrementally*
+        #: (notified inserts/deletes adjust cardinality without a full
+        #: ANALYZE; per-attribute distinct counts stay lazily stale)
+        self.stat_increments: int = 0
+        #: how many times :meth:`partitioning` lazily re-partitioned a
+        #: stale extent
+        self.partition_refreshes: int = 0
+        #: net notified row delta per extent since its last full ANALYZE.
+        #: *Presence* of a key means every change since ANALYZE went
+        #: through :meth:`note_insert`/:meth:`note_delete`, so the next
+        #: staleness hit may adjust cardinality incrementally instead of
+        #: re-analyzing; an unnotified replacement clears the key
+        #: (:meth:`note_replaced`) and forces the full re-analyze.
+        self._deltas: Dict[str, int] = {}
+        #: extents with an *unaccounted* bulk change since their last
+        #: ANALYZE — incremental adjustment is off for these until the
+        #: next full re-analyze, even if later inserts are notified
+        self._tainted: set = set()
         #: monotonic catalog version: bumped whenever the optimizer-visible
         #: state changes — :meth:`analyze` (new statistics),
         #: :meth:`create_index` (new/rebuilt access path), and the lazy
@@ -131,11 +152,22 @@ class Catalog:
 
     # -- statistics ----------------------------------------------------------
     def analyze(self, extents: Optional[Iterable[str]] = None) -> Dict[str, ExtentStats]:
-        """Full-pass statistics for ``extents`` (default: every extent)."""
-        for name in self._extent_names(extents):
-            self._stats[name] = self._analyze_one(name)
-        self._bump_version()
-        return dict(self._stats)
+        """Full-pass statistics for ``extents`` (default: every extent).
+
+        Also re-derives the shards and per-partition statistics of any
+        registered partitioning of an analyzed extent, so ANALYZE leaves
+        whole-extent and per-shard numbers consistent.
+        """
+        with self._lock:
+            for name in self._extent_names(extents):
+                self._stats[name] = self._analyze_one(name)
+                self._deltas.pop(name, None)
+                self._tainted.discard(name)
+                existing = self._partitions.get(name)
+                if existing is not None:
+                    self._build_partitioning(name, existing.attr, existing.parts)
+            self._bump_version()
+            return dict(self._stats)
 
     def stats(self, extent: str) -> Optional[ExtentStats]:
         """Statistics for ``extent`` — re-analyzed lazily when stale.
@@ -145,7 +177,17 @@ class Catalog:
         extent changes).  Never-analyzed extents stay unanalyzed; only
         statistics that *exist but describe old data* are refreshed, so
         the cost model never silently prices plans with stale numbers.
-        Refreshes are counted in :attr:`stat_refreshes`.
+
+        Refresh is **incremental when possible**: when every change since
+        the last ANALYZE was a notified insert/delete
+        (:meth:`note_insert` / :meth:`note_delete` — stores wired to the
+        catalog call these), the cardinality and page count are read off
+        the current extent value directly and per-attribute distinct
+        counts / set sizes are kept as-is (lazily stale — the documented
+        contract; see ROADMAP "Incremental statistics").  Incremental
+        adjustments are counted in :attr:`stat_increments`, full
+        re-analyzes in :attr:`stat_refreshes`; both bump the catalog
+        version (the optimizer-visible numbers changed either way).
         """
         stale = self._stats.get(extent)
         if stale is None:
@@ -164,12 +206,57 @@ class Catalog:
                     stale = self._stats.get(extent)
                     if stale is not None and current is stale.source_rows:
                         return stale  # another thread already refreshed
-                    fresh = self._analyze_one(extent)
+                    if extent in self._deltas and extent not in self._tainted:
+                        # all changes were notified: exact cardinality from
+                        # the new extent value, distinct counts stay lazy
+                        from dataclasses import replace
+
+                        pages = (
+                            self.db.page_count(extent)
+                            if hasattr(self.db, "page_count")
+                            else stale.pages
+                        )
+                        fresh = replace(
+                            stale,
+                            cardinality=len(current),
+                            pages=pages,
+                            source_rows=current,
+                        )
+                        self._deltas.pop(extent, None)
+                        self.stat_increments += 1
+                    else:
+                        fresh = self._analyze_one(extent)
+                        self.stat_refreshes += 1
+                        self._deltas.pop(extent, None)
+                        self._tainted.discard(extent)
                     self._stats[extent] = fresh
-                    self.stat_refreshes += 1
                     self._bump_version()
                 return fresh
         return stale
+
+    # -- incremental maintenance hooks ---------------------------------------
+    def note_insert(self, extent: str, count: int = 1) -> None:
+        """Record ``count`` notified row insertions into ``extent``.
+
+        Stores wired to a catalog (both in-repo stores are) call this on
+        every insert, which licenses the next stale-statistics hit to
+        adjust cardinality incrementally instead of re-analyzing.
+        """
+        with self._lock:
+            self._deltas[extent] = self._deltas.get(extent, 0) + count
+
+    def note_delete(self, extent: str, count: int = 1) -> None:
+        """Record ``count`` notified row deletions from ``extent``."""
+        with self._lock:
+            self._deltas[extent] = self._deltas.get(extent, 0) - count
+
+    def note_replaced(self, extent: str) -> None:
+        """Record an *unaccounted* bulk change (e.g. ``set_extent``):
+        forgets the notified-delta marker so the next staleness hit runs a
+        full re-analyze instead of trusting stale distinct counts."""
+        with self._lock:
+            self._deltas.pop(extent, None)
+            self._tainted.add(extent)
 
     def _extent_names(self, extents: Optional[Iterable[str]]) -> List[str]:
         if extents is not None:
@@ -181,6 +268,15 @@ class Catalog:
 
     def _analyze_one(self, name: str) -> ExtentStats:
         rows = self.db.extent(name)
+        if hasattr(self.db, "page_count"):
+            pages = self.db.page_count(name)
+        else:
+            pages = 0
+        return self._stats_for_rows(name, rows, pages)
+
+    def _stats_for_rows(self, name: str, rows: frozenset, pages: int) -> ExtentStats:
+        """The ANALYZE pass over an explicit row set — shared by whole
+        extents and the per-shard statistics of partitioned extents."""
         distinct_values: Dict[str, set] = {}
         set_sizes: Dict[str, List[int]] = {}
         for row in rows:
@@ -189,10 +285,6 @@ class Catalog:
                 distinct_values.setdefault(attr, set()).add(value)
                 if isinstance(value, frozenset):
                     set_sizes.setdefault(attr, []).append(len(value))
-        if hasattr(self.db, "page_count"):
-            pages = self.db.page_count(name)
-        else:
-            pages = 0
         return ExtentStats(
             extent=name,
             cardinality=len(rows),
@@ -204,6 +296,87 @@ class Catalog:
             },
             source_rows=rows,
         )
+
+    # -- partitioned extents -------------------------------------------------
+    def partition(self, extent: str, attr: str, parts: int):
+        """Hash-partition ``extent`` on ``attr`` into ``parts`` shards.
+
+        Registers (replacing any previous partitioning of the extent) a
+        :class:`repro.shard.partition.PartitionedExtent` snapshot with
+        per-partition statistics, and bumps the catalog version — a new
+        physical organization is optimizer-visible state, exactly like a
+        new index.  Shards are derived with the process-stable hash in
+        :mod:`repro.shard.partition`, so worker processes agree on shard
+        membership.
+        """
+        with self._lock:
+            pe = self._build_partitioning(extent, attr, parts)
+            self._bump_version()
+            return pe
+
+    def _build_partitioning(self, extent: str, attr: str, parts: int):
+        """Derive + register the shards of one extent (no version bump)."""
+        from repro.shard.partition import PartitionedExtent, partition_rows
+
+        rows = self.db.extent(extent)
+        shards = partition_rows(rows, attr, parts)
+        shard_stats = tuple(
+            self._stats_for_rows(extent, shard, pages=0) for shard in shards
+        )
+        pe = PartitionedExtent(
+            extent=extent,
+            attr=attr,
+            parts=parts,
+            shards=tuple(shards),
+            shard_stats=shard_stats,
+            source_rows=rows,
+        )
+        self._partitions[extent] = pe
+        return pe
+
+    def partitioning(self, extent: str):
+        """The registered partitioning of ``extent`` (or ``None``) —
+        lazily re-derived when stale, by the same extent-value identity
+        handshake statistics and indexes use.  Refreshes are counted in
+        :attr:`partition_refreshes` and bump the version (shard contents
+        and per-partition statistics changed)."""
+        pe = self._partitions.get(extent)
+        if pe is None:
+            return None
+        if hasattr(self.db, "extent"):
+            try:
+                current = self.db.extent(extent)
+            except Exception:
+                return pe
+            if current is not pe.source_rows:
+                with self._lock:
+                    pe = self._partitions.get(extent)
+                    if pe is not None and current is pe.source_rows:
+                        return pe  # another thread already re-partitioned
+                    pe = self._build_partitioning(extent, pe.attr, pe.parts)
+                    self.partition_refreshes += 1
+                    self._bump_version()
+        return pe
+
+    @property
+    def partitionings(self) -> List:
+        return list(self._partitions.values())
+
+    def partition_snapshot(self) -> Dict[str, object]:
+        """A consistent point-in-time copy of every registered
+        partitioning — plain data, safe to hand to forked worker
+        processes (workers must never take this catalog's lock).
+
+        Runs the staleness handshake per entry first (via
+        :meth:`partitioning`), so the snapshot always describes the
+        *current* extent values — a snapshot of stale shards would make
+        parallel fragments read pre-mutation data."""
+        out: Dict[str, object] = {}
+        for name in list(self._partitions):
+            pe = self.partitioning(name)
+            if pe is not None:
+                out[name] = pe
+        return out
 
     # -- indexes -------------------------------------------------------------
     def create_index(
@@ -276,9 +449,18 @@ class Catalog:
         return list(self._indexes.values())
 
     def refresh(self) -> None:
-        """Rebuild every registered index and re-analyze analyzed extents
-        (call after bulk loads — statistics and indexes are snapshots)."""
+        """Rebuild every registered index, re-analyze analyzed extents and
+        re-derive registered partitionings (call after bulk loads —
+        statistics, indexes and shards are all snapshots)."""
         for named in list(self._indexes.values()):
             self.create_index(named.extent, named.attr, named.name, named.multi)
         if self._stats:
             self.analyze(list(self._stats))
+        with self._lock:
+            rebuilt = False
+            for pe in list(self._partitions.values()):
+                if pe.extent not in self._stats:  # analyze() already redid these
+                    self._build_partitioning(pe.extent, pe.attr, pe.parts)
+                    rebuilt = True
+            if rebuilt:
+                self._bump_version()

@@ -78,6 +78,12 @@ class Database:
         page_id, slot = self._files[cdef.extent].append(record)
         self._oid_index[oid] = (cdef.extent, page_id, slot)
         self._extent_cache.pop(cdef.extent, None)
+        # notified insert: the catalog (if one registered itself on this
+        # store) may adjust the extent's cardinality incrementally on the
+        # next stale-statistics lookup instead of re-analyzing
+        catalog = getattr(self, "catalog", None)
+        if catalog is not None:
+            catalog.note_insert(cdef.extent)
         return oid
 
     def insert_many(self, class_name: str, rows: Iterable[Mapping[str, Value]]) -> List[Oid]:
@@ -177,12 +183,36 @@ class MemoryDatabase:
             for name, rows in extents.items():
                 self.set_extent(name, rows)
 
-    def set_extent(self, name: str, rows: Iterable[VTuple]) -> None:
-        rows = frozenset(rows)
+    def _store_rows(self, name: str, rows: frozenset) -> None:
         self._extents[name] = rows
         for row in rows:
             if isinstance(row, VTuple) and OID_ATTR in row and isinstance(row[OID_ATTR], Oid):
                 self._objects[row[OID_ATTR]] = row
+
+    def set_extent(self, name: str, rows: Iterable[VTuple]) -> None:
+        self._store_rows(name, frozenset(rows))
+        # a wholesale replacement is an *unaccounted* change: the catalog
+        # must fall back to a full re-analyze on the next staleness hit
+        catalog = getattr(self, "catalog", None)
+        if catalog is not None:
+            catalog.note_replaced(name)
+
+    def insert_rows(self, name: str, rows: Iterable[VTuple]) -> None:
+        """Add rows to an extent as a *notified* insert: the catalog may
+        adjust cardinality incrementally instead of re-analyzing."""
+        added = frozenset(rows)
+        self._store_rows(name, self._extents.get(name, frozenset()) | added)
+        catalog = getattr(self, "catalog", None)
+        if catalog is not None:
+            catalog.note_insert(name, len(added))
+
+    def delete_rows(self, name: str, rows: Iterable[VTuple]) -> None:
+        """Remove rows from an extent as a *notified* delete."""
+        removed = frozenset(rows)
+        self._store_rows(name, self.extent(name) - removed)
+        catalog = getattr(self, "catalog", None)
+        if catalog is not None:
+            catalog.note_delete(name, len(removed))
 
     def extent(self, name: str) -> frozenset:
         try:

@@ -35,6 +35,7 @@ from repro.engine.plan import (
 )
 from repro.engine.planner import Executor
 from repro.engine.stats import Stats
+from repro.shard import Exchange, PartitionedHashJoin, PartitionedScan, ShardRef
 from repro.storage import Catalog, MemoryDatabase
 from repro.workload.generator import generate_database
 
@@ -82,6 +83,40 @@ def indexed_db():
     catalog.create_index("X", "a")
     catalog.create_index("Y", "d")
     return db
+
+
+def partitioned_db():
+    """flat_db plus registered 2-way partitionings of X and Y."""
+    db = flat_db()
+    catalog = Catalog(db)
+    catalog.analyze(["X", "Y"])
+    catalog.partition("X", "a", 2)
+    catalog.partition("Y", "d", 2)
+    return db
+
+
+def _partition_wise_join():
+    import dataclasses
+
+    from repro.shard.fragment import LEFT_PLACEHOLDER, RIGHT_PLACEHOLDER, rebind_extent
+
+    expr = B.join(B.extent("X"), B.extent("Y"), "x", "y", EQ)
+    template = dataclasses.replace(
+        expr,
+        left=rebind_extent(expr.left, LEFT_PLACEHOLDER),
+        right=rebind_extent(expr.right, RIGHT_PLACEHOLDER),
+    )
+    bindings = [
+        {
+            LEFT_PLACEHOLDER: ShardRef("X", "a", 2, i),
+            RIGHT_PLACEHOLDER: ShardRef("Y", "d", 2, i),
+        }
+        for i in range(2)
+    ]
+    return PartitionedHashJoin(
+        "join", "x", "y", EQ, "partition-wise", 2, template, bindings,
+        PartitionedScan("X", "a", 2), PartitionedScan("Y", "d", 2),
+    )
 
 
 # one representative instance per operator class; (factory, db factory)
@@ -148,6 +183,27 @@ CASES = {
             build_side="left",
         ),
         flat_db,
+    ),
+    # PR 5: partition-parallel operators (inline fragment execution; the
+    # pool path runs the identical execute_fragment and is parity-tested
+    # in tests/shard/test_parallel_parity.py)
+    "PartitionedScan": (lambda: PartitionedScan("X", "a", 2), partitioned_db),
+    "Exchange-gather": (
+        lambda: Exchange("gather", PartitionedScan("X", "a", 2), 2),
+        partitioned_db,
+    ),
+    "Exchange-broadcast": (
+        lambda: Exchange("broadcast", Scan("Y"), 2),
+        partitioned_db,
+    ),
+    "Exchange-repartition": (
+        lambda: Exchange("repartition", Scan("Y"), 2, key_attr="d"),
+        partitioned_db,
+    ),
+    "PartitionedHashJoin": (_partition_wise_join, partitioned_db),
+    "Exchange-gather-join": (
+        lambda: Exchange("gather", _partition_wise_join(), 2),
+        partitioned_db,
     ),
 }
 

@@ -1,0 +1,208 @@
+"""The ADL pretty-text parser — the fragment-shipping surface.
+
+``parse_adl`` must be a left inverse of ``pretty`` on every shape a
+fragment can contain (and, pragmatically, on the whole plannable
+algebra): structurally for closed fragment shapes, up to the documented
+normalizations elsewhere.  The *fixpoint* property —
+``pretty(parse_adl(pretty(e))) == pretty(e)`` — is checked across a
+hypothesis-generated expression corpus.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adl import ast as A
+from repro.adl.parser import parse_adl
+from repro.adl.pretty import pretty
+from repro.datamodel.errors import ADLSyntaxError
+from repro.datamodel.values import Oid
+
+
+def av(var, attr):
+    return A.AttrAccess(A.Var(var), attr)
+
+
+EQ = A.Compare("=", av("x", "a"), av("y", "d"))
+
+
+class TestStructuralRoundTrip:
+    """Closed fragment shapes must re-parse to the *same* tree."""
+
+    CASES = [
+        A.ExtentRef("X"),
+        A.Select("x", A.Compare("=", av("x", "a"), A.Literal(1)), A.ExtentRef("X")),
+        A.Select("x", A.Compare("<", av("x", "v"), A.Param("t")), A.ExtentRef("__lshard__")),
+        A.Join(A.ExtentRef("X"), A.ExtentRef("Y"), "x", "y", EQ),
+        A.SemiJoin(
+            A.Select("x", A.Compare("<", av("x", "v"), A.Param("t")), A.ExtentRef("X")),
+            A.ExtentRef("Y"), "x", "y",
+            A.And(EQ, A.Compare("!=", av("x", "b"), A.Literal("red"))),
+        ),
+        A.AntiJoin(A.ExtentRef("X"), A.ExtentRef("Y"), "x", "y", EQ),
+        A.NestJoin(A.ExtentRef("X"), A.ExtentRef("Y"), "x", "y", EQ, "ys", A.Var("y")),
+        A.Map("x", A.TupleExpr((("xi", av("x", "i")),)), A.ExtentRef("X")),
+        A.Map(
+            "x",
+            av("x", "i"),
+            A.Join(A.ExtentRef("X"), A.ExtentRef("Y"), "x2", "y",
+                   A.Compare("=", av("x2", "a"), av("y", "d"))),
+        ),
+        A.Project(A.ExtentRef("R"), ("a", "b")),
+        A.Rename(A.ExtentRef("R"), (("a", "b"), ("c", "d"))),
+        A.Unnest(A.ExtentRef("S"), "parts"),
+        A.Nest(A.ExtentRef("R"), ("a", "b"), "grp"),
+        A.Flatten(A.Map("x", A.Var("x"), A.ExtentRef("X"))),
+        A.Exists("y", A.ExtentRef("Y"), A.Compare("=", av("y", "d"), A.Param("k"))),
+        A.Select(
+            "y",
+            A.Forall("m", av("y", "s"), A.SetCompare("in", A.Var("m"), A.ExtentRef("Y"))),
+            A.ExtentRef("S"),
+        ),
+        A.Union(A.ExtentRef("X"), A.Difference(A.ExtentRef("Y"), A.ExtentRef("Z"))),
+        A.Intersect(A.ExtentRef("X"), A.ExtentRef("Y")),
+        A.CartProd(A.ExtentRef("X"), A.ExtentRef("Y")),
+        A.Division(A.ExtentRef("X"), A.ExtentRef("Y")),
+        A.Aggregate("count", A.ExtentRef("X")),
+        A.Materialize(A.ExtentRef("S"), "part", "p", "Part"),
+        A.Select("x", A.Not(A.IsEmpty(av("x", "c"))), A.ExtentRef("X")),
+        A.Select(
+            "x",
+            A.Or(A.Compare(">", av("x", "a"), A.Literal(5)), A.IsEmpty(av("x", "c"))),
+            A.ExtentRef("X"),
+        ),
+        A.Select("x", A.SetCompare("disjoint", av("x", "c"), A.ExtentRef("Y")), A.ExtentRef("X")),
+        A.Select("x", A.SetCompare("subseteq", av("x", "c"), A.ExtentRef("Y")), A.ExtentRef("X")),
+        A.Literal(Oid("Part", 3)),
+        A.Literal(True),
+        A.Literal(None),
+        A.SetExpr((A.Literal(1), A.Param("k"))),
+        A.Select("x", A.Compare("=", A.Arith("mod", av("x", "a"), A.Literal(2)), A.Literal(0)), A.ExtentRef("X")),
+    ]
+
+    @pytest.mark.parametrize("expr", CASES, ids=lambda e: type(e).__name__ + ":" + pretty(e)[:40])
+    def test_roundtrip(self, expr):
+        assert parse_adl(pretty(expr)) == expr
+
+    def test_negative_literal(self):
+        assert parse_adl("-5") == A.Literal(-5)
+
+    def test_float_literal(self):
+        assert parse_adl("2.5") == A.Literal(2.5)
+
+    def test_whitespace_insensitive(self):
+        text = pretty(TestStructuralRoundTrip.CASES[3])
+        assert parse_adl(text.replace(" ", "  ")) == TestStructuralRoundTrip.CASES[3]
+
+
+class TestNormalizations:
+    def test_set_literal_becomes_constructor(self):
+        expr = parse_adl(pretty(A.Literal(frozenset([1, 2]))))
+        assert expr == A.SetExpr((A.Literal(1), A.Literal(2)))
+
+    def test_empty_set_literal_becomes_constructor(self):
+        assert parse_adl(pretty(A.Literal(frozenset()))) == A.SetExpr(())
+
+    def test_seteq_becomes_scalar_equality(self):
+        printed = pretty(A.SetCompare("seteq", av("x", "c"), A.ExtentRef("Y")))
+        reparsed = parse_adl("σ[x : " + printed + "](X)")
+        assert isinstance(reparsed.pred, A.Compare) and reparsed.pred.op == "="
+
+    def test_empty_set_comparison_is_isempty(self):
+        expr = parse_adl("σ[x : x.c = ∅](X)")
+        assert isinstance(expr.pred, A.IsEmpty)
+
+    def test_incomplete_field_list_backtracks_to_comparison(self):
+        """``(X = 1 ∧ true)`` starts like a tuple constructor but is a
+        parenthesized conjunction — the field attempt must backtrack."""
+        expr = parse_adl(pretty(A.And(A.Compare("=", A.ExtentRef("X"), A.Literal(1)),
+                                      A.Literal(True))))
+        assert expr == A.And(A.Compare("=", A.ExtentRef("X"), A.Literal(1)),
+                             A.Literal(True))
+
+    def test_field_list_with_arithmetic_value_still_a_tuple(self):
+        expr = parse_adl("(s = (x.a + 1), t = 2)")
+        assert isinstance(expr, A.TupleExpr)
+        assert [n for n, _ in expr.fields] == ["s", "t"]
+
+    def test_single_field_tuple_remains_the_documented_reading(self):
+        assert parse_adl("(pid = 3)") == A.TupleExpr((("pid", A.Literal(3)),))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "σ[x : ](X)", "(X ⋈⟨x⟩ Y)", "π_{a", "{1, ", "X ⋈", "σ[x x.a](X)", "@Part:x"],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(ADLSyntaxError):
+            parse_adl(text)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ADLSyntaxError):
+            parse_adl("X Y")
+
+
+# -- property: pretty(parse(pretty(e))) is a fixpoint ------------------------
+
+_names = st.sampled_from(["x", "y", "z"])
+_extents = st.sampled_from(["X", "Y", "SUPPLIER", "__lshard__"])
+_attrs = st.sampled_from(["a", "b", "d", "parts"])
+_atoms = st.one_of(
+    st.integers(min_value=-50, max_value=50).map(A.Literal),
+    st.sampled_from([True, False, None]).map(A.Literal),
+    st.sampled_from(["red", "blue"]).map(A.Literal),
+    _names.map(lambda n: A.Param(n)),
+)
+
+
+def _scalars(var):
+    return st.one_of(
+        _atoms,
+        _attrs.map(lambda a, v=var: A.AttrAccess(A.Var(v), a)),
+    )
+
+
+def _preds(var, other="y"):
+    scalar = _scalars(var)
+    base = st.builds(
+        A.Compare,
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        scalar,
+        st.one_of(scalar, _scalars(other)),
+    )
+    return st.recursive(
+        base,
+        lambda inner: st.one_of(
+            st.builds(A.And, inner, inner),
+            st.builds(A.Or, inner, inner),
+            st.builds(A.Not, inner),
+        ),
+        max_leaves=6,
+    )
+
+
+_sets = st.recursive(
+    _extents.map(A.ExtentRef),
+    lambda inner: st.one_of(
+        st.builds(lambda p, s: A.Select("x", p, s), _preds("x"), inner),
+        st.builds(lambda b, s: A.Map("x", b, s), _scalars("x"), inner),
+        st.builds(lambda l, r, p: A.Join(l, r, "x", "y", p), inner, inner, _preds("x")),
+        st.builds(lambda l, r, p: A.SemiJoin(l, r, "x", "y", p), inner, inner, _preds("x")),
+        st.builds(A.Union, inner, inner),
+        st.builds(A.Intersect, inner, inner),
+        st.builds(A.Difference, inner, inner),
+        st.builds(lambda s: A.Project(s, ("a", "b")), inner),
+        st.builds(lambda s: A.Unnest(s, "parts"), inner),
+        st.builds(lambda s: A.Nest(s, ("a",), "grp"), inner),
+        st.builds(lambda s: A.Flatten(A.Map("x", A.Var("x"), s)), inner),
+    ),
+    max_leaves=8,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_sets)
+def test_pretty_parse_pretty_fixpoint(expr):
+    text = pretty(expr)
+    assert pretty(parse_adl(text)) == text

@@ -166,14 +166,17 @@ class TestStaleStatistics:
         assert catalog.stats("X") is None
         assert catalog.stat_refreshes == 0
 
-    def test_paged_store_insert_triggers_refresh(self):
+    def test_paged_store_insert_adjusts_incrementally(self):
+        # PR 5: the paged store notifies inserts, so the stale-statistics
+        # hit adjusts cardinality incrementally instead of re-analyzing
         paged = generate_database(n_parts=10, n_suppliers=4, n_deliveries=4,
                                   seed=2)
         catalog = Catalog(paged)
         catalog.analyze(["PART"])
         paged.insert("Part", {"pname": "extra", "price": 1, "color": "red"})
         assert catalog.stats("PART").cardinality == 11
-        assert catalog.stat_refreshes == 1
+        assert catalog.stat_refreshes == 0
+        assert catalog.stat_increments == 1
 
     def test_explicit_refresh_does_not_count_as_lazy(self, db):
         catalog = Catalog(db)
