@@ -113,3 +113,34 @@ class ServiceError(ReproError):
 class AdmissionError(ServiceError):
     """The query service refused new work: the in-flight limit and the
     admission queue are both full (back-pressure, not failure)."""
+
+
+class FaultError(ReproError):
+    """Base class of the execution-fault taxonomy (PR 6).
+
+    The retry layer (:mod:`repro.faults.retry`) classifies every failure
+    as *transient* (worth retrying: :class:`TransientFaultError`,
+    :class:`WorkerCrashError`), *timeout* (:class:`QueryTimeoutError` —
+    the deadline has passed, retrying cannot help), or *fatal*
+    (everything else — the same failure would recur on any retry).
+    """
+
+
+class TransientFaultError(FaultError):
+    """A failure expected to go away on retry (an injected transient
+    fault, a momentary resource hiccup).  The retry policy re-runs the
+    fragment batch with backoff instead of surfacing it."""
+
+
+class WorkerCrashError(FaultError):
+    """A pool worker process died mid-batch (or a crash fault fired on
+    the inline path).  Transient at the query level: the batch re-runs
+    inline — parity by construction guarantees the same rows — and the
+    circuit breaker records the parallel-path failure."""
+
+
+class QueryTimeoutError(ServiceError):
+    """A query exceeded its deadline (``QueryService.execute(timeout=…)``
+    or an explicit ``deadline`` on the executor).  Never retried: the
+    time budget is spent.  The worker pool is reclaimed before this is
+    raised, so a timed-out query cannot leak hung workers."""

@@ -65,6 +65,7 @@ physical tree.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.adl import ast as A
@@ -102,6 +103,7 @@ class ExecRuntime:
         catalog=None,
         params: Optional[Dict[str, Value]] = None,
         parallel=None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.db = db
         # default to the database's own catalog (a Catalog registers
@@ -112,6 +114,15 @@ class ExecRuntime:
         #: set, gather exchanges ship their fragments to the worker pool
         #: instead of running them inline
         self.parallel = parallel
+        #: absolute ``time.monotonic()`` deadline for this run, or ``None``.
+        #: Streaming operators poll it at a coarse per-tuple granularity
+        #: (see :meth:`check_deadline`); the fault-free path pays nothing —
+        #: the check branch is hoisted out of every hot loop.
+        self.deadline = deadline
+        #: fault-tolerance events of this run (retries, degradation,
+        #: breaker state) — filled by the gather's ``run_fragments`` call
+        #: and surfaced on ``QueryResult.faults`` by the service
+        self.fault_events: Dict[str, object] = {}
         #: prepared-statement parameter bindings for this run; ``Param``
         #: expressions resolve against it in both evaluation engines
         self.params: Dict[str, Value] = dict(params or {})
@@ -121,6 +132,17 @@ class ExecRuntime:
         self.compiler = Compiler(db, self.stats, self.interpreter, self.params)
         self._compiled: Dict[int, Tuple[A.Expr, Callable]] = {}
         self._compiled_preds: Dict[int, Tuple[A.Expr, Callable]] = {}
+
+    # -- cancellation -------------------------------------------------------
+    def check_deadline(self) -> None:
+        """Raise :class:`~repro.datamodel.errors.QueryTimeoutError` when
+        this run's deadline has passed.  Cheap enough to call from gated
+        hot-loop sites (every N tuples); callers hoist the ``deadline is
+        None`` test so fault-free runs never reach it."""
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            from repro.datamodel.errors import QueryTimeoutError
+
+            raise QueryTimeoutError("query exceeded its deadline")
 
     # -- expression evaluation ---------------------------------------------
     # Both caches are keyed by id(expr) and store the expression alongside
@@ -249,10 +271,18 @@ class Scan(PlanNode):
         return self.extent
 
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
-        if hasattr(rt.db, "scan"):
-            yield from rt.db.scan(self.extent)
-        else:
-            yield from rt.db.extent(self.extent)
+        source = rt.db.scan(self.extent) if hasattr(rt.db, "scan") else rt.db.extent(self.extent)
+        if rt.deadline is None:
+            yield from source
+            return
+        # cancellation point: scans feed (almost) every pipeline, so a
+        # coarse per-64-tuple poll here bounds how far past its deadline
+        # any plan can run — including nested-loop joins whose probe side
+        # streams through this loop
+        for n, row in enumerate(source):
+            if not (n & 63):
+                rt.check_deadline()
+            yield row
 
     def execute(self, rt: ExecRuntime) -> frozenset:
         # overrides the base wrapper to return the store's cached extent
@@ -371,7 +401,18 @@ class Filter(PlanNode):
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
         pred = rt.compiled_pred(self.pred)
         env: Dict[str, Value] = {}
-        for item in self._input(self.child, rt):
+        if rt.deadline is None:
+            for item in self._input(self.child, rt):
+                rt.stats.tuples_visited += 1
+                env[self.var] = item
+                if pred(env):
+                    yield item
+            return
+        # deadline runs poll every 64 input tuples (branch hoisted so the
+        # fault-free loop above is untouched)
+        for n, item in enumerate(self._input(self.child, rt)):
+            if not (n & 63):
+                rt.check_deadline()
             rt.stats.tuples_visited += 1
             env[self.var] = item
             if pred(env):
@@ -628,7 +669,12 @@ class NestedLoopJoin(PlanNode):
         env: Dict[str, Value] = {}
         null_pad = VTuple({a: None for a in self.right_attrs})
         kind = self.kind
+        # the O(|L|*|R|) loop is the engine's worst case — check the
+        # deadline once per outer tuple (hoisted: free when none is set)
+        check = rt.check_deadline if rt.deadline is not None else None
         for x in self._input(self.left, rt):
+            if check is not None:
+                check()
             env[self.lvar] = x
             matched = False
             group = set()

@@ -1,0 +1,96 @@
+"""A circuit breaker over the parallel execution path.
+
+Worker-pool failures come in bursts — a bad fork, an OOM-killed
+container, a poisoned snapshot — and re-forking a pool just to watch it
+die again burns a fresh fork + batch latency per query.  The breaker
+converts repeated parallel-path failure into a *routing decision*:
+
+* ``closed`` — healthy; parallel runs allowed.  ``threshold``
+  consecutive failures trip it.
+* ``open`` — every gather-bearing batch routes straight to the inline
+  path (correct rows by construction, no fork) until ``cooldown_s`` has
+  elapsed.
+* ``half-open`` — after cooldown one probe batch may try the pool:
+  success closes the breaker, failure re-opens it and restarts the
+  cooldown.
+
+The executor serializes batches under its run guard, so the breaker's
+own lock only defends the cheap state reads from ``stats()`` callers on
+other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.datamodel.errors import ServiceError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` consecutive failures; retest after
+    ``cooldown_s``."""
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0) -> None:
+        if threshold < 1:
+            raise ServiceError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown_s < 0:
+            raise ServiceError(f"breaker cooldown must be >= 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0  # consecutive
+        self._opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allows(self) -> bool:
+        """May the caller try the parallel path right now?
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open *here* — the permission check is the retest trigger.
+        """
+        with self._lock:
+            if self._state == OPEN:
+                if time.monotonic() - self._opened_at >= self.cooldown_s:
+                    self._state = HALF_OPEN
+                    return True
+                return False
+            return True
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or self._failures >= self.threshold:
+                if self._state != OPEN:
+                    self.trips += 1
+                self._state = OPEN
+                self._opened_at = time.monotonic()
+                self._failures = 0
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "trips": self.trips,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state}, trips={self.trips})"

@@ -1,0 +1,123 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+The policy answers three questions for the executor's recovery loop:
+
+* **Is this failure worth retrying?**  :meth:`RetryPolicy.classify`
+  sorts every exception into ``"transient"`` (injected transient faults,
+  worker crashes, OS-level pipe/connection hiccups — retry),
+  ``"timeout"`` (the deadline has passed — never retry) or ``"fatal"``
+  (a deterministic error that would recur — surface immediately).
+* **How long to wait before attempt N?**  :meth:`RetryPolicy.backoff_s`
+  grows exponentially from ``base_s`` and is *deterministically*
+  jittered: the jitter fraction comes from an FNV mix of ``(seed,
+  attempt)``, not from a live RNG, so a replayed failure scenario waits
+  exactly as long as the original — reproducibility is the whole point
+  of the fault layer.
+* **When to give up?**  ``max_attempts`` bounds the loop; the caller
+  surfaces the final error.
+
+Backoff sleeps are deadline-aware: waiting out a backoff past the
+query's deadline raises
+:class:`~repro.datamodel.errors.QueryTimeoutError` instead of sleeping
+into a budget that is already spent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datamodel.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    TransientFaultError,
+    WorkerCrashError,
+)
+
+#: Exception types classified as transient beyond the repro taxonomy:
+#: OS-level transport failures a forked pool can produce under churn.
+_TRANSIENT_OS_ERRORS = (BrokenPipeError, ConnectionError, InterruptedError)
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = (1 << 64) - 1
+
+
+def _mix(seed: int, attempt: int) -> int:
+    acc = _FNV_OFFSET
+    for byte in f"{seed}:{attempt}".encode("ascii"):
+        acc = ((acc ^ byte) * _FNV_PRIME) & _MASK
+    return acc
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor retries transient failures.
+
+    ``max_attempts`` counts *attempts*, not retries: the default 3 means
+    one initial try plus up to two retries.  ``jitter`` is the fraction
+    of each backoff that deterministic jitter may shave off (0 disables
+    it; 0.5 means attempt N waits between 50% and 100% of its nominal
+    exponential backoff).
+    """
+
+    max_attempts: int = 3
+    base_s: float = 0.01
+    multiplier: float = 2.0
+    max_s: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_s < 0 or self.max_s < 0 or self.multiplier < 1:
+            raise ServiceError("backoff parameters must be non-negative (multiplier >= 1)")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServiceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # -- classification -------------------------------------------------------
+    @staticmethod
+    def classify(exc: BaseException) -> str:
+        """``"transient"`` / ``"timeout"`` / ``"fatal"`` for ``exc``."""
+        if isinstance(exc, QueryTimeoutError):
+            return "timeout"
+        if isinstance(exc, (TransientFaultError, WorkerCrashError)):
+            return "transient"
+        if isinstance(exc, _TRANSIENT_OS_ERRORS):
+            return "transient"
+        return "fatal"
+
+    # -- backoff --------------------------------------------------------------
+    def backoff_s(self, attempt: int) -> float:
+        """Wait before attempt ``attempt`` (1-based retry ordinal).
+
+        Deterministic: the same (policy, attempt) always yields the same
+        delay, so fault-injection scenarios replay byte-for-byte.
+        """
+        if attempt < 1:
+            return 0.0
+        nominal = min(self.max_s, self.base_s * self.multiplier ** (attempt - 1))
+        if not self.jitter:
+            return nominal
+        frac = (_mix(self.seed, attempt) % 10_000) / 10_000.0
+        return nominal * (1.0 - self.jitter * frac)
+
+    def sleep_backoff(self, attempt: int, deadline: Optional[float] = None) -> None:
+        """Sleep out attempt ``attempt``'s backoff, bounded by ``deadline``.
+
+        Raises :class:`QueryTimeoutError` when the deadline would expire
+        inside (or before) the wait — retrying past the budget is
+        indistinguishable from hanging, the exact failure mode deadlines
+        exist to prevent.
+        """
+        delay = self.backoff_s(attempt)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= delay:
+                raise QueryTimeoutError(
+                    f"deadline expires during retry backoff (attempt {attempt})"
+                )
+        if delay > 0:
+            time.sleep(delay)

@@ -83,17 +83,38 @@ class PreparedStatement:
         self.shape = shape
         self.param_names = param_names
 
-    def execute(self, params: Optional[Dict[str, Value]] = None, **kw: Value):
-        """Run the statement; returns a :class:`~repro.service.service.QueryResult`."""
+    def execute(
+        self,
+        params: Optional[Dict[str, Value]] = None,
+        *,
+        timeout: Optional[float] = None,
+        **kw: Value,
+    ):
+        """Run the statement; returns a :class:`~repro.service.service.QueryResult`.
+
+        ``timeout`` (seconds) is the session-level query deadline — a
+        query *parameter* named ``timeout`` must be passed via the
+        ``params`` dict, not as a keyword.
+        """
         if params is not None and kw:
             raise ServiceError("pass parameters as one dict or as keywords, not both")
-        return self._session.execute(self, params if params is not None else kw)
+        return self._session.execute(
+            self, params if params is not None else kw, timeout=timeout
+        )
 
-    def execute_async(self, params: Optional[Dict[str, Value]] = None, **kw: Value):
+    def execute_async(
+        self,
+        params: Optional[Dict[str, Value]] = None,
+        *,
+        timeout: Optional[float] = None,
+        **kw: Value,
+    ):
         """Like :meth:`execute` but returns a ``concurrent.futures.Future``."""
         if params is not None and kw:
             raise ServiceError("pass parameters as one dict or as keywords, not both")
-        return self._session.execute_async(self, params if params is not None else kw)
+        return self._session.execute_async(
+            self, params if params is not None else kw, timeout=timeout
+        )
 
     def __repr__(self) -> str:
         names = ", ".join(f"${n}" for n in self.param_names) or "no parameters"

@@ -42,7 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
-from repro.datamodel.errors import AdmissionError, ServiceError
+from repro.datamodel.errors import AdmissionError, QueryTimeoutError, ServiceError
 from repro.datamodel.values import Value
 from repro.engine.plan import ExecRuntime
 from repro.engine.planner import Planner
@@ -63,6 +63,10 @@ class QueryResult:
     session_id: str
     shape: str
     option: str                      # winning rewrite pipeline
+    #: fault-tolerance record of this execution (empty when nothing
+    #: happened): retries, degraded, mode, breaker state — forwarded from
+    #: the parallel executor's per-run events (PR 6)
+    faults: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -117,19 +121,32 @@ class Session:
         self,
         query: Union[str, PreparedStatement],
         params: Optional[Dict[str, Value]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> QueryResult:
-        """Run a query (text or prepared statement), waiting for the result."""
-        return self.execute_async(query, params).result()
+        """Run a query (text or prepared statement), waiting for the result.
+
+        ``timeout`` (seconds) bounds the query's *total* latency — queue
+        wait included — enforced within the engine's polling granularity;
+        past it the execution raises
+        :class:`~repro.datamodel.errors.QueryTimeoutError` and any worker
+        pool it was driving is reclaimed.
+        """
+        return self.execute_async(query, params, timeout=timeout).result()
 
     def execute_async(
         self,
         query: Union[str, PreparedStatement],
         params: Optional[Dict[str, Value]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> "Future[QueryResult]":
         """Submit a query to the service's worker pool.
 
         Raises :class:`AdmissionError` immediately when the service is at
-        its in-flight + queue-depth limit.
+        its in-flight + queue-depth limit.  The deadline implied by
+        ``timeout`` starts *now*, at submission — a query that sits in the
+        queue spends its budget there too.
         """
         self._check_open()
         if isinstance(query, PreparedStatement):
@@ -137,7 +154,10 @@ class Session:
         else:
             shape, param_names = normalize_shape(query)
         bindings = check_bindings(param_names, params, what=f"query {shape!r}")
-        return self.service._submit(self, shape, param_names, bindings)
+        if timeout is not None and timeout < 0:
+            raise ServiceError(f"timeout must be >= 0 seconds, got {timeout}")
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        return self.service._submit(self, shape, param_names, bindings, deadline)
 
     @property
     def stats(self) -> dict:
@@ -203,6 +223,12 @@ class QueryService:
         (``parallel_mode="inline"``).  The pool's worker snapshot is
         retired and re-forked whenever the catalog version moves, the
         same trigger that retires cached plans.
+    fault_plan / retry_policy:
+        PR-6 fault tolerance knobs forwarded to the parallel executor: a
+        deterministic :class:`~repro.faults.FaultPlan` to inject (tests;
+        also settable via ``$REPRO_FAULT_PLAN``) and the
+        :class:`~repro.faults.RetryPolicy` governing transient-failure
+        retries.  ``None`` means the executor defaults.
     """
 
     def __init__(
@@ -220,6 +246,8 @@ class QueryService:
         compile_exprs: bool = True,
         parallel_workers: int = 0,
         parallel_mode: str = "process",
+        fault_plan=None,
+        retry_policy=None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -259,6 +287,8 @@ class QueryService:
         self._compile_locks_guard = threading.Lock()
         self.parallel_workers = parallel_workers
         self.parallel_mode = parallel_mode
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         self._parallel = None
         self._parallel_guard = threading.Lock()
         self._state_lock = threading.Lock()
@@ -269,6 +299,10 @@ class QueryService:
         self.compilations = 0
         self._in_flight = 0
         self.peak_in_flight = 0
+        # -- fault-tolerance accounting (PR 6), under _state_lock
+        self.timeouts = 0
+        self.retries = 0
+        self.degraded_runs = 0
 
     # -- sessions ------------------------------------------------------------
     def session(self) -> Session:
@@ -279,11 +313,15 @@ class QueryService:
 
     # -- one-shot convenience --------------------------------------------------
     def execute(
-        self, text: str, params: Optional[Dict[str, Value]] = None
+        self,
+        text: str,
+        params: Optional[Dict[str, Value]] = None,
+        *,
+        timeout: Optional[float] = None,
     ) -> QueryResult:
         """Run one query on a throwaway session (scripts, tests)."""
         with self.session() as session:
-            return session.execute(text, params)
+            return session.execute(text, params, timeout=timeout)
 
     def explain(self, text: str) -> str:
         """The physical plan that executions of ``text`` will run.
@@ -412,11 +450,17 @@ class QueryService:
                 # falls back to inline fragment execution
                 return None
             if self._parallel is None:
+                kwargs = {}
+                if self.fault_plan is not None:
+                    kwargs["fault_plan"] = self.fault_plan
+                if self.retry_policy is not None:
+                    kwargs["retry_policy"] = self.retry_policy
                 self._parallel = ParallelExecutor(
                     self.db,
                     self.catalog,
                     workers=self.parallel_workers,
                     mode=self.parallel_mode,
+                    **kwargs,
                 )
             return self._parallel
 
@@ -427,6 +471,7 @@ class QueryService:
         shape: str,
         param_names: Tuple[str, ...],
         bindings: Dict[str, Value],
+        deadline: Optional[float] = None,
     ) -> "Future[QueryResult]":
         if self._closed:
             raise ServiceError("service is closed")
@@ -439,7 +484,7 @@ class QueryService:
             )
         try:
             future = self._pool.submit(
-                self._run, session, shape, param_names, bindings
+                self._run, session, shape, param_names, bindings, deadline
             )
         except BaseException:
             self._slots.release()
@@ -453,15 +498,20 @@ class QueryService:
         shape: str,
         param_names: Tuple[str, ...],
         bindings: Dict[str, Value],
+        deadline: Optional[float] = None,
     ) -> QueryResult:
         with self._state_lock:
             self._in_flight += 1
             self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
         work = Stats()
         try:
+            if deadline is not None and time.monotonic() >= deadline:
+                # the budget was spent waiting in the queue
+                raise QueryTimeoutError("query deadline expired before execution")
             entry, cache_hit = self._lookup_or_compile(shape, param_names)
             # all mutable execution state is local to this runtime: stats,
-            # interpreter, compiled closures, parameter bindings
+            # interpreter, compiled closures, parameter bindings — and the
+            # deadline the engine's hot loops poll
             runtime = ExecRuntime(
                 self.db,
                 work,
@@ -469,10 +519,28 @@ class QueryService:
                 catalog=self.catalog,
                 params=bindings,
                 parallel=self._parallel_handle() if entry.parallel else None,
+                deadline=deadline,
             )
             start = time.perf_counter()
-            rows = entry.plan.execute(runtime)
+            if deadline is None:
+                rows = entry.plan.execute(runtime)
+            else:
+                # output-granularity enforcement on top of the operator
+                # hot-loop polls: a plan stalling between emitted rows is
+                # still caught at every row it does emit
+                out = []
+                for n, row in enumerate(entry.plan.iterate(runtime)):
+                    if not (n & 63):
+                        runtime.check_deadline()
+                    out.append(row)
+                runtime.check_deadline()
+                rows = frozenset(out)
             wall = time.perf_counter() - start
+            faults = dict(runtime.fault_events)
+            if faults:
+                with self._state_lock:
+                    self.retries += int(faults.get("retries", 0) or 0)
+                    self.degraded_runs += int(bool(faults.get("degraded")))
             result = QueryResult(
                 rows=rows,
                 wall_s=wall,
@@ -481,12 +549,16 @@ class QueryService:
                 session_id=session.id,
                 shape=shape,
                 option=entry.option,
+                faults=faults,
             )
             session._record(result, work)
             with self._state_lock:
                 self.executed += 1
             return result
-        except BaseException:
+        except BaseException as exc:
+            if isinstance(exc, QueryTimeoutError):
+                with self._state_lock:
+                    self.timeouts += 1
             session._record(None, work)
             raise
         finally:
@@ -505,6 +577,9 @@ class QueryService:
                 "catalog_version": self._catalog_version(),
                 "cache": self.cache.stats.snapshot(),
                 "cached_shapes": len(self.cache),
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "degraded_runs": self.degraded_runs,
             }
         with self._parallel_guard:
             if self._parallel is not None:
@@ -513,6 +588,13 @@ class QueryService:
                     "mode": self._parallel.mode,
                     "runs": self._parallel.runs,
                     "pool_rebuilds": self._parallel.pool_rebuilds,
+                    "retries": self._parallel.retries,
+                    "degraded_runs": self._parallel.degraded_runs,
+                    "timeouts": self._parallel.timeouts,
+                    "pool_deaths": self._parallel.pool_deaths,
+                    "transient_faults": self._parallel.transient_faults,
+                    "extent_lookup_failures": self._parallel.extent_lookup_failures,
+                    "breaker": self._parallel.breaker.snapshot(),
                 }
         return out
 

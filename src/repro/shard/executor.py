@@ -1,20 +1,23 @@
-"""The process-pool fragment executor.
+"""The process-pool fragment executor, with fault tolerance.
 
 :class:`ParallelExecutor` fans plan fragments out to a
 ``multiprocessing`` worker pool and merges partial results plus
 per-worker :class:`~repro.engine.stats.Stats` snapshots.  What crosses
 the process boundary is exactly the fragment-shipping contract of
 :mod:`repro.shard.fragment` — canonical ADL text, shard bindings,
-parameter bindings out; row sets and counter snapshots back.
+parameter bindings (plus the fragment index, batch attempt and deadline)
+out; row sets and counter snapshots back.
 
 Pool lifecycle
 ==============
 
-Workers are forked with a point-in-time state: the database object and
-a plain ``{extent: PartitionedExtent}`` snapshot of the catalog's
+Workers are forked with a point-in-time state: the database object, a
+plain ``{extent: PartitionedExtent}`` snapshot of the catalog's
 partitionings (never the live catalog — a forked child must not inherit
-or touch its locks).  Staleness is caught on *three* triggers, checked
-per run before the pool is used:
+or touch its locks), and the executor's
+:class:`~repro.faults.FaultPlan` (installed process-globally in each
+worker).  Staleness is caught on *three* triggers, checked per run
+before the pool is used:
 
 * the snapshot itself performs the extent-identity handshake
   (``Catalog.partition_snapshot`` → ``partitioning()``), so stale
@@ -27,11 +30,64 @@ per run before the pool is used:
   handshake through — is compared against the identities recorded at
   fork time; any change (e.g. a notified ``insert_rows`` that bumped
   nothing yet) re-forks, because forked children hold a copy-on-write
-  image of the parent's pre-mutation heap.
+  image of the parent's pre-mutation heap.  An extent whose identity
+  *cannot be read* (dropped/renamed extent, store error) is classified,
+  counted in :attr:`extent_lookup_failures`, and recorded as a unique
+  sentinel that can never match — a forced re-fork instead of silently
+  disabling the staleness trigger.
 
 Mutations invisible to all three (a store mutating rows in place
 without replacing the extent value) require an explicit
 :meth:`refresh`.
+
+Locking contract (PR 6)
+=======================
+
+Two locks with disjoint jobs:
+
+* ``_pool_lock`` — pool *lifecycle*: fork, terminate, plan/closed-flag
+  changes, and the identity bookkeeping.  Held only for short critical
+  sections; :meth:`refresh` / :meth:`close` / :meth:`inject` take it and
+  therefore return promptly even while a long batch is executing.
+* ``_run_lock`` — the *run guard*: serializes :meth:`run_fragments`
+  batches (one batch at a time per executor is the accounting unit the
+  benchmarks are built on).  Never held while taking ``_pool_lock``'s
+  critical sections longer than a handle lookup.
+
+Consequence: ``refresh()``/``close()`` during an in-flight batch
+terminate the pool *out from under it*.  That is deliberate — the
+batch's poll loop observes the dead pool, classifies it as a worker
+crash, and recovers inline; the caller still gets correct rows (parity
+by construction) while the lifecycle call returns immediately.
+
+Fault tolerance (PR 6)
+======================
+
+``run_fragments`` no longer assumes the pool is healthy:
+
+* the blocking ``pool.map`` became ``map_async`` + a poll loop that
+  watches the **deadline** (terminate + :class:`QueryTimeoutError`, the
+  pool reliably reclaimed) and **worker death** (PID-set/exitcode
+  changes — ``multiprocessing.Pool`` silently respawns dead workers and
+  loses their tasks, which classically presents as an unbounded hang);
+* a dead worker (or an injected inline crash) raises
+  :class:`~repro.datamodel.errors.WorkerCrashError`: the batch re-runs
+  **inline** through the identical ``execute_fragment`` path — parity by
+  construction makes the degraded rows provably the same — while the
+  breaker records the failure and a background thread re-forks a
+  replacement pool;
+* transient errors retry under the :class:`~repro.faults.RetryPolicy`
+  (bounded attempts, exponential backoff, deterministic jitter);
+  timeouts and fatal errors never retry;
+* the :class:`~repro.faults.CircuitBreaker` routes batches straight to
+  the inline path after repeated pool failures until a cooldown expires
+  (half-open probe, then close on success).
+
+Every event lands in counters (:attr:`retries`, :attr:`degraded_runs`,
+:attr:`timeouts`, :attr:`pool_deaths`, :attr:`transient_faults`,
+:attr:`extent_lookup_failures`, breaker state) and on
+:attr:`last_report`; the service mirrors them onto ``QueryResult`` and
+its own stats.
 
 ``mode="inline"`` runs fragments in-process through the identical
 :func:`~repro.shard.fragment.execute_fragment` path (no pool, fully
@@ -45,9 +101,17 @@ benchmark's checked speedup is built from.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.datamodel.errors import ServiceError
+from repro.datamodel.errors import (
+    QueryTimeoutError,
+    ReproError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.faults import CircuitBreaker, FaultPlan, RetryPolicy
+from repro.faults import runtime as faults_runtime
 from repro.shard.fragment import (
     FragmentSpec,
     execute_fragment,
@@ -61,12 +125,20 @@ _WORKER_STATE: Optional[Tuple[object, Dict[str, object]]] = None
 
 def _init_worker(state) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = state
+    db, partitions, fault_plan = state
+    _WORKER_STATE = (db, partitions)
+    # the worker's process-global fault plan: crash faults may hard-exit
+    # here (and only here — in_worker distinguishes the real thing from
+    # the coordinator's simulated inline crash)
+    faults_runtime.install(fault_plan, in_worker=True)
 
 
-def _run_fragment(spec: FragmentSpec):
+def _run_fragment(payload):
+    index, attempt, deadline, spec = payload
     db, partitions = _WORKER_STATE
-    return execute_fragment(db, partitions, spec)
+    return execute_fragment(
+        db, partitions, spec, index=index, attempt=attempt, deadline=deadline
+    )
 
 
 class ParallelExecutor:
@@ -85,29 +157,70 @@ class ParallelExecutor:
         ``"process"`` (default) forks a pool; ``"inline"`` runs
         fragments in-process.  Process mode degrades to inline (with
         :attr:`degraded` set) when ``fork`` is unavailable.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` shipped to workers at
+        fork and applied on the inline path — deterministic fault
+        injection for tests.  Defaults to the plan named by
+        ``$REPRO_FAULT_PLAN`` (see :meth:`FaultPlan.from_env`), if any.
+    retry_policy / breaker:
+        The transient-failure :class:`~repro.faults.RetryPolicy` and the
+        parallel-path :class:`~repro.faults.CircuitBreaker`; defaults
+        are production-shaped (3 attempts / threshold 3, 30 s cooldown).
+    poll_interval_s:
+        Deadline / worker-death polling granularity of the pool path.
     """
 
-    def __init__(self, db, catalog=None, *, workers: int = 4, mode: str = "process") -> None:
+    def __init__(
+        self,
+        db,
+        catalog=None,
+        *,
+        workers: int = 4,
+        mode: str = "process",
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        poll_interval_s: float = 0.015,
+    ) -> None:
         if workers < 1:
             raise ServiceError(f"parallel workers must be >= 1, got {workers}")
         if mode not in ("process", "inline"):
             raise ServiceError(f"unknown parallel mode {mode!r}")
+        if poll_interval_s <= 0:
+            raise ServiceError(f"poll interval must be > 0, got {poll_interval_s}")
         self.db = db
         self.catalog = catalog if catalog is not None else getattr(db, "catalog", None)
         self.workers = workers
         self.mode = mode
         self.degraded = False
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.poll_interval_s = poll_interval_s
         #: accounting of the most recent :meth:`run_fragments` call
         self.last_report: Optional[dict] = None
         self.runs = 0
         self.pool_rebuilds = 0
+        # -- fault-tolerance counters (monotonic, exposed via service stats)
+        self.retries = 0
+        self.degraded_runs = 0
+        self.timeouts = 0
+        self.pool_deaths = 0
+        self.transient_faults = 0
+        self.extent_lookup_failures = 0
         self._pool = None
         self._pool_version: Optional[int] = None
         #: extent-value identities observed at fork time; a changed
         #: identity for any extent a batch reads re-forks the pool
         self._pool_extents: Dict[str, object] = {}
+        #: worker PIDs at fork time — ``multiprocessing.Pool`` *respawns*
+        #: dead workers (losing their tasks forever), so death shows up as
+        #: a changed PID set or a non-zero exitcode, not a broken pool
+        self._pool_pids: frozenset = frozenset()
         self._closed = False
-        self._lock = threading.Lock()
+        # see "Locking contract" in the module docstring
+        self._pool_lock = threading.Lock()
+        self._run_lock = threading.Lock()
 
     # -- pool lifecycle ------------------------------------------------------
     def _catalog_version(self) -> int:
@@ -119,7 +232,16 @@ class ParallelExecutor:
         return self.catalog.partition_snapshot()
 
     def _extent_identities(self, specs: Sequence[FragmentSpec]) -> Dict[str, object]:
-        """Current extent-value identity of every extent ``specs`` read."""
+        """Current extent-value identity of every extent ``specs`` read.
+
+        A failed lookup is classified (any :class:`ReproError` — dropped
+        extent, transient store failure), counted, and replaced by a
+        fresh sentinel object: the sentinel can never be identical to a
+        recorded identity, so the failure *forces* a re-fork instead of
+        silently disabling the staleness trigger (the old
+        ``except Exception: pass`` bug).  Non-repro errors propagate —
+        they are coordinator bugs, not data staleness.
+        """
         out: Dict[str, object] = {}
         if not hasattr(self.db, "extent"):
             return out
@@ -128,13 +250,15 @@ class ParallelExecutor:
                 if ref.extent not in out:
                     try:
                         out[ref.extent] = self.db.extent(ref.extent)
-                    except Exception:
-                        pass
+                    except ReproError:
+                        self.extent_lookup_failures += 1
+                        out[ref.extent] = object()  # unique: forces a re-fork
         return out
 
     def _ensure_pool(self, identities: Dict[str, object]):
         """The live pool, re-forked when any staleness trigger fires
         (see the module docstring); ``None`` in inline/degraded mode.
+        Caller must hold ``_pool_lock``.
 
         The partition snapshot is taken *first*: its staleness handshake
         may itself bump the catalog version, and the pool must be tagged
@@ -166,33 +290,45 @@ class ParallelExecutor:
         except ValueError:
             self.degraded = True  # no fork (non-POSIX): run inline
             return None
-        state = (self.db, snapshot)
+        state = (self.db, snapshot, self.fault_plan)
         self._pool = context.Pool(
             self.workers, initializer=_init_worker, initargs=(state,)
         )
         self._pool_version = version
         self._pool_extents = dict(identities)
+        self._pool_pids = frozenset(p.pid for p in self._pool._pool)
         self.pool_rebuilds += 1
         return self._pool
 
+    def inject(self, fault_plan: Optional[FaultPlan]) -> None:
+        """Install (or, with ``None``, clear) the fault plan.  Retires
+        the pool so the next fork ships the new plan to its workers."""
+        with self._pool_lock:
+            self.fault_plan = fault_plan
+            self._close_pool()
+
     def refresh(self) -> None:
         """Force the next run to fork a fresh worker snapshot (for data
-        mutations that bypass the catalog version)."""
-        with self._lock:
+        mutations that bypass the catalog version).  Returns immediately
+        even mid-batch: an in-flight batch observes the terminated pool
+        and recovers inline (see the locking contract)."""
+        with self._pool_lock:
             self._close_pool()
 
     def _close_pool(self) -> None:
+        """Caller must hold ``_pool_lock``."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
             self._pool_version = None
             self._pool_extents = {}
+            self._pool_pids = frozenset()
 
     def close(self) -> None:
-        """Shut the pool down for good: in-flight callers holding this
-        handle finish their current batch; later batches run inline."""
-        with self._lock:
+        """Shut the pool down for good: an in-flight batch recovers
+        inline; later batches run inline too."""
+        with self._pool_lock:
             self._closed = True
             self._close_pool()
 
@@ -202,29 +338,232 @@ class ParallelExecutor:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- pool health ---------------------------------------------------------
+    def _pool_broken(self, pool, pids_at_fork: frozenset) -> bool:
+        """Did any worker of ``pool`` die since fork?  ``Pool`` respawns
+        dead workers (and loses their in-flight task), so the signal is a
+        PID-set change or a recorded non-zero exitcode."""
+        try:
+            procs = list(getattr(pool, "_pool", None) or ())
+            if not procs:
+                return True
+            if {p.pid for p in procs} != pids_at_fork:
+                return True
+            return any(p.exitcode not in (None, 0) for p in procs)
+        except Exception:
+            # the maintenance thread mutated under us; re-check next poll
+            return False
+
+    def _reclaim(self, pool) -> None:
+        """Terminate ``pool`` (timeout / worker death).  Reclaims through
+        :meth:`_close_pool` when we still own it, directly otherwise."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._close_pool()
+                return
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+
+    def _refork_in_background(self, specs: Sequence[FragmentSpec]) -> None:
+        """Heal after a pool death without charging the current (already
+        degraded) run: fork a replacement pool on a daemon thread, tagged
+        with the failed batch's extent identities so the next identical
+        batch can use it without another re-fork."""
+
+        def work() -> None:
+            try:
+                identities = self._extent_identities(specs)
+                with self._pool_lock:
+                    if self._pool is None:
+                        self._ensure_pool(identities)
+            except Exception:
+                pass  # best-effort healing; the next run re-forks anyway
+
+        threading.Thread(target=work, daemon=True, name="repro-pool-refork").start()
+
     # -- execution -----------------------------------------------------------
-    def run_fragments(self, specs: Sequence[FragmentSpec]) -> List[Tuple[frozenset, dict]]:
+    def run_fragments(
+        self,
+        specs: Sequence[FragmentSpec],
+        *,
+        deadline: Optional[float] = None,
+        events: Optional[dict] = None,
+    ) -> List[Tuple[frozenset, dict]]:
         """Execute every fragment; return ``[(rows, stats_snapshot), ...]``
         in fragment order.  One batch runs at a time (the batch itself is
-        the unit of parallelism)."""
+        the unit of parallelism).
+
+        ``deadline`` is an absolute ``time.monotonic()`` bound; past it
+        the batch raises :class:`QueryTimeoutError` (within the polling
+        granularity) with the pool reliably reclaimed.  ``events``, when
+        given, receives this run's fault-tolerance record (retries,
+        degradation, breaker state) — the service forwards it onto
+        ``QueryResult.faults``.
+
+        Failure handling: transient errors retry with backoff; a worker
+        death degrades the batch to the inline path (same rows by
+        construction) and trips the breaker toward routing future
+        batches inline; timeouts and fatal errors surface immediately.
+        Failed attempts contribute **no** statistics — faults fire before
+        a fragment produces rows, and only the successful attempt's
+        snapshots are merged/returned.
+        """
         specs = list(specs)
-        with self._lock:
-            pool = self._ensure_pool(self._extent_identities(specs))
-            if pool is not None:
-                results = pool.map(_run_fragment, specs)
-            else:
-                partitions = self._snapshot()
-                results = [
-                    execute_fragment(self.db, partitions, spec) for spec in specs
-                ]
+        policy = self.retry_policy
+        with self._run_lock:
+            attempt = 0
+            retries = 0
+            degraded = False  # this run was forced inline by a failure
+            breaker_blocked = False
+            mode = "inline"
+            try:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise QueryTimeoutError("deadline expired before the batch started")
+                while True:
+                    want_pool = self.mode == "process" and not self.degraded and not degraded
+                    if want_pool and not self.breaker.allows():
+                        want_pool = False
+                        breaker_blocked = True
+                    try:
+                        results, mode = self._attempt_batch(specs, attempt, deadline, want_pool)
+                        if mode == "process":
+                            self.breaker.record_success()
+                        break
+                    except QueryTimeoutError:
+                        raise  # counted in the outer handler, never retried
+                    except WorkerCrashError:
+                        self.pool_deaths += 1
+                        if want_pool:
+                            self.breaker.record_failure()
+                            self._refork_in_background(specs)
+                        degraded = True
+                        attempt += 1
+                        retries += 1
+                        self.retries += 1
+                        if attempt >= policy.max_attempts:
+                            raise
+                        policy.sleep_backoff(attempt, deadline)
+                    except Exception as exc:
+                        if policy.classify(exc) != "transient":
+                            raise
+                        self.transient_faults += 1
+                        attempt += 1
+                        retries += 1
+                        self.retries += 1
+                        if attempt >= policy.max_attempts:
+                            raise
+                        policy.sleep_backoff(attempt, deadline)
+            except BaseException as exc:
+                # one place counts timeouts so the pre-batch check, the
+                # poll loop, worker-side deadline hits and backoff sleeps
+                # that would outlive the deadline all land in the counter
+                if isinstance(exc, QueryTimeoutError):
+                    self.timeouts += 1
+                if events is not None:
+                    events.update(
+                        {
+                            "error": type(exc).__name__,
+                            "retries": retries,
+                            "degraded": degraded or breaker_blocked,
+                            "breaker": self.breaker.state,
+                        }
+                    )
+                raise
+            was_degraded = degraded or breaker_blocked
+            if was_degraded:
+                self.degraded_runs += 1
             per_fragment = [fragment_stats_total(snapshot) for _, snapshot in results]
             self.runs += 1
             self.last_report = {
                 "fragments": len(specs),
-                "mode": "inline" if pool is None else "process",
+                "mode": mode,
                 "per_fragment_work": per_fragment,
                 "total_work": sum(per_fragment),
                 "critical_path_work": max(per_fragment) if per_fragment else 0,
                 "result_rows": sum(len(rows) for rows, _ in results),
+                "attempts": attempt + 1,
+                "retries": retries,
+                "degraded": was_degraded,
+                "breaker": self.breaker.state,
             }
+            if events is not None:
+                events.update(
+                    {
+                        "mode": mode,
+                        "retries": retries,
+                        "degraded": was_degraded,
+                        "breaker": self.breaker.state,
+                    }
+                )
             return results
+
+    def _attempt_batch(
+        self,
+        specs: List[FragmentSpec],
+        attempt: int,
+        deadline: Optional[float],
+        want_pool: bool,
+    ) -> Tuple[List[Tuple[frozenset, dict]], str]:
+        """One attempt at the whole batch; returns ``(results, mode)``.
+
+        Pool path: ``map_async`` + a poll loop watching the deadline and
+        worker health; both failure modes reclaim the pool before
+        raising.  Inline path: the same ``execute_fragment`` per spec,
+        with the executor's fault plan applied coordinator-side.
+        """
+        pool = None
+        pids = frozenset()
+        if want_pool:
+            with self._pool_lock:
+                pool = self._ensure_pool(self._extent_identities(specs))
+                pids = self._pool_pids
+        if pool is None:
+            partitions = self._snapshot()
+            results = []
+            for i, spec in enumerate(specs):
+                results.append(
+                    execute_fragment(
+                        self.db,
+                        partitions,
+                        spec,
+                        index=i,
+                        attempt=attempt,
+                        deadline=deadline,
+                        fault_plan=self.fault_plan,
+                    )
+                )
+            return results, "inline"
+
+        payloads = [(i, attempt, deadline, spec) for i, spec in enumerate(specs)]
+        try:
+            async_result = pool.map_async(_run_fragment, payloads, chunksize=1)
+        except Exception as exc:
+            # the pool was closed/terminated from under us (refresh()/
+            # close() mid-batch — the documented lifecycle race)
+            raise WorkerCrashError(f"worker pool unavailable: {exc}") from exc
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self._reclaim(pool)
+                raise QueryTimeoutError(
+                    "parallel batch exceeded its deadline; worker pool reclaimed"
+                )
+            if self._pool_broken(pool, pids):
+                self._reclaim(pool)
+                raise WorkerCrashError(
+                    "worker process died mid-batch; its fragments are lost"
+                )
+            async_result.wait(self.poll_interval_s)
+            if async_result.ready():
+                break
+        try:
+            results = async_result.get()
+        except QueryTimeoutError:
+            # a worker hit the deadline inside its own hot loop; retire
+            # the pool anyway so a timed-out query never leaves workers
+            # mid-anything
+            self._reclaim(pool)
+            raise
+        return results, "process"

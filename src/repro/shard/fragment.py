@@ -155,7 +155,16 @@ class ShardView:
         )
 
 
-def execute_fragment(db, partitions, spec: FragmentSpec):
+def execute_fragment(
+    db,
+    partitions,
+    spec: FragmentSpec,
+    *,
+    index: int = 0,
+    attempt: int = 0,
+    deadline: Optional[float] = None,
+    fault_plan=None,
+):
     """Re-parse, re-plan and execute one fragment; return ``(rows, stats)``.
 
     ``stats`` is a plain :meth:`~repro.engine.stats.Stats.snapshot` dict
@@ -163,16 +172,45 @@ def execute_fragment(db, partitions, spec: FragmentSpec):
     fragments are single join/scan shapes whose strategy the coordinator
     already chose, and keeping workers off the shared catalog avoids
     cross-process staleness races.
+
+    Fault tolerance (PR 6): this is the single injection + cancellation
+    site of the parallel tier.  ``index``/``attempt`` identify the
+    fragment and the batch attempt for the fault plan (passed explicitly
+    by the inline path, or the process-global plan a pool initializer
+    installed — see :mod:`repro.faults.runtime`); faults fire *before*
+    any row is produced, so a failed attempt never leaks partial
+    statistics into the attempt that succeeds.  ``deadline`` (absolute
+    ``time.monotonic()``) is threaded into the runtime so the scan/filter
+    hot loops poll it, and checked once per emitted row batch here.
     """
     from repro.adl.parser import parse_adl
     from repro.engine.plan import ExecRuntime
     from repro.engine.planner import Planner
+    from repro.faults import runtime as faults_runtime
 
+    plan_ = fault_plan if fault_plan is not None else faults_runtime.current()
+    if plan_ is not None:
+        plan_.apply(
+            index=index,
+            attempt=attempt,
+            deadline=deadline,
+            in_worker=faults_runtime.in_worker(),
+        )
     expr = parse_adl(spec.text)
     stats = Stats()
     view = ShardView(db, partitions, spec.shard_map, stats)
     plan = Planner().plan(expr)
-    rows = plan.execute(ExecRuntime(view, stats, params=spec.param_map))
+    rt = ExecRuntime(view, stats, params=spec.param_map, deadline=deadline)
+    if deadline is None:
+        rows = plan.execute(rt)
+    else:
+        out = []
+        for n, row in enumerate(plan.iterate(rt)):
+            if not (n & 63):
+                rt.check_deadline()
+            out.append(row)
+        rt.check_deadline()
+        rows = frozenset(out)
     return rows, stats.snapshot()
 
 

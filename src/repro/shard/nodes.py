@@ -70,8 +70,11 @@ def _partition_lookup(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Dict[st
 
 def _run_inline(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Iterator[Value]:
     partitions = _partition_lookup(rt, specs)
-    for spec in specs:
-        rows, snapshot = execute_fragment(rt.db, partitions, spec)
+    for i, spec in enumerate(specs):
+        rt.check_deadline()
+        rows, snapshot = execute_fragment(
+            rt.db, partitions, spec, index=i, deadline=rt.deadline
+        )
         merge_stats_snapshot(rt.stats, snapshot)
         yield from rows
 
@@ -173,7 +176,10 @@ class Exchange(PlanNode):
             if payloads is not None:
                 specs = payloads(rt.params)
                 if rt.parallel is not None:
-                    for rows, snapshot in rt.parallel.run_fragments(specs):
+                    batch = rt.parallel.run_fragments(
+                        specs, deadline=rt.deadline, events=rt.fault_events
+                    )
+                    for rows, snapshot in batch:
                         merge_stats_snapshot(rt.stats, snapshot)
                         yield from rows
                     return
