@@ -110,9 +110,23 @@ class ServiceError(ReproError):
     statement, malformed parameter bindings...)."""
 
 
-class AdmissionError(ServiceError):
+class OverloadError(ServiceError):
+    """The query service shed load: new or queued work was refused so that
+    saturation degrades predictably instead of queueing unboundedly (PR 7).
+
+    Carries ``retry_after_s``, a hint for when the client should retry —
+    derived from the current queue-wait deadline, never a promise.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionError(OverloadError):
     """The query service refused new work: the in-flight limit and the
-    admission queue are both full (back-pressure, not failure)."""
+    admission queue are both full (back-pressure, not failure).  A
+    specialization of :class:`OverloadError` since PR 7's shed policy."""
 
 
 class FaultError(ReproError):

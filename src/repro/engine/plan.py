@@ -126,6 +126,16 @@ class ExecRuntime:
         #: prepared-statement parameter bindings for this run; ``Param``
         #: expressions resolve against it in both evaluation engines
         self.params: Dict[str, Value] = dict(params or {})
+        #: the visibility epoch this run is pinned to, or ``None`` for an
+        #: unpinned (live-head) run.  Set automatically when ``db`` is an
+        #: :class:`~repro.storage.store.EpochView`; partitioned operators
+        #: thread it into every shipped fragment so pool workers provably
+        #: read the coordinator's state (PR 7).
+        self.pinned_epoch = getattr(db, "pinned_epoch", None)
+        #: per-run indexes built over epoch-pinned rows when the shared
+        #: catalog index was built from a different (live) snapshot —
+        #: keyed ``(extent, attr, multi)``; never written to the catalog
+        self._transient_indexes: Dict[Tuple[str, str, bool], object] = {}
         self.interpreter = Interpreter(db, self.stats, self.params)
         self.materialized = materialized
         self.compile_exprs = compile_exprs
@@ -314,6 +324,26 @@ def _catalog_index(rt: ExecRuntime, extent: str, attr: str, index_name: str):
     if named is None:
         raise PlanError(f"index {index_name!r} on {extent}.{attr} is not registered")
     if hasattr(rt.db, "extent") and rt.db.extent(extent) is not named.source_rows:
+        if rt.pinned_epoch is not None:
+            # Epoch-pinned run reading a historical snapshot: the shared
+            # catalog index tracks the live head, so rebuilding it here
+            # would either poison the catalog with stale rows or (rebuilt
+            # from the view) still mismatch the head.  Build a private
+            # per-run index over the pinned rows instead; the catalog is
+            # never mutated from a historical read.
+            cache_key = (extent, named.attr, named.multi)
+            transient = rt._transient_indexes.get(cache_key)
+            if transient is None:
+                from repro.storage.index import HashIndex
+
+                attr_name = named.attr
+                transient = HashIndex(
+                    rt.db.extent(extent),
+                    key=lambda row: row[attr_name],
+                    multi=named.multi,
+                )
+                rt._transient_indexes[cache_key] = transient
+            return transient
         named = rt.catalog.create_index(named.extent, named.attr, named.name, named.multi)
     return named
 

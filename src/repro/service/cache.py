@@ -61,6 +61,16 @@ class CachedPlan:
     #: the plan contains a gather exchange: executions route through the
     #: service's parallel executor (when one is configured)
     parallel: bool = False
+    #: visibility epoch of the store when the plan was priced (PR 7) —
+    #: the epoch its statistics describe.  Executing the plan at a newer
+    #: epoch is *allowed* (the catalog version gate already bounds how
+    #: stale the statistics can be), but the service records the
+    #: estimate-vs-actual delta for each such run instead of staying
+    #: silent about it.
+    epoch: Optional[int] = None
+    #: the planner's output-cardinality estimate at compile time, the
+    #: baseline the epoch-mismatch delta is computed against
+    est_rows: Optional[float] = None
 
 
 @dataclass
@@ -160,3 +170,10 @@ class PlanCache:
         """The currently cached shapes, LRU-oldest first (for tooling)."""
         with self._lock:
             return tuple(self._entries)
+
+    def entries(self) -> Tuple[CachedPlan, ...]:
+        """A point-in-time snapshot of every cached entry, LRU-oldest
+        first — the warm-start persistence path (PR 7) serializes from
+        this without holding the lock during I/O."""
+        with self._lock:
+            return tuple(self._entries.values())

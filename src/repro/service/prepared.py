@@ -40,6 +40,36 @@ def normalize_shape(text: str) -> Tuple[str, Tuple[str, ...]]:
     return oosql_pretty(node), tuple(names)
 
 
+def schema_fingerprint(schema) -> str:
+    """A stable text fingerprint of a schema's class definitions.
+
+    The plan-cache warm start (PR 7) stores this next to the persisted
+    entries: a restored plan is only trusted when the schema it was
+    compiled under is *textually identical* to the current one — class
+    set, extent names, attribute names and attribute types all
+    participate.  ``None`` schemas fingerprint to ``""``.
+    """
+    if schema is None:
+        return ""
+    classes = getattr(schema, "classes", None)
+    if classes is not None:
+        lines = []
+        for cdef in sorted(classes, key=lambda c: c.name):
+            attrs = ", ".join(
+                f"{a}: {t!r}" for a, t in sorted(cdef.attributes.items())
+            )
+            lines.append(f"{cdef.name}[{cdef.extent}]({attrs})")
+        return "\n".join(lines)
+    # a bare extent-type catalog (datamodel.Catalog): no classes, just
+    # extent name -> set type
+    names = getattr(schema, "extent_names", None)
+    if names is not None:
+        return "\n".join(
+            f"{name}: {schema.extent_type(name)!r}" for name in sorted(names)
+        )
+    return repr(schema)
+
+
 def check_bindings(
     param_names: Iterable[str],
     params: Optional[Dict[str, Value]],

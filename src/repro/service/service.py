@@ -21,7 +21,23 @@ module adds the missing layer:
 * **admission control**: at most ``max_in_flight`` queries execute
   concurrently and at most ``queue_depth`` more may wait; beyond that
   :class:`~repro.datamodel.errors.AdmissionError` pushes back instead of
-  letting the queue grow without bound.
+  letting the queue grow without bound;
+* **snapshot isolation** (PR 7): every execution pins the store's
+  visibility epoch *at submission* and runs against an
+  :class:`~repro.storage.store.EpochView` of that epoch, so a query
+  reading several extents while writers interleave still observes one
+  consistent multi-extent state — including inside shipped fragments,
+  where the epoch rides the PR-5 contract next to the ``$param``
+  bindings.  :meth:`Session.begin_snapshot` extends the same pin across
+  several queries (repeatable reads at session granularity);
+* **overload shedding** (PR 7): a queued query whose wait exceeds
+  ``queue_wait_s`` is shed with
+  :class:`~repro.datamodel.errors.OverloadError` (carrying a
+  retry-after hint) instead of executing arbitrarily late, and
+  ``session_max_in_flight`` caps any one session's outstanding
+  queries so a single hot client cannot starve the rest.  Every shed,
+  pin and reclaim event is counted in :meth:`QueryService.stats` — PR
+  6's "every event is counted, never silent", applied to admission.
 
 Isolation contract: *all mutable execution state is per-execution*.
 Every query run gets a fresh :class:`~repro.engine.stats.Stats` and a
@@ -29,27 +45,43 @@ fresh :class:`~repro.engine.plan.ExecRuntime` (hence its own interpreter,
 compiler, closure caches and parameter bindings); the shared pieces — the
 database extents, catalog snapshots, cached :class:`CachedPlan` trees —
 are immutable or internally locked.  That is what makes "8 concurrent
-sessions return exactly the serial results" hold by construction.
+sessions return exactly the serial results" hold by construction; the
+epoch pin extends it from "no shared mutable state" to "no observable
+intermediate state" under concurrent writers.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
-from repro.datamodel.errors import AdmissionError, QueryTimeoutError, ServiceError
+from repro.datamodel.errors import (
+    AdmissionError,
+    OverloadError,
+    QueryTimeoutError,
+    ServiceError,
+)
 from repro.datamodel.values import Value
 from repro.engine.plan import ExecRuntime
 from repro.engine.planner import Planner
 from repro.engine.stats import Stats
 from repro.rewrite.strategy import Optimizer
 from repro.service.cache import CachedPlan, PlanCache
-from repro.service.prepared import PreparedStatement, check_bindings, normalize_shape
+from repro.service.prepared import (
+    PreparedStatement,
+    check_bindings,
+    normalize_shape,
+    schema_fingerprint,
+)
+from repro.storage.store import EpochView
 
 
 @dataclass(frozen=True)
@@ -67,6 +99,9 @@ class QueryResult:
     #: happened): retries, degraded, mode, breaker state — forwarded from
     #: the parallel executor's per-run events (PR 6)
     faults: dict = field(default_factory=dict)
+    #: the visibility epoch every read of this execution resolved against
+    #: (PR 7), or ``None`` when the store has no epochs / isolation is off
+    epoch: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -107,6 +142,8 @@ class Session:
         self._lock = threading.Lock()
         self._stats = SessionStats()
         self._closed = False
+        #: the epoch an open :meth:`begin_snapshot` pinned, else ``None``
+        self._snapshot_epoch: Optional[int] = None
 
     # -- client API ----------------------------------------------------------
     def prepare(self, text: str) -> PreparedStatement:
@@ -159,6 +196,43 @@ class Session:
         deadline = time.monotonic() + timeout if timeout is not None else None
         return self.service._submit(self, shape, param_names, bindings, deadline)
 
+    # -- snapshot isolation (PR 7) ------------------------------------------
+    def begin_snapshot(self) -> int:
+        """Pin the store's current visibility epoch for this session.
+
+        Until :meth:`end_snapshot`, every query this session submits
+        executes against this one epoch — repeatable reads across
+        queries, not just within one.  Returns the pinned epoch.
+        Requires an epoch-capable store (both built-in stores are).
+        """
+        self._check_open()
+        with self._lock:
+            if self._snapshot_epoch is not None:
+                raise ServiceError(
+                    f"session {self.id!r} already holds a snapshot at epoch "
+                    f"{self._snapshot_epoch}"
+                )
+            self._snapshot_epoch = self.service._pin_epoch()
+            return self._snapshot_epoch
+
+    def end_snapshot(self) -> None:
+        """Release the session's snapshot pin; later queries pin the
+        then-current epoch per execution again."""
+        with self._lock:
+            epoch, self._snapshot_epoch = self._snapshot_epoch, None
+        if epoch is None:
+            raise ServiceError(f"session {self.id!r} holds no snapshot")
+        self.service._unpin_epoch(epoch)
+
+    @contextmanager
+    def snapshot(self):
+        """``with session.snapshot() as epoch:`` — scoped repeatable reads."""
+        epoch = self.begin_snapshot()
+        try:
+            yield epoch
+        finally:
+            self.end_snapshot()
+
     @property
     def stats(self) -> dict:
         with self._lock:
@@ -166,6 +240,10 @@ class Session:
 
     def close(self) -> None:
         self._closed = True
+        with self._lock:
+            epoch, self._snapshot_epoch = self._snapshot_epoch, None
+        if epoch is not None:
+            self.service._unpin_epoch(epoch)
 
     def __enter__(self) -> "Session":
         return self
@@ -229,6 +307,31 @@ class QueryService:
         also settable via ``$REPRO_FAULT_PLAN``) and the
         :class:`~repro.faults.RetryPolicy` governing transient-failure
         retries.  ``None`` means the executor defaults.
+    snapshot_isolation:
+        When the store supports visibility epochs (PR 7), pin each
+        query's epoch at submission and execute every read — serial
+        operators, statistics, shipped fragments — against that one
+        epoch.  ``False`` restores the pre-PR-7 live-head reads.  A
+        no-op (with :meth:`Session.begin_snapshot` raising) on stores
+        without epochs.
+    queue_wait_s:
+        Overload shed deadline (PR 7): a submission that waited longer
+        than this in the admission queue is shed with
+        :class:`~repro.datamodel.errors.OverloadError` (retry-after =
+        this value) instead of executing arbitrarily late.  ``None``
+        disables the shed (queued work runs whenever a worker frees up,
+        bounded only by ``queue_depth`` and per-query timeouts).
+    session_max_in_flight:
+        Per-session fairness cap (PR 7): one session may have at most
+        this many submissions outstanding (queued or executing); beyond
+        it :class:`OverloadError` is raised without consuming a slot, so
+        a single hot client cannot occupy the whole queue.  ``None``
+        disables the cap.
+    cache_persist_path:
+        Plan-cache warm start (PR 7): :meth:`close` persists the cached
+        shapes (as canonical re-parseable plan text) to this JSON file,
+        and construction restores them — each entry dropped unless the
+        catalog version *and* the schema fingerprint still match.
     """
 
     def __init__(
@@ -248,6 +351,10 @@ class QueryService:
         parallel_mode: str = "process",
         fault_plan=None,
         retry_policy=None,
+        snapshot_isolation: bool = True,
+        queue_wait_s: Optional[float] = None,
+        session_max_in_flight: Optional[int] = None,
+        cache_persist_path: Optional[str] = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -303,6 +410,33 @@ class QueryService:
         self.timeouts = 0
         self.retries = 0
         self.degraded_runs = 0
+        # -- snapshot isolation + overload shedding (PR 7)
+        if queue_wait_s is not None and queue_wait_s < 0:
+            raise ServiceError(f"queue_wait_s must be >= 0, got {queue_wait_s}")
+        if session_max_in_flight is not None and session_max_in_flight < 1:
+            raise ServiceError(
+                f"session_max_in_flight must be >= 1, got {session_max_in_flight}"
+            )
+        self.snapshot_isolation = snapshot_isolation
+        self.queue_wait_s = queue_wait_s
+        self.session_max_in_flight = session_max_in_flight
+        self.cache_persist_path = cache_persist_path
+        #: the store supports the epoch protocol *and* isolation is on
+        self._epochs_enabled = snapshot_isolation and hasattr(db, "pin_epoch")
+        # counters below are under _state_lock
+        self.pins_taken = 0
+        self.shed_queue_wait = 0
+        self.shed_fairness = 0
+        self.epoch_mismatch_runs = 0
+        #: most recent estimate-vs-actual records for runs whose executed
+        #: epoch differed from the epoch the plan was priced at
+        self._epoch_mismatches: "deque[dict]" = deque(maxlen=32)
+        #: session id → outstanding submissions (queued or executing)
+        self._session_outstanding: Dict[str, int] = {}
+        self.warm_restored = 0
+        self.warm_dropped = 0
+        if cache_persist_path:
+            self._restore_plan_cache(cache_persist_path)
 
     # -- sessions ------------------------------------------------------------
     def session(self) -> Session:
@@ -340,6 +474,22 @@ class QueryService:
                     entry = self._compile(shape, param_names)
                     self.cache.put(entry)
         return entry.explain
+
+    # -- snapshot pinning (PR 7) ----------------------------------------------
+    def _pin_epoch(self, epoch: Optional[int] = None) -> int:
+        """Pin ``epoch`` (default current) on the store; counted."""
+        if not self._epochs_enabled:
+            raise ServiceError(
+                "snapshot isolation is unavailable: the store has no "
+                "visibility epochs or snapshot_isolation=False"
+            )
+        pinned = self.db.pin_epoch(epoch)
+        with self._state_lock:
+            self.pins_taken += 1
+        return pinned
+
+    def _unpin_epoch(self, epoch: int) -> None:
+        self.db.unpin_epoch(epoch)
 
     # -- plan cache ------------------------------------------------------------
     def _catalog_version(self) -> int:
@@ -431,6 +581,8 @@ class QueryService:
             explain=plan.explain(),
             set_oriented=chosen.set_oriented,
             parallel=parallel,
+            epoch=getattr(self.db, "epoch", None),
+            est_rows=getattr(plan, "est_rows", None),
         )
 
     # -- parallel execution -----------------------------------------------------
@@ -475,21 +627,76 @@ class QueryService:
     ) -> "Future[QueryResult]":
         if self._closed:
             raise ServiceError("service is closed")
+        retry_after = self.queue_wait_s if self.queue_wait_s is not None else 0.05
+        # per-session fairness cap first: a capped session is shed without
+        # consuming a global slot, so it cannot crowd out other sessions
+        if self.session_max_in_flight is not None:
+            with self._state_lock:
+                outstanding = self._session_outstanding.get(session.id, 0)
+                if outstanding >= self.session_max_in_flight:
+                    self.shed_fairness += 1
+                    self.rejected += 1
+                    raise OverloadError(
+                        f"session {session.id!r} already has {outstanding} "
+                        f"queries outstanding (cap {self.session_max_in_flight})",
+                        retry_after_s=retry_after,
+                    )
         if not self._slots.acquire(blocking=False):
             with self._state_lock:
                 self.rejected += 1
             raise AdmissionError(
                 f"service saturated: {self.max_in_flight} in flight plus "
-                f"{self.queue_depth} queued"
+                f"{self.queue_depth} queued",
+                retry_after_s=retry_after,
             )
+        # pin the query's visibility epoch *now*, at submission: the state
+        # a client observes is the state that existed when it asked, no
+        # matter how long the query queues (a session snapshot re-pins its
+        # own epoch so the pin survives queue + execution independently)
+        pinned: Optional[int] = None
+        incremented = False
+        submitted_at = time.monotonic()
         try:
+            if self._epochs_enabled:
+                pinned = self._pin_epoch(session._snapshot_epoch)
+            with self._state_lock:
+                self._session_outstanding[session.id] = (
+                    self._session_outstanding.get(session.id, 0) + 1
+                )
+            incremented = True
             future = self._pool.submit(
-                self._run, session, shape, param_names, bindings, deadline
+                self._run,
+                session,
+                shape,
+                param_names,
+                bindings,
+                deadline,
+                pinned,
+                submitted_at,
             )
         except BaseException:
             self._slots.release()
+            if incremented:
+                with self._state_lock:
+                    count = self._session_outstanding.get(session.id, 0) - 1
+                    if count > 0:
+                        self._session_outstanding[session.id] = count
+                    else:
+                        self._session_outstanding.pop(session.id, None)
+            if pinned is not None:
+                self._unpin_epoch(pinned)
             raise
-        future.add_done_callback(lambda _f: self._slots.release())
+
+        def _release(_f) -> None:
+            self._slots.release()
+            with self._state_lock:
+                count = self._session_outstanding.get(session.id, 0) - 1
+                if count > 0:
+                    self._session_outstanding[session.id] = count
+                else:
+                    self._session_outstanding.pop(session.id, None)
+
+        future.add_done_callback(_release)
         return future
 
     def _run(
@@ -499,21 +706,43 @@ class QueryService:
         param_names: Tuple[str, ...],
         bindings: Dict[str, Value],
         deadline: Optional[float] = None,
+        pinned: Optional[int] = None,
+        submitted_at: Optional[float] = None,
     ) -> QueryResult:
         with self._state_lock:
             self._in_flight += 1
             self.peak_in_flight = max(self.peak_in_flight, self._in_flight)
         work = Stats()
         try:
-            if deadline is not None and time.monotonic() >= deadline:
+            now = time.monotonic()
+            if (
+                self.queue_wait_s is not None
+                and submitted_at is not None
+                and now - submitted_at > self.queue_wait_s
+            ):
+                # overload shed (PR 7): the queue wait alone blew the
+                # shed deadline — executing now would serve a client that
+                # has likely given up, at the expense of fresher work
+                with self._state_lock:
+                    self.shed_queue_wait += 1
+                raise OverloadError(
+                    f"query shed after waiting {now - submitted_at:.3f}s in the "
+                    f"admission queue (queue_wait_s={self.queue_wait_s})",
+                    retry_after_s=self.queue_wait_s,
+                )
+            if deadline is not None and now >= deadline:
                 # the budget was spent waiting in the queue
                 raise QueryTimeoutError("query deadline expired before execution")
             entry, cache_hit = self._lookup_or_compile(shape, param_names)
+            # every read of this execution resolves through the pinned
+            # epoch's view (PR 7) — the runtime picks the epoch up and
+            # threads it into every shipped fragment
+            exec_db = EpochView(self.db, pinned) if pinned is not None else self.db
             # all mutable execution state is local to this runtime: stats,
             # interpreter, compiled closures, parameter bindings — and the
             # deadline the engine's hot loops poll
             runtime = ExecRuntime(
-                self.db,
+                exec_db,
                 work,
                 compile_exprs=self.compile_exprs,
                 catalog=self.catalog,
@@ -541,6 +770,25 @@ class QueryService:
                 with self._state_lock:
                     self.retries += int(faults.get("retries", 0) or 0)
                     self.degraded_runs += int(bool(faults.get("degraded")))
+            if (
+                pinned is not None
+                and entry.epoch is not None
+                and entry.epoch != pinned
+            ):
+                # the plan was priced at a different epoch than it ran at
+                # (allowed — the catalog-version gate bounds the staleness)
+                # but never silently: record the estimate-vs-actual delta
+                with self._state_lock:
+                    self.epoch_mismatch_runs += 1
+                    self._epoch_mismatches.append(
+                        {
+                            "shape": shape,
+                            "planned_epoch": entry.epoch,
+                            "executed_epoch": pinned,
+                            "est_rows": entry.est_rows,
+                            "actual_rows": len(rows),
+                        }
+                    )
             result = QueryResult(
                 rows=rows,
                 wall_s=wall,
@@ -550,6 +798,7 @@ class QueryService:
                 shape=shape,
                 option=entry.option,
                 faults=faults,
+                epoch=pinned,
             )
             session._record(result, work)
             with self._state_lock:
@@ -562,6 +811,8 @@ class QueryService:
             session._record(None, work)
             raise
         finally:
+            if pinned is not None:
+                self._unpin_epoch(pinned)
             with self._state_lock:
                 self._in_flight -= 1
 
@@ -580,7 +831,16 @@ class QueryService:
                 "timeouts": self.timeouts,
                 "retries": self.retries,
                 "degraded_runs": self.degraded_runs,
+                "pins_taken": self.pins_taken,
+                "shed_queue_wait": self.shed_queue_wait,
+                "shed_fairness": self.shed_fairness,
+                "epoch_mismatch_runs": self.epoch_mismatch_runs,
+                "epoch_mismatches": list(self._epoch_mismatches),
+                "warm_restored": self.warm_restored,
+                "warm_dropped": self.warm_dropped,
             }
+        if hasattr(self.db, "epoch_stats"):
+            out["epochs"] = self.db.epoch_stats()
         with self._parallel_guard:
             if self._parallel is not None:
                 out["parallel"] = {
@@ -598,9 +858,107 @@ class QueryService:
                 }
         return out
 
+    # -- plan-cache warm start (PR 7) ------------------------------------------
+    def _persist_plan_cache(self, path: str) -> None:
+        """Serialize the cached shapes to ``path`` as canonical plan text.
+
+        What is persisted is the *chosen rewritten ADL* per shape (the
+        same re-parseable pretty text the fragment contract ships), plus
+        the catalog version and schema fingerprint it was compiled under
+        — enough for a restoring service to re-plan without re-running
+        the expensive rewrite/join-order phases, and enough to refuse the
+        whole file when the world has moved.  Best-effort: a failed write
+        never breaks ``close()``.
+        """
+        from repro.adl.pretty import pretty
+
+        entries = []
+        for entry in self.cache.entries():
+            if entry.catalog_version != self._catalog_version():
+                continue  # stale on disk would be dropped anyway; skip now
+            entries.append(
+                {
+                    "shape": entry.shape,
+                    "adl": pretty(entry.expr),
+                    "param_names": list(entry.param_names),
+                    "option": entry.option,
+                    "set_oriented": entry.set_oriented,
+                }
+            )
+        payload = {
+            "catalog_version": self._catalog_version(),
+            "schema_fingerprint": schema_fingerprint(self.schema),
+            "entries": entries,
+        }
+        try:
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def _restore_plan_cache(self, path: str) -> None:
+        """Warm-start the plan cache from a :meth:`_persist_plan_cache`
+        file.  The file is ignored wholesale when missing, unreadable, or
+        compiled under a different catalog version / schema fingerprint;
+        individual entries that fail to re-plan are dropped and counted
+        (``warm_dropped``) without poisoning the rest."""
+        from repro.adl.parser import parse_adl
+        from repro.shard.nodes import Exchange
+
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            return
+        version = self._catalog_version()
+        if payload.get("catalog_version") != version or payload.get(
+            "schema_fingerprint"
+        ) != schema_fingerprint(self.schema):
+            self.warm_dropped += len(entries)
+            return
+        for raw in entries:
+            try:
+                expr = parse_adl(raw["adl"])
+                planner = Planner(
+                    self.catalog,
+                    reorder=self.reorder,
+                    bushy=self.bushy,
+                    parallel_workers=self.parallel_workers,
+                )
+                plan = planner.plan(expr)
+                self.cache.put(
+                    CachedPlan(
+                        shape=raw["shape"],
+                        catalog_version=version,
+                        expr=expr,
+                        plan=plan,
+                        param_names=tuple(raw["param_names"]),
+                        option=raw["option"],
+                        explain=plan.explain(),
+                        set_oriented=bool(raw["set_oriented"]),
+                        parallel=any(
+                            isinstance(op, Exchange) for op in plan.operators()
+                        ),
+                        epoch=getattr(self.db, "epoch", None),
+                        est_rows=getattr(plan, "est_rows", None),
+                    )
+                )
+                self.warm_restored += 1
+            except Exception:
+                self.warm_dropped += 1
+
     def close(self, wait: bool = True) -> None:
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if self.cache_persist_path:
+            self._persist_plan_cache(self.cache_persist_path)
         with self._parallel_guard:
             if self._parallel is not None:
                 self._parallel.close()

@@ -36,9 +36,17 @@ before the pool is used:
   sentinel that can never match — a forced re-fork instead of silently
   disabling the staleness trigger.
 
-Mutations invisible to all three (a store mutating rows in place
-without replacing the extent value) require an explicit
-:meth:`refresh`.
+* the **visibility epoch** a batch is pinned to (PR 7): a batch whose
+  fragments carry an epoch newer than the pool's fork epoch re-forks,
+  because snapshots preserved after the fork cannot be in its
+  copy-on-write image.
+
+Since PR 7, every store mutation publishes a fresh extent value under a
+new epoch and epoch-pinned fragments resolve historical snapshots
+through :meth:`~repro.storage.store.EpochStoreMixin.extent_at`, so the
+old footgun ("mutations that bypass the catalog need an explicit
+``refresh()``") is gone; :meth:`refresh` remains as a manual
+pool-retirement lever.
 
 Locking contract (PR 6)
 =======================
@@ -210,6 +218,10 @@ class ParallelExecutor:
         self.extent_lookup_failures = 0
         self._pool = None
         self._pool_version: Optional[int] = None
+        #: the store's visibility epoch at fork time (PR 7); a batch
+        #: pinned to a *newer* epoch re-forks, because the fork image
+        #: cannot contain snapshots preserved after it was taken
+        self._pool_epoch: Optional[int] = None
         #: extent-value identities observed at fork time; a changed
         #: identity for any extent a batch reads re-forks the pool
         self._pool_extents: Dict[str, object] = {}
@@ -255,7 +267,9 @@ class ParallelExecutor:
                         out[ref.extent] = object()  # unique: forces a re-fork
         return out
 
-    def _ensure_pool(self, identities: Dict[str, object]):
+    def _ensure_pool(
+        self, identities: Dict[str, object], min_epoch: Optional[int] = None
+    ):
         """The live pool, re-forked when any staleness trigger fires
         (see the module docstring); ``None`` in inline/degraded mode.
         Caller must hold ``_pool_lock``.
@@ -276,6 +290,10 @@ class ParallelExecutor:
         if (
             self._pool is not None
             and self._pool_version == version
+            and (
+                min_epoch is None
+                or (self._pool_epoch is not None and self._pool_epoch >= min_epoch)
+            )
             and all(
                 self._pool_extents.get(name) is rows
                 for name, rows in identities.items()
@@ -295,6 +313,7 @@ class ParallelExecutor:
             self.workers, initializer=_init_worker, initargs=(state,)
         )
         self._pool_version = version
+        self._pool_epoch = getattr(self.db, "epoch", None)
         self._pool_extents = dict(identities)
         self._pool_pids = frozenset(p.pid for p in self._pool._pool)
         self.pool_rebuilds += 1
@@ -322,6 +341,7 @@ class ParallelExecutor:
             self._pool.join()
             self._pool = None
             self._pool_version = None
+            self._pool_epoch = None
             self._pool_extents = {}
             self._pool_pids = frozenset()
 
@@ -517,8 +537,13 @@ class ParallelExecutor:
         pool = None
         pids = frozenset()
         if want_pool:
+            batch_epoch = max(
+                (s.epoch for s in specs if s.epoch is not None), default=None
+            )
             with self._pool_lock:
-                pool = self._ensure_pool(self._extent_identities(specs))
+                pool = self._ensure_pool(
+                    self._extent_identities(specs), min_epoch=batch_epoch
+                )
                 pids = self._pool_pids
         if pool is None:
             partitions = self._snapshot()

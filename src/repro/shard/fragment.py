@@ -83,17 +83,23 @@ class FragmentSpec:
     text: str
     shards: Tuple[Tuple[str, ShardRef], ...]
     params: Tuple[Tuple[str, Value], ...] = ()
+    #: visibility epoch the fragment must read (PR 7), or ``None`` for a
+    #: live-head read.  Rides the contract next to ``params`` so pool
+    #: workers provably resolve the coordinator's pinned state.
+    epoch: Optional[int] = None
 
     @staticmethod
     def make(
         text: str,
         shards: Mapping[str, ShardRef],
         params: Optional[Mapping[str, Value]] = None,
+        epoch: Optional[int] = None,
     ) -> "FragmentSpec":
         return FragmentSpec(
             text=text,
             shards=tuple(sorted(shards.items())),
             params=tuple(sorted((params or {}).items())),
+            epoch=epoch,
         )
 
     @property
@@ -144,7 +150,15 @@ class ShardView:
             return self._db.extent(ref.extent)  # broadcast: the whole extent
         pe = self._partitions.get(ref.extent)
         if pe is not None and pe.attr == ref.attr and pe.parts == ref.parts:
-            return pe.shard(ref.index)  # co-partitioned: stored shard, no exchange
+            # Epoch-pinned reads (PR 7) may see an older extent value than
+            # the one the registered partitioning was built from; the stored
+            # shards are only usable when their source is *identical* to
+            # the pinned rows — otherwise fall through to the shared-scan
+            # filter, which reads through the pinned view and stays correct.
+            if getattr(self._db, "pinned_epoch", None) is None or (
+                pe.source_rows is self._db.extent(ref.extent)
+            ):
+                return pe.shard(ref.index)  # co-partitioned: stored shard, no exchange
         # shared-scan repartition: scan everything, keep this bucket — a
         # materializing exchange, charged and counted as a pipeline break
         rows = self._db.extent(ref.extent)
@@ -198,6 +212,13 @@ def execute_fragment(
         )
     expr = parse_adl(spec.text)
     stats = Stats()
+    if spec.epoch is not None and hasattr(db, "extent_at"):
+        # pin the whole fragment read to the coordinator's epoch (PR 7);
+        # a pool worker's forked store keeps every snapshot the parent
+        # preserved before the fork, so the resolution always succeeds
+        from repro.storage.store import EpochView
+
+        db = EpochView(db, spec.epoch)
     view = ShardView(db, partitions, spec.shard_map, stats)
     plan = Planner().plan(expr)
     rt = ExecRuntime(view, stats, params=spec.param_map, deadline=deadline)

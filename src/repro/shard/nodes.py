@@ -100,7 +100,10 @@ class PartitionedScan(PlanNode):
     def _shards(self, rt: ExecRuntime):
         pe = rt.catalog.partitioning(self.extent) if rt.catalog is not None else None
         if pe is not None and pe.attr == self.attr and pe.parts == self.parts:
-            return pe.shards
+            # epoch-pinned runs (PR 7) must not read stored shards built
+            # from a different extent value than the pinned one
+            if rt.pinned_epoch is None or pe.source_rows is rt.db.extent(self.extent):
+                return pe.shards
         return (rt.db.extent(self.extent),)
 
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
@@ -109,7 +112,11 @@ class PartitionedScan(PlanNode):
                 rt.stats.tuples_visited += 1
                 yield row
 
-    def payloads(self, params: Optional[Dict[str, Value]] = None) -> List[FragmentSpec]:
+    def payloads(
+        self,
+        params: Optional[Dict[str, Value]] = None,
+        epoch: Optional[int] = None,
+    ) -> List[FragmentSpec]:
         """One fragment per shard: ``__shard__`` bound to shard *i*."""
         from repro.adl.pretty import pretty
         from repro.shard.fragment import SCAN_PLACEHOLDER
@@ -120,6 +127,7 @@ class PartitionedScan(PlanNode):
                 text,
                 {SCAN_PLACEHOLDER: ShardRef(self.extent, self.attr, self.parts, i)},
                 params,
+                epoch=epoch,
             )
             for i in range(self.parts)
         ]
@@ -174,7 +182,7 @@ class Exchange(PlanNode):
             rt.stats.pipeline_breaks += 1
             payloads = getattr(self.child, "payloads", None)
             if payloads is not None:
-                specs = payloads(rt.params)
+                specs = payloads(rt.params, epoch=rt.pinned_epoch)
                 if rt.parallel is not None:
                     batch = rt.parallel.run_fragments(
                         specs, deadline=rt.deadline, events=rt.fault_events
@@ -258,11 +266,15 @@ class PartitionedHashJoin(PlanNode):
 
         return f"{self.lvar},{self.rvar}: {pretty(self.pred)} ; {self.strategy}, {self.parts} parts"
 
-    def payloads(self, params: Optional[Dict[str, Value]] = None) -> List[FragmentSpec]:
+    def payloads(
+        self,
+        params: Optional[Dict[str, Value]] = None,
+        epoch: Optional[int] = None,
+    ) -> List[FragmentSpec]:
         return [
-            FragmentSpec.make(self.fragment_text, bindings, params)
+            FragmentSpec.make(self.fragment_text, bindings, params, epoch=epoch)
             for bindings in self.shard_bindings
         ]
 
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
-        yield from _run_inline(rt, self.payloads(rt.params))
+        yield from _run_inline(rt, self.payloads(rt.params, epoch=rt.pinned_epoch))

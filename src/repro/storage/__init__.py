@@ -4,12 +4,20 @@ the statistics catalog."""
 from repro.storage.catalog import Catalog, ExtentStats, NamedIndex
 from repro.storage.index import HashIndex, attribute_index, element_index
 from repro.storage.pages import HeapFile, IOCounter, Page, estimate_size
-from repro.storage.store import DEFAULT_PAGE_SIZE, Database, MemoryDatabase
+from repro.storage.store import (
+    DEFAULT_PAGE_SIZE,
+    Database,
+    EpochStoreMixin,
+    EpochView,
+    MemoryDatabase,
+)
 
 __all__ = [
     "Catalog",
     "DEFAULT_PAGE_SIZE",
     "Database",
+    "EpochStoreMixin",
+    "EpochView",
     "ExtentStats",
     "HashIndex",
     "NamedIndex",

@@ -64,6 +64,11 @@ class ExtentStats:
     avg_set_size: Mapping[str, float] = field(default_factory=dict)
     #: extent value identity at ANALYZE time (not part of equality)
     source_rows: frozenset = field(default_factory=frozenset, compare=False, repr=False)
+    #: store visibility epoch at ANALYZE time (0 for epoch-less stores).
+    #: Plans priced with these statistics record it; an execution pinned
+    #: to a *newer* epoch is flagged by the service's estimate-vs-actual
+    #: delta accounting instead of silently trusting old numbers.
+    epoch: int = field(default=0, compare=False)
 
     def distinct_count(self, attr: str) -> Optional[int]:
         return self.distinct.get(attr)
@@ -139,6 +144,11 @@ class Catalog:
         # reentrant: the lazy refresh in stats() holds it across
         # _analyze_one and the version bump
         self._lock = threading.RLock()
+        # the delta hooks get their own lock: stores call note_insert /
+        # note_delete / note_replaced while holding their epoch/mutation
+        # lock, and analyze() holds self._lock while *reading* the store —
+        # sharing self._lock here would be a lock-order inversion
+        self._delta_lock = threading.Lock()
         # the catalog is *the database's* catalog: registering it on the
         # store lets execution runtimes find the indexes without explicit
         # threading (last constructed catalog wins)
@@ -161,8 +171,9 @@ class Catalog:
         with self._lock:
             for name in self._extent_names(extents):
                 self._stats[name] = self._analyze_one(name)
-                self._deltas.pop(name, None)
-                self._tainted.discard(name)
+                with self._delta_lock:
+                    self._deltas.pop(name, None)
+                    self._tainted.discard(name)
                 existing = self._partitions.get(name)
                 if existing is not None:
                     self._build_partitioning(name, existing.attr, existing.parts)
@@ -206,7 +217,9 @@ class Catalog:
                     stale = self._stats.get(extent)
                     if stale is not None and current is stale.source_rows:
                         return stale  # another thread already refreshed
-                    if extent in self._deltas and extent not in self._tainted:
+                    with self._delta_lock:
+                        incremental = extent in self._deltas and extent not in self._tainted
+                    if incremental:
                         # all changes were notified: exact cardinality from
                         # the new extent value, distinct counts stay lazy
                         from dataclasses import replace
@@ -221,14 +234,17 @@ class Catalog:
                             cardinality=len(current),
                             pages=pages,
                             source_rows=current,
+                            epoch=getattr(self.db, "epoch", 0),
                         )
-                        self._deltas.pop(extent, None)
+                        with self._delta_lock:
+                            self._deltas.pop(extent, None)
                         self.stat_increments += 1
                     else:
                         fresh = self._analyze_one(extent)
                         self.stat_refreshes += 1
-                        self._deltas.pop(extent, None)
-                        self._tainted.discard(extent)
+                        with self._delta_lock:
+                            self._deltas.pop(extent, None)
+                            self._tainted.discard(extent)
                     self._stats[extent] = fresh
                     self._bump_version()
                 return fresh
@@ -242,19 +258,19 @@ class Catalog:
         every insert, which licenses the next stale-statistics hit to
         adjust cardinality incrementally instead of re-analyzing.
         """
-        with self._lock:
+        with self._delta_lock:
             self._deltas[extent] = self._deltas.get(extent, 0) + count
 
     def note_delete(self, extent: str, count: int = 1) -> None:
         """Record ``count`` notified row deletions from ``extent``."""
-        with self._lock:
+        with self._delta_lock:
             self._deltas[extent] = self._deltas.get(extent, 0) - count
 
     def note_replaced(self, extent: str) -> None:
         """Record an *unaccounted* bulk change (e.g. ``set_extent``):
         forgets the notified-delta marker so the next staleness hit runs a
         full re-analyze instead of trusting stale distinct counts."""
-        with self._lock:
+        with self._delta_lock:
             self._deltas.pop(extent, None)
             self._tainted.add(extent)
 
@@ -272,9 +288,11 @@ class Catalog:
             pages = self.db.page_count(name)
         else:
             pages = 0
-        return self._stats_for_rows(name, rows, pages)
+        return self._stats_for_rows(name, rows, pages, epoch=getattr(self.db, "epoch", 0))
 
-    def _stats_for_rows(self, name: str, rows: frozenset, pages: int) -> ExtentStats:
+    def _stats_for_rows(
+        self, name: str, rows: frozenset, pages: int, epoch: int = 0
+    ) -> ExtentStats:
         """The ANALYZE pass over an explicit row set — shared by whole
         extents and the per-shard statistics of partitioned extents."""
         distinct_values: Dict[str, set] = {}
@@ -295,6 +313,7 @@ class Catalog:
                 for a, sizes in set_sizes.items()
             },
             source_rows=rows,
+            epoch=epoch,
         )
 
     # -- partitioned extents -------------------------------------------------

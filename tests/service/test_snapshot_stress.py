@@ -1,0 +1,166 @@
+"""Randomized reader/writer stress for snapshot isolation (PR 7).
+
+Writer threads interleave inserts, deletes, and ``analyze()`` while
+concurrent sessions run serial and parallel-capable shapes.  The single
+invariant: **every** :class:`QueryResult` must equal the serial oracle
+computed at the result's own epoch — never a torn mix of epochs.
+
+``keep_history=True`` turns the store into its own time machine, so the
+oracle for any result epoch stays computable after the run.  Iteration
+counts are bounded and writers are throttled: the point is interleaving
+under contention, not volume (CI runs this repeatedly).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.datamodel import VTuple
+from repro.service import QueryService
+from repro.storage import Catalog, MemoryDatabase
+
+PARALLEL_SHAPE = "select x.i from x in X where exists y in Y : x.a = y.d and y.w < $m"
+SERIAL_SHAPE = "select x.i from x in X where x.a = $k"
+
+N = 300
+PARTS = 3
+WRITERS = 2
+SESSIONS = 4
+QUERIES_PER_SESSION = 6
+WRITES_PER_WRITER = 40
+
+
+def _setup():
+    db = MemoryDatabase(
+        {
+            "X": [VTuple(a=i % 20, v=i % 5, i=i) for i in range(N)],
+            "Y": [VTuple(d=i % 20, w=i % 7, j=i) for i in range(N)],
+        }
+    )
+    db.keep_history = True  # the stress oracle time-travels via extent_at
+    catalog = Catalog(db)
+    catalog.analyze()
+    catalog.partition("X", "a", PARTS)
+    catalog.partition("Y", "d", PARTS)
+    return db, catalog
+
+
+def _oracle(db, shape, params, epoch):
+    xs = db.extent_at("X", epoch)
+    ys = db.extent_at("Y", epoch)
+    if shape is PARALLEL_SHAPE:
+        live = {y["d"] for y in ys if y["w"] < params["m"]}
+        return {x["i"] for x in xs if x["a"] in live}
+    return {x["i"] for x in xs if x["a"] == params["k"]}
+
+
+def _writer(db, catalog, seed, stop, errors):
+    rng = random.Random(seed)
+    mine = []  # rows this writer inserted and may later delete
+    try:
+        for i in range(WRITES_PER_WRITER):
+            if stop.is_set():
+                return
+            op = rng.randrange(4)
+            if op == 0:
+                row = VTuple(a=rng.randrange(20), v=9, i=10_000 + seed * 1000 + i)
+                db.insert_rows("X", [row])
+                mine.append(("X", row))
+            elif op == 1:
+                row = VTuple(d=rng.randrange(20), w=rng.randrange(7), j=20_000 + seed * 1000 + i)
+                db.insert_rows("Y", [row])
+                mine.append(("Y", row))
+            elif op == 2 and mine:
+                extent, row = mine.pop(rng.randrange(len(mine)))
+                db.delete_rows(extent, [row])
+            else:
+                catalog.analyze()
+            stop.wait(0.002)
+    except Exception as exc:  # surfaced by the main thread
+        errors.append(f"writer[{seed}]: {exc!r}")
+
+
+def _reader(svc, db, seed, errors):
+    rng = random.Random(1000 + seed)
+    try:
+        with svc.session() as session:
+            for q in range(QUERIES_PER_SESSION):
+                if rng.randrange(2):
+                    shape, params = PARALLEL_SHAPE, {"m": rng.randrange(1, 7)}
+                else:
+                    shape, params = SERIAL_SHAPE, {"k": rng.randrange(20)}
+                r = session.execute(shape, params)
+                if r.epoch is None:
+                    errors.append(f"reader[{seed}]#{q}: no epoch on result")
+                    return
+                want = _oracle(db, shape, params, r.epoch)
+                got = set(r.rows)
+                if got != want:
+                    errors.append(
+                        f"reader[{seed}]#{q} {shape!r} {params} tore at epoch "
+                        f"{r.epoch}: missing={sorted(want - got)[:5]} "
+                        f"extra={sorted(got - want)[:5]}"
+                    )
+                    return
+    except Exception as exc:
+        errors.append(f"reader[{seed}]: {exc!r}")
+
+
+@pytest.mark.parametrize("mode", ["inline", "process"])
+def test_every_result_matches_a_single_epoch_oracle(mode):
+    db, catalog = _setup()
+    stop = threading.Event()
+    errors: list = []
+    writers = [
+        threading.Thread(target=_writer, args=(db, catalog, w, stop, errors))
+        for w in range(WRITERS)
+    ]
+    with QueryService(
+        db, catalog=catalog, parallel_workers=PARTS, parallel_mode=mode
+    ) as svc:
+        readers = [
+            threading.Thread(target=_reader, args=(svc, db, s, errors))
+            for s in range(SESSIONS)
+        ]
+        for t in writers + readers:
+            t.start()
+        try:
+            for t in readers:
+                t.join(timeout=120)
+        finally:
+            stop.set()
+            for t in writers:
+                t.join(timeout=30)
+    assert not errors, "\n".join(errors)
+    assert not any(t.is_alive() for t in writers + readers)
+    # every per-query pin was released
+    assert db.epoch_stats()["pinned"] == 0
+
+
+def test_serial_only_service_under_writers():
+    """Same invariant with the parallel tier off: the serial executor and
+    the statistics path read the pinned epoch too."""
+    db, catalog = _setup()
+    stop = threading.Event()
+    errors: list = []
+    writers = [
+        threading.Thread(target=_writer, args=(db, catalog, w, stop, errors))
+        for w in range(WRITERS)
+    ]
+    with QueryService(db, catalog=catalog) as svc:
+        readers = [
+            threading.Thread(target=_reader, args=(svc, db, s, errors))
+            for s in range(SESSIONS)
+        ]
+        for t in writers + readers:
+            t.start()
+        try:
+            for t in readers:
+                t.join(timeout=120)
+        finally:
+            stop.set()
+            for t in writers:
+                t.join(timeout=30)
+    assert not errors, "\n".join(errors)
+    assert db.epoch_stats()["pinned"] == 0

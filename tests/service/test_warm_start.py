@@ -1,0 +1,130 @@
+"""Plan-cache warm start (PR 7).
+
+``QueryService.close()`` persists the cached shapes as canonical
+re-parseable plan text; a restoring service re-plans them at
+construction — skipping the expensive rewrite/join-order phases — and
+refuses the whole file when the catalog version or schema fingerprint
+no longer matches.
+"""
+
+import json
+
+import pytest
+
+from repro.datamodel import INT, STRING, Schema, VTuple
+from repro.service import QueryService
+from repro.storage import MemoryDatabase
+
+JOIN = "select (b = x.b, e = y.e) from x in X, y in Y where x.a = y.d"
+SIMPLE = "select x.b from x in X where x.a = $k"
+
+
+def _db(n=24, mod=4):
+    return MemoryDatabase(
+        {
+            "X": [VTuple(a=i % mod, b=i) for i in range(n)],
+            "Y": [VTuple(d=i % mod, e=i) for i in range(n)],
+        }
+    )
+
+
+def _warm_file(tmp_path, shapes=(JOIN, SIMPLE)):
+    """Run each shape once under a persisting service; return the path."""
+    path = str(tmp_path / "plans.json")
+    with QueryService(_db(), cache_persist_path=path) as svc:
+        for text in shapes:
+            svc.execute(text, {"k": 1} if "$k" in text else None)
+    return path
+
+
+def test_close_persists_canonical_plan_text(tmp_path):
+    path = _warm_file(tmp_path)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["catalog_version"] == 0  # MemoryDatabase has no catalog
+    assert payload["schema_fingerprint"] == ""
+    shapes = {e["shape"] for e in payload["entries"]}
+    assert len(shapes) == 2
+    for entry in payload["entries"]:
+        assert entry["adl"]  # re-parseable plan text, not a pickle
+        assert isinstance(entry["param_names"], list)
+
+
+def test_restore_roundtrip_first_query_is_a_hit(tmp_path):
+    path = _warm_file(tmp_path)
+    with QueryService(_db(), cache_persist_path=path) as svc:
+        assert svc.warm_restored == 2
+        assert svc.warm_dropped == 0
+        assert svc.compilations == 0  # restore re-plans, never re-optimizes
+        r = svc.execute(JOIN)
+        assert r.cache_hit
+        assert r.rows
+        assert svc.compilations == 0
+
+
+def test_restored_plan_matches_cold_plan(tmp_path):
+    path = _warm_file(tmp_path, shapes=(JOIN,))
+    with QueryService(_db()) as cold:
+        cold_explain = cold.explain(JOIN)
+    with QueryService(_db(), cache_persist_path=path) as warm:
+        assert warm.explain(JOIN) == cold_explain
+
+
+def test_catalog_version_mismatch_drops_whole_file(tmp_path):
+    path = _warm_file(tmp_path)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    payload["catalog_version"] = 99
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    with QueryService(_db(), cache_persist_path=path) as svc:
+        assert svc.warm_restored == 0
+        assert svc.warm_dropped == len(payload["entries"])
+
+
+def test_schema_fingerprint_mismatch_drops_whole_file(tmp_path):
+    path = _warm_file(tmp_path)
+    schema = Schema()
+    schema.add_class("Part", "X", {"pname": STRING, "price": INT})
+    with QueryService(_db(), schema.freeze(), cache_persist_path=path) as svc:
+        assert svc.warm_restored == 0
+        assert svc.warm_dropped == 2
+
+
+def test_single_bad_entry_dropped_without_poisoning_rest(tmp_path):
+    path = _warm_file(tmp_path)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    payload["entries"][0]["adl"] = "this is not ADL %%"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    with QueryService(_db(), cache_persist_path=path) as svc:
+        assert svc.warm_restored == 1
+        assert svc.warm_dropped == 1
+
+
+@pytest.mark.parametrize("content", ["", "{not json", '"a string"', '{"entries": 3}'])
+def test_corrupt_file_is_ignored(tmp_path, content):
+    path = tmp_path / "plans.json"
+    path.write_text(content, encoding="utf-8")
+    with QueryService(_db(), cache_persist_path=str(path)) as svc:
+        assert svc.warm_restored == 0
+        assert svc.warm_dropped == 0
+        assert svc.execute(SIMPLE, {"k": 1}).rows
+
+
+def test_missing_file_is_fine_and_created_on_close(tmp_path):
+    path = tmp_path / "sub" / "plans.json"
+    path.parent.mkdir()
+    with QueryService(_db(), cache_persist_path=str(path)) as svc:
+        assert svc.warm_restored == 0
+        svc.execute(SIMPLE, {"k": 1})
+    assert path.exists()
+
+
+def test_warm_counters_in_stats(tmp_path):
+    path = _warm_file(tmp_path)
+    with QueryService(_db(), cache_persist_path=path) as svc:
+        stats = svc.stats()
+        assert stats["warm_restored"] == 2
+        assert stats["warm_dropped"] == 0

@@ -1,0 +1,231 @@
+"""Unit tests for the visibility-epoch layer (PR 7).
+
+Covers the store-level contract on both stores: monotonic epoch bumps,
+batch atomicity, lazy preservation (nothing is copied without a pin),
+pin/unpin reclamation, ``keep_history`` time travel, ``extent_at``
+chains, and the identity invariant that keeps every PR 1–6 staleness
+handshake working on pinned-but-fresh reads.
+"""
+
+import pytest
+
+from repro.datamodel import INT, STRING, Schema, StorageError, VTuple
+from repro.storage import Database, EpochView, MemoryDatabase
+
+
+def rows(*bs):
+    return frozenset(VTuple(a=b % 3, b=b) for b in bs)
+
+
+def mem(**extents) -> MemoryDatabase:
+    return MemoryDatabase({k: v for k, v in extents.items()})
+
+
+# ---------------------------------------------------------------------------
+# epoch publication
+# ---------------------------------------------------------------------------
+
+
+class TestEpochBumps:
+    def test_initial_load_is_one_epoch(self):
+        db = mem(X=rows(1, 2), Y=rows(3))
+        assert db.epoch == 1  # one batch, two extents
+
+    def test_each_mutation_is_one_epoch(self):
+        db = mem(X=rows(1))
+        e0 = db.epoch
+        db.insert_rows("X", rows(2))
+        db.delete_rows("X", rows(2))
+        db.set_extent("X", rows(5))
+        assert db.epoch == e0 + 3
+
+    def test_batch_groups_mutations_into_one_epoch(self):
+        db = mem(X=rows(1), Y=rows(2))
+        e0 = db.epoch
+        with db.batch():
+            db.insert_rows("X", rows(4))
+            db.insert_rows("Y", rows(5))
+            db.delete_rows("X", rows(1))
+        assert db.epoch == e0 + 1
+
+    def test_empty_batch_publishes_nothing(self):
+        db = mem(X=rows(1))
+        e0 = db.epoch
+        with db.batch():
+            pass
+        assert db.epoch == e0
+
+    def test_paged_store_bumps_on_insert(self):
+        schema = Schema()
+        schema.add_class("Part", "PART", {"pname": STRING, "price": INT})
+        db = Database(schema.freeze())
+        e0 = db.epoch
+        db.insert("Part", {"pname": "a", "price": 1})
+        assert db.epoch == e0 + 1
+        db.insert_many("Part", [{"pname": "b", "price": 2}, {"pname": "c", "price": 3}])
+        assert db.epoch == e0 + 2  # insert_many is one batch
+
+
+# ---------------------------------------------------------------------------
+# pinning, preservation, reclamation
+# ---------------------------------------------------------------------------
+
+
+class TestPinning:
+    def test_no_pin_means_no_preservation(self):
+        db = mem(X=rows(1, 2))
+        db.insert_rows("X", rows(3))
+        db.set_extent("X", rows(9))
+        assert db.epoch_stats()["preserved_snapshots"] == 0
+        assert db.epoch_stats()["live_snapshots"] == 0
+
+    def test_pinned_epoch_reads_through_mutations(self):
+        db = mem(X=rows(1, 2), Y=rows(3))
+        with db.pinned() as e:
+            before_x = db.extent("X")
+            before_y = db.extent("Y")
+            db.insert_rows("X", rows(4))
+            db.set_extent("Y", rows(7, 8))
+            assert db.extent_at("X", e) == before_x
+            assert db.extent_at("Y", e) == before_y
+            # unpinned reads see the new state
+            assert db.extent("X") != before_x
+
+    def test_last_unpin_reclaims_snapshots(self):
+        db = mem(X=rows(1))
+        e = db.pin_epoch()
+        db.set_extent("X", rows(2))
+        assert db.epoch_stats()["live_snapshots"] == 1
+        db.unpin_epoch(e)
+        stats = db.epoch_stats()
+        assert stats["live_snapshots"] == 0
+        assert stats["reclaimed_snapshots"] == 1
+
+    def test_refcounted_pins(self):
+        db = mem(X=rows(1))
+        e = db.pin_epoch()
+        assert db.pin_epoch(e) == e
+        db.set_extent("X", rows(2))
+        db.unpin_epoch(e)
+        # the second pin still holds the snapshot
+        assert db.extent_at("X", e) == rows(1)
+        db.unpin_epoch(e)
+        assert db.epoch_stats()["live_snapshots"] == 0
+
+    def test_pin_future_epoch_rejected(self):
+        db = mem(X=rows(1))
+        with pytest.raises(StorageError, match="future"):
+            db.pin_epoch(db.epoch + 1)
+
+    def test_pin_reclaimed_epoch_rejected(self):
+        db = mem(X=rows(1))
+        old = db.epoch
+        db.set_extent("X", rows(2))
+        with pytest.raises(StorageError, match="not pinned"):
+            db.pin_epoch(old)
+
+    def test_unpin_unknown_epoch_rejected(self):
+        db = mem(X=rows(1))
+        with pytest.raises(StorageError, match="not pinned"):
+            db.unpin_epoch(db.epoch)
+
+    def test_unreadable_epoch_raises(self):
+        db = mem(X=rows(1))
+        old = db.epoch
+        db.set_extent("X", rows(2))  # no pin: the old value is gone
+        with pytest.raises(StorageError, match="no snapshot"):
+            db.extent_at("X", old)
+
+
+class TestExtentAtChains:
+    def test_multiple_preserved_versions_resolve_by_epoch(self):
+        db = MemoryDatabase()
+        db.keep_history = True
+        db.set_extent("X", rows(1))
+        e1 = db.epoch
+        db.set_extent("X", rows(2))
+        e2 = db.epoch
+        db.set_extent("X", rows(3))
+        e3 = db.epoch
+        assert db.extent_at("X", e1) == rows(1)
+        assert db.extent_at("X", e2) == rows(2)
+        assert db.extent_at("X", e3) == rows(3)
+
+    def test_keep_history_allows_pinning_any_old_epoch(self):
+        db = MemoryDatabase()
+        db.keep_history = True
+        db.set_extent("X", rows(1))
+        e1 = db.epoch
+        db.set_extent("X", rows(2))
+        assert db.pin_epoch(e1) == e1
+        db.unpin_epoch(e1)
+        # history is never reclaimed in this mode
+        assert db.extent_at("X", e1) == rows(1)
+
+    def test_extent_at_before_extent_existed(self):
+        db = MemoryDatabase()
+        db.keep_history = True
+        db.set_extent("X", rows(1))
+        e1 = db.epoch
+        db.set_extent("Y", rows(2))
+        with pytest.raises(StorageError, match="no snapshot"):
+            db.extent_at("Y", e1)
+
+    def test_current_epoch_returns_identical_object(self):
+        # the invariant every identity-based staleness handshake
+        # (statistics, indexes, partitionings, pool snapshots) rests on
+        db = mem(X=rows(1, 2))
+        assert db.extent_at("X", db.epoch) is db.extent("X")
+        with db.pinned() as e:
+            assert db.extent_at("X", e) is db.extent("X")
+
+    def test_extent_current_at(self):
+        db = mem(X=rows(1))
+        e = db.pin_epoch()
+        assert db.extent_current_at("X", e)
+        db.insert_rows("X", rows(2))
+        assert not db.extent_current_at("X", e)
+        db.unpin_epoch(e)
+
+
+# ---------------------------------------------------------------------------
+# the paged store under pins
+# ---------------------------------------------------------------------------
+
+
+class TestDatabaseEpochs:
+    def _db(self) -> Database:
+        schema = Schema()
+        schema.add_class("Part", "PART", {"pname": STRING, "price": INT})
+        db = Database(schema.freeze())
+        db.insert_many("Part", [{"pname": f"p{i}", "price": i} for i in range(4)])
+        return db
+
+    def test_pinned_read_survives_inserts(self):
+        db = self._db()
+        with db.pinned() as e:
+            before = db.extent_at("PART", e)
+            assert len(before) == 4
+            db.insert("Part", {"pname": "new", "price": 99})
+            assert db.extent_at("PART", e) == before
+            assert len(db.extent("PART")) == 5
+
+    def test_epoch_view_protocol(self):
+        db = self._db()
+        with db.pinned() as e:
+            view = EpochView(db, e)
+            db.insert("Part", {"pname": "new", "price": 99})
+            assert view.pinned_epoch == e
+            assert len(view.extent("PART")) == 4
+            assert len(list(view.scan("PART"))) == 4
+            # passthrough for everything not epoch-scoped
+            assert view.schema is db.schema
+            (row,) = [r for r in view.extent("PART") if r["price"] == 0]
+            assert view.deref(row["oid"])["pname"] == "p0"
+
+    def test_epoch_view_scan_never_leaks_new_rows(self):
+        db = self._db()
+        with db.pinned() as e:
+            view = EpochView(db, e)
+            db.insert("Part", {"pname": "late", "price": 100})
+            assert all(r["pname"] != "late" for r in view.scan("PART"))
