@@ -31,11 +31,38 @@ Binding discipline: the interpreter copies the environment at every
 binder; compiled quantifiers instead save and restore the single bound
 name around the loop (``try/finally``, so a raising predicate cannot leak
 a binding into the caller's environment).
+
+Vectorized batch kernels (PR 8)
+===============================
+
+:meth:`Compiler.compile_batch` compiles a *covered* expression form into
+a **batch kernel** ``kernel(rows) -> list`` that maps a whole columnar
+chunk in tight list-level loops instead of one closure call per tuple.
+Coverage is the pure predicate :func:`vector_covered` — literals,
+parameters, the batch variable, attribute access, comparisons, boolean
+connectives and arithmetic over those; anything else (set iterators,
+quantifiers, tuple constructors...) is *uncovered* and the caller falls
+back to applying the tuple-wise closure per batch element (counted in
+``stats.vector_fallbacks`` — never silent).
+
+The fallback discipline extends PR 1's: kernels must be oracle-equal to
+the tuple-wise closures **by construction**.  Counter increments inside
+a kernel land in a private scratch :class:`Stats` that is folded into
+the real bundle only when the whole batch maps cleanly; if *anything*
+raises mid-column (a type error, a missing attribute, an oid that needs
+dereferencing through a failing store) the scratch is discarded and the
+batch re-runs element-wise through the tuple closure, so the error — its
+type, message and the counter state it surfaces under — is exactly the
+tuple engine's.  Short-circuiting ``and``/``or`` evaluate their right
+operand only over the rows the left operand selected, preserving both
+values and per-conjunct counter totals.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import operator as _op
+from itertools import compress
+from typing import Callable, Dict, List, Optional
 
 from repro.adl import ast as A
 from repro.datamodel.errors import EvaluationError, UnboundParameterError, UnboundVariableError
@@ -45,7 +72,138 @@ from repro.engine.stats import Stats
 #: A compiled expression: evaluate against a mutable environment dict.
 CompiledFn = Callable[[Dict[str, Value]], Value]
 
+#: A vectorized batch kernel: map a list of rows to a list of values.
+BatchKernel = Callable[[List[Value]], List[Value]]
+
 _MISSING = object()
+
+#: ordered-comparison operators as callables for the batch kernels
+_ORDERED_OPS = {"<": _op.lt, "<=": _op.le, ">": _op.gt, ">=": _op.ge}
+
+#: operator to use when a fused compare finds its literal on the *left*:
+#: ``k < x.a`` runs the loop as ``x.a > k``
+_MIRRORED_OPS = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+_ARITH_OPS = {"+": _op.add, "-": _op.sub, "*": _op.mul, "/": _op.truediv, "%": _op.mod}
+
+#: value-class sets the ordered comparison accepts (bool is excluded by
+#: construction: ``type(True) is bool``, never ``int``)
+_NUMERIC_KINDS = frozenset({int, float})
+_STR_KINDS = frozenset({str})
+
+#: reflected dunder for a fused ordered compare against a literal ``k``:
+#: ``v <op> k`` computed as the bound method ``k.<refl>(v)`` so homogeneous
+#: columns compare in one C-level ``map`` with no per-row dispatch
+_REFLECTED_OPS = {"<": "__gt__", "<=": "__ge__", ">": "__lt__", ">=": "__le__"}
+
+
+def _static_kind(expr: A.Expr) -> Optional[str]:
+    """Compile-time value-class guarantee for a covered subexpression:
+    ``"num"`` / ``"bool"`` / ``"str"``, or ``None`` when unknown.
+
+    The guarantee is *conditional on clean return*: an ``Arith``/``Neg``
+    kernel validates its operands numeric (bailing otherwise) and numeric
+    arithmetic closes over int/float, so its output column is numeric by
+    construction; ``Compare``/``And``/``Or``/``Not`` likewise emit real
+    bools.  Consumers use this to elide their per-batch ``set(map(type,
+    col))`` validation passes — the dominant non-compute cost on long
+    expression chains."""
+    t = type(expr)
+    if t is A.Arith or t is A.Neg:
+        return "num"
+    if t is A.Compare or t is A.And or t is A.Or or t is A.Not:
+        return "bool"
+    if t is A.Literal:
+        v = expr.value
+        if type(v) is bool:
+            return "bool"
+        if type(v) is int or type(v) is float:
+            return "num"
+        if type(v) is str:
+            return "str"
+    return None
+
+
+def _field_column(attr: str):
+    """C-speed extraction of ``row._fields[attr]`` over a rows list: two
+    chained ``map`` calls, no per-row Python frame.  Any irregular row
+    (non-tuple, missing attribute) raises out of ``list`` and the caller
+    bails the batch."""
+    getter = _op.itemgetter(attr)
+    fields = _op.attrgetter("_fields")
+
+    def column(rows: List[Value]) -> List[Value]:
+        return list(map(getter, map(fields, rows)))
+
+    return column
+
+
+def _fold_fields(scratch: Stats, stats: Stats):
+    """Closure that folds a kernel's scratch counters into the real bundle.
+
+    Covered node types only ever touch ``comparisons`` and ``oid_derefs``
+    (``predicate_evals`` is bulk-counted by the predicate wrapper itself),
+    so the fold is two adds, not a loop over every Stats field.
+    """
+
+    def fold() -> None:
+        if scratch.comparisons:
+            stats.comparisons += scratch.comparisons
+        if scratch.oid_derefs:
+            stats.oid_derefs += scratch.oid_derefs
+
+    return fold
+
+
+class _VectorBail(Exception):
+    """Internal: a batch kernel hit something it cannot map column-wise
+    (a type anomaly, an error mid-column).  Callers discard the scratch
+    counters and re-run the batch element-wise through the tuple-wise
+    closure, which reproduces the exact tuple-engine semantics."""
+
+
+#: AST node types the vectorizing batch compiler covers natively; every
+#: other type makes the whole kernel fall back to the tuple-wise closure
+#: (see :func:`vector_covered`).  Exposed for tests and reporting.
+VECTOR_NODE_TYPES = frozenset(
+    {
+        A.Literal,
+        A.Var,
+        A.Param,
+        A.AttrAccess,
+        A.Compare,
+        A.And,
+        A.Or,
+        A.Not,
+        A.Arith,
+        A.Neg,
+    }
+)
+
+
+def vector_covered(expr: A.Expr, var: str) -> bool:
+    """Pure coverage predicate: can ``expr`` compile into a batch kernel
+    over rows bound to ``var``?
+
+    True iff every node in the tree is a :data:`VECTOR_NODE_TYPES` member
+    and the only variable referenced is ``var`` itself (a reference to an
+    outer binding cannot be columnized — the batch carries one binder).
+    This is the *exact* condition under which ``compile_batch`` vectorizes;
+    the property tests assert fallback triggers precisely on its negation.
+    """
+    t = type(expr)
+    if t not in VECTOR_NODE_TYPES:
+        return False
+    if t is A.Var:
+        return expr.name == var
+    if t is A.Literal or t is A.Param:
+        return True
+    if t is A.AttrAccess:
+        return vector_covered(expr.base, var)
+    if t is A.Not or t is A.Neg:
+        return vector_covered(expr.operand, var)
+    # Compare / And / Or / Arith are all left/right binary nodes
+    return vector_covered(expr.left, var) and vector_covered(expr.right, var)
 
 #: Node types that are pure and counter-free: safe to evaluate at compile
 #: time when all their inputs are constants.  ``Compare``/``SetCompare``
@@ -90,6 +248,14 @@ class Compiler:
         self.compiled_nodes = 0
         self.fallback_nodes = 0
         self.folded_nodes = 0
+        #: one-slot per-attribute column cache shared by every batch kernel
+        #: this compiler builds: ``attr -> (rows, column)``, valid only
+        #: while the cached ``rows`` IS the list being mapped (checked by
+        #: identity).  A predicate like ``x.a*3 - x.a < x.a + 7`` extracts
+        #: the ``a`` column once per batch instead of once per reference.
+        #: Single-threaded by design — one compiler per ExecRuntime, one
+        #: runtime per run.
+        self._col_cache: Dict[str, tuple] = {}
 
     # -- public API ---------------------------------------------------------
     def compile(self, expr: A.Expr) -> CompiledFn:
@@ -110,6 +276,386 @@ class Compiler:
             return value
 
         return pred
+
+    # -- vectorized batch kernels (PR 8) ------------------------------------
+    def compile_batch(self, expr: A.Expr, var: str) -> Optional[BatchKernel]:
+        """A batch kernel for ``expr`` over rows bound to ``var``, or
+        ``None`` when the form is not :func:`vector_covered` (the caller
+        applies the tuple-wise closure per element and counts the
+        fallback).
+
+        The kernel is oracle-equal to the tuple closure by construction:
+        counters accrue in a scratch bundle folded in only on clean
+        success; any mid-column anomaly re-runs the batch element-wise
+        (see the module docstring).
+        """
+        if not vector_covered(expr, var):
+            return None
+        scratch = Stats()
+        col_fn = self._vc(expr, var, scratch)
+        row_fn = self.compile(expr)
+        stats = self.stats
+        fold = _fold_fields(scratch, stats)
+
+        def kernel(rows: List[Value]) -> List[Value]:
+            scratch.reset()
+            try:
+                out = col_fn(rows)
+            except Exception:
+                # discard the scratch, re-run element-wise: values, errors
+                # and counters all become exactly the tuple engine's
+                stats.vector_fallbacks += 1
+                env: Dict[str, Value] = {}
+                out = []
+                for row in rows:
+                    env[var] = row
+                    out.append(row_fn(env))
+                return out
+            fold()
+            return out
+
+        return kernel
+
+    def compile_batch_pred(self, expr: A.Expr, var: str) -> Optional[BatchKernel]:
+        """Predicate variant of :meth:`compile_batch`: bulk-counts one
+        ``predicate_evals`` per row and enforces boolean results, exactly
+        like :meth:`compile_pred` does per tuple."""
+        if not vector_covered(expr, var):
+            return None
+        scratch = Stats()
+        col_fn = self._vc(expr, var, scratch)
+        row_pred = self.compile_pred(expr)
+        stats = self.stats
+        fold = _fold_fields(scratch, stats)
+
+        # Compare/And/Or/Not kernels (and bool literals) validate their
+        # operands and emit real bools by construction — only the other
+        # roots need the per-batch result-type pass
+        check_bool = _static_kind(expr) != "bool"
+
+        def pred_kernel(rows: List[Value]) -> List[Value]:
+            scratch.reset()
+            try:
+                out = col_fn(rows)
+                if check_bool and set(map(type, out)) - {bool}:
+                    raise _VectorBail
+            except Exception:
+                # discard the scratch, re-run element-wise: the non-boolean
+                # (or whatever else raised) surfaces with the tuple engine's
+                # error and counter state
+                stats.vector_fallbacks += 1
+                env: Dict[str, Value] = {}
+                replay = []
+                for row in rows:
+                    env[var] = row
+                    replay.append(row_pred(env))
+                return replay
+            fold()
+            stats.predicate_evals += len(rows)
+            return out
+
+        return pred_kernel
+
+    def _vc(self, expr: A.Expr, var: str, stats: Stats):
+        """Column compiler: ``expr`` (vector-covered) → ``fn(rows) -> list``.
+
+        Counters land in ``stats`` (the kernel's scratch bundle).  On any
+        anomaly the column raises — :class:`_VectorBail` for conditions the
+        tuple engine would report with its own error, or the underlying
+        exception — and the kernel wrapper re-runs element-wise.
+        """
+        t = type(expr)
+        if t is A.Literal:
+            value = expr.value
+            return lambda rows: [value] * len(rows)
+        if t is A.Var:
+            return lambda rows: rows
+        if t is A.Param:
+            params = self.params
+            name = expr.name
+
+            def fn(rows):
+                try:
+                    value = params[name]
+                except KeyError:
+                    raise UnboundParameterError(name) from None
+                return [value] * len(rows)
+
+            return fn
+        if t is A.AttrAccess:
+            return self._vc_attr(expr, var, stats)
+        if t is A.Compare:
+            return self._vc_compare(expr, var, stats)
+        if t is A.And or t is A.Or:
+            return self._vc_bool(expr, var, stats, t is A.And)
+        if t is A.Not:
+            operand_fn = self._vc(expr.operand, var, stats)
+            check = _static_kind(expr.operand) != "bool"
+
+            def fn(rows):
+                col = operand_fn(rows)
+                if check and set(map(type, col)) - {bool}:
+                    raise _VectorBail
+                return list(map(_op.not_, col))
+
+            return fn
+        if t is A.Neg:
+            operand_fn = self._vc(expr.operand, var, stats)
+            check = _static_kind(expr.operand) != "num"
+
+            def fn(rows):
+                col = operand_fn(rows)
+                if check and set(map(type, col)) - {int, float}:
+                    raise _VectorBail
+                return list(map(_op.neg, col))
+
+            return fn
+        if t is A.Arith:
+            return self._vc_arith(expr, var, stats)
+        raise AssertionError(f"not vector-covered: {expr!r}")  # pragma: no cover
+
+    def _vc_attr(self, expr: A.AttrAccess, var: str, stats: Stats):
+        attr = expr.attr
+        db = self.db
+        if type(expr.base) is A.Var and expr.base.name == var:
+            # the dominant ``x.a`` shape: read the slot dict directly at
+            # C speed; any irregular row (oid to deref, missing attribute,
+            # non-tuple) bails the batch to the exact tuple-engine path
+            return self._vc_column(attr)
+        base_fn = self._vc(expr.base, var, stats)
+
+        def fn(rows):
+            col = base_fn(rows)
+            out = []
+            append = out.append
+            derefs = 0
+            for base in col:
+                if isinstance(base, VTuple):
+                    append(base._fields[attr] if attr in base._fields else _MISSING)
+                elif isinstance(base, Oid):
+                    derefs += 1
+                    deref = db.deref(base)
+                    if not isinstance(deref, VTuple):
+                        raise _VectorBail
+                    append(deref._fields[attr] if attr in deref._fields else _MISSING)
+                else:
+                    raise _VectorBail
+            if _MISSING in out:
+                raise _VectorBail
+            if derefs:
+                stats.oid_derefs += derefs
+            return out
+
+        return fn
+
+    def _vc_column(self, attr: str):
+        """Cached ``x.attr`` column extraction (see ``_col_cache``): every
+        reference to the same attribute within one kernel call — and every
+        kernel mapping the same batch — shares one extraction pass.
+        Consumers never mutate returned columns, so sharing is safe."""
+        column = _field_column(attr)
+        cache = self._col_cache
+
+        def fn(rows):
+            hit = cache.get(attr)
+            if hit is not None and hit[0] is rows:
+                return hit[1]
+            try:
+                col = column(rows)
+            except Exception:
+                raise _VectorBail from None
+            cache[attr] = (rows, col)
+            return col
+
+        return fn
+
+    def _vc_compare(self, expr: A.Compare, var: str, stats: Stats):
+        fused = self._vc_fused_compare(expr, var, stats)
+        if fused is not None:
+            return fused
+        op = expr.op
+        left_fn = self._vc(expr.left, var, stats)
+        right_fn = self._vc(expr.right, var, stats)
+        if op == "=" or op == "!=":
+            ne = op == "!="
+
+            def fn(rows):
+                l = left_fn(rows)
+                r = right_fn(rows)
+                stats.comparisons += len(rows)
+                if ne:
+                    return [a != b for a, b in zip(l, r)]
+                return [a == b for a, b in zip(l, r)]
+
+            return fn
+        cmp = _ORDERED_OPS[op]
+        lkind = _static_kind(expr.left)
+        rkind = _static_kind(expr.right)
+        if lkind == "num" and rkind == "num":
+            # both operands numeric by construction — compare is one map
+            def fn(rows):
+                l = left_fn(rows)
+                r = right_fn(rows)
+                stats.comparisons += len(rows)
+                return list(map(cmp, l, r))
+
+            return fn
+        if lkind == "num" or rkind == "num":
+            # one side is known numeric, so the str/str case is impossible:
+            # only the unknown side needs the class pass
+            known_left = lkind == "num"
+
+            def fn(rows):
+                l = left_fn(rows)
+                r = right_fn(rows)
+                stats.comparisons += len(rows)
+                if set(map(type, r if known_left else l)) - _NUMERIC_KINDS:
+                    raise _VectorBail
+                return list(map(cmp, l, r))
+
+            return fn
+
+        def fn(rows):
+            l = left_fn(rows)
+            r = right_fn(rows)
+            stats.comparisons += len(rows)
+            lk = set(map(type, l))
+            rk = set(map(type, r))
+            num = _NUMERIC_KINDS
+            if not ((lk <= num and rk <= num) or (lk <= _STR_KINDS and rk <= _STR_KINDS)):
+                raise _VectorBail
+            return list(map(cmp, l, r))
+
+        return fn
+
+    def _vc_fused_compare(self, expr: A.Compare, var: str, stats: Stats):
+        """The hottest predicate shape, fused into one loop:
+        ``x.attr <op> literal`` (or mirrored).  Reads the tuple slot dict
+        directly; any anomaly bails the batch."""
+        op = expr.op
+
+        def plain_attr(e):
+            if (
+                type(e) is A.AttrAccess
+                and type(e.base) is A.Var
+                and e.base.name == var
+            ):
+                return e.attr
+            return None
+
+        attr = plain_attr(expr.left)
+        if attr is not None and type(expr.right) is A.Literal:
+            k = expr.right.value
+        else:
+            attr = plain_attr(expr.right)
+            if attr is not None and type(expr.left) is A.Literal:
+                k = expr.left.value
+                # mirror the operator so the loop always computes value-vs-k
+                op = _MIRRORED_OPS[op]
+            else:
+                return None
+        column = self._vc_column(attr)
+        if op == "=" or op == "!=":
+            ne = op == "!="
+
+            def fn(rows):
+                stats.comparisons += len(rows)
+                try:
+                    col = column(rows)
+                    if ne:
+                        return [v != k for v in col]
+                    return [v == k for v in col]
+                except Exception:
+                    raise _VectorBail from None
+
+            return fn
+        if isinstance(k, bool) or not isinstance(k, (int, float, str)):
+            return None  # the tuple engine rejects such ordered comparisons
+        cmp = _ORDERED_OPS[op]
+        refl = getattr(k, _REFLECTED_OPS[op])  # v <op> k  ==  k.<refl>(v)
+        want_str = isinstance(k, str)
+        k_is_float = isinstance(k, float)
+
+        def fn(rows):
+            stats.comparisons += len(rows)
+            try:
+                col = column(rows)
+            except Exception:
+                raise _VectorBail from None
+            kinds = set(map(type, col))
+            if want_str:
+                # str.<refl>(str) never returns NotImplemented
+                if kinds - {str}:
+                    raise _VectorBail
+                return list(map(refl, col))
+            if kinds - {int, float}:
+                raise _VectorBail
+            if k_is_float or kinds <= {int}:
+                # the bound reflected method handles every value class in
+                # the column, so the compare is one C-level map
+                return list(map(refl, col))
+            # int literal vs a column with floats: int.<refl>(float) is
+            # NotImplemented, so dispatch per row (validated above)
+            return [cmp(v, k) for v in col]
+
+        return fn
+
+    def _vc_bool(self, expr, var: str, stats: Stats, is_and: bool):
+        """Short-circuiting ``and``/``or`` over columns: the right operand
+        is evaluated only over the rows the left operand selected, so both
+        values and counter totals match tuple-at-a-time evaluation."""
+        left_fn = self._vc(expr.left, var, stats)
+        right_fn = self._vc(expr.right, var, stats)
+        check_l = _static_kind(expr.left) != "bool"
+        check_r = _static_kind(expr.right) != "bool"
+
+        def fn(rows):
+            lcol = left_fn(rows)
+            if check_l and set(map(type, lcol)) - {bool}:
+                raise _VectorBail
+            if is_and:
+                selected = list(compress(rows, lcol))
+            else:
+                selected = list(compress(rows, map(_op.not_, lcol)))
+            if not selected:
+                return lcol
+            rsub = right_fn(selected)
+            if check_r and set(map(type, rsub)) - {bool}:
+                raise _VectorBail
+            out = []
+            append = out.append
+            sub = iter(rsub)
+            if is_and:
+                for l in lcol:
+                    append(next(sub) if l else False)
+            else:
+                for l in lcol:
+                    append(True if l else next(sub))
+            return out
+
+        return fn
+
+    def _vc_arith(self, expr: A.Arith, var: str, stats: Stats):
+        op = expr.op
+        left_fn = self._vc(expr.left, var, stats)
+        right_fn = self._vc(expr.right, var, stats)
+        arith = _ARITH_OPS[op]
+        guard_zero = op == "/" or op == "%"
+        check_l = _static_kind(expr.left) != "num"
+        check_r = _static_kind(expr.right) != "num"
+
+        def fn(rows):
+            l = left_fn(rows)
+            r = right_fn(rows)
+            if check_l and set(map(type, l)) - {int, float}:
+                raise _VectorBail
+            if check_r and set(map(type, r)) - {int, float}:
+                raise _VectorBail
+            if guard_zero and any(b == 0 for b in r):
+                raise _VectorBail
+            return list(map(arith, l, r))
+
+        return fn
 
     # -- machinery ----------------------------------------------------------
     def _compile(self, expr: A.Expr):

@@ -61,20 +61,91 @@ an :class:`~repro.engine.interpreter.Interpreter` for fallback expression
 evaluation, a :class:`~repro.engine.compile.Compiler`, and the shared
 :class:`~repro.engine.stats.Stats` counters.  ``explain()`` renders the
 physical tree.
+
+Vectorized batch execution (PR 8)
+=================================
+
+Every node additionally implements ``iterate_batches(rt) ->
+Iterator[Batch]``, the *batch-at-a-time* interface: fixed-capacity
+columnar chunks of tuples instead of single tuples.
+``ExecRuntime(batch_size=N)`` selects the mode — ``execute`` then drains
+batches instead of the tuple iterator.  The hot pipeline operators
+(:class:`Scan`, :class:`Filter`, :class:`MapOp`, :class:`ProjectOp`, the
+build-right :class:`HashJoinBase` family) override it natively, applying
+:mod:`repro.engine.compile`'s vectorized kernels over whole chunks; every
+other operator inherits the default, which chunks its own tuple
+``iterate`` — so batch mode is always available and always oracle-equal,
+operator by operator.  Expression forms the vectorizing compiler does not
+cover fall back to the tuple-wise closure per batch element, counted in
+``stats.vector_fallbacks``; chunks produced are counted in
+``stats.batches_emitted``.  ``explain(vectorized=True)`` marks which
+operators would run native kernels (``<vec>``) versus per-element
+fallback (``<vec:fallback>``); the default rendering is unchanged.
+
+Counter contract in batch mode: successful batches produce exactly the
+tuple engine's totals (the kernels bulk-count, and short-circuit
+semantics are preserved — see :mod:`repro.engine.compile`).  On an
+erroring batch the error itself is exactly the tuple engine's (the batch
+re-runs element-wise), but per-tuple counters such as ``tuples_visited``
+are bulk-charged per chunk, so mid-batch failure counter *snapshots* may
+run ahead of the tuple engine's — a documented simplification.
 """
 
 from __future__ import annotations
 
 import time
+from itertools import chain, compress, islice
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.adl import ast as A
 from repro.datamodel.errors import EvaluationError, MissingAttributeError, PlanError
 from repro.datamodel.values import Value, VTuple, concat
-from repro.engine.compile import Compiler
+from repro.engine.compile import BatchKernel, Compiler, vector_covered
 from repro.engine.cost import format_estimate
 from repro.engine.interpreter import Interpreter
 from repro.engine.stats import Stats
+
+#: Default rows per columnar chunk when ``batch_size`` is truthy but a
+#: concrete capacity was not chosen.  Big enough to amortize per-batch
+#: dispatch, small enough to keep early-exit consumers responsive.
+DEFAULT_BATCH_SIZE = 256
+
+
+class Batch:
+    """A columnar chunk: an ordered list of tuples plus lazily-built
+    per-attribute value lists.
+
+    ``rows`` is the authoritative payload (operators and the shard tier
+    ship it directly); :meth:`column` materializes one attribute's values
+    across the chunk on first request and caches the list, so repeated
+    kernel passes over the same attribute pay the gather once.
+    """
+
+    __slots__ = ("rows", "_columns")
+
+    def __init__(self, rows: List[Value]) -> None:
+        self.rows = rows
+        self._columns: Optional[Dict[str, List[Value]]] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Batch({len(self.rows)} rows)"
+
+    def column(self, attr: str) -> List[Value]:
+        """The per-attribute value list for ``attr``, built and cached on
+        first access."""
+        columns = self._columns
+        if columns is None:
+            columns = self._columns = {}
+        col = columns.get(attr)
+        if col is None:
+            col = columns[attr] = [row[attr] for row in self.rows]
+        return col
 
 
 class ExecRuntime:
@@ -104,6 +175,7 @@ class ExecRuntime:
         params: Optional[Dict[str, Value]] = None,
         parallel=None,
         deadline: Optional[float] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.db = db
         # default to the database's own catalog (a Catalog registers
@@ -139,9 +211,15 @@ class ExecRuntime:
         self.interpreter = Interpreter(db, self.stats, self.params)
         self.materialized = materialized
         self.compile_exprs = compile_exprs
+        #: rows per columnar chunk; a truthy value selects batch-at-a-time
+        #: execution (``execute`` drains ``iterate_batches``), ``None``/0
+        #: keeps the tuple-at-a-time engine
+        self.batch_size = batch_size
         self.compiler = Compiler(db, self.stats, self.interpreter, self.params)
         self._compiled: Dict[int, Tuple[A.Expr, Callable]] = {}
         self._compiled_preds: Dict[int, Tuple[A.Expr, Callable]] = {}
+        self._batch_fns: Dict[Tuple[int, str], Tuple[A.Expr, BatchKernel]] = {}
+        self._batch_preds: Dict[Tuple[int, str], Tuple[A.Expr, BatchKernel]] = {}
 
     # -- cancellation -------------------------------------------------------
     def check_deadline(self) -> None:
@@ -185,6 +263,47 @@ class ExecRuntime:
             self._compiled_preds[id(expr)] = entry = (expr, fn)
         return entry[1]
 
+    # -- vectorized batch kernels (PR 8) ------------------------------------
+    # Cached like the tuple closures, keyed by (id(expr), var).  When the
+    # expression is not vector-covered — or expression compilation is off —
+    # the cached kernel applies the tuple-wise closure per batch element
+    # and counts one ``vector_fallbacks`` per batch, so uncovered forms are
+    # observable, never silent.
+
+    def batch_fn(self, expr: A.Expr, var: str) -> BatchKernel:
+        """A batch kernel mapping rows (bound to ``var``) through ``expr``."""
+        entry = self._batch_fns.get((id(expr), var))
+        if entry is None:
+            kernel = self.compiler.compile_batch(expr, var) if self.compile_exprs else None
+            if kernel is None:
+                kernel = self._fallback_kernel(self.compiled(expr), var)
+            self._batch_fns[(id(expr), var)] = entry = (expr, kernel)
+        return entry[1]
+
+    def batch_pred(self, expr: A.Expr, var: str) -> BatchKernel:
+        """Predicate variant of :meth:`batch_fn` (``eval_pred`` semantics)."""
+        entry = self._batch_preds.get((id(expr), var))
+        if entry is None:
+            kernel = self.compiler.compile_batch_pred(expr, var) if self.compile_exprs else None
+            if kernel is None:
+                kernel = self._fallback_kernel(self.compiled_pred(expr), var)
+            self._batch_preds[(id(expr), var)] = entry = (expr, kernel)
+        return entry[1]
+
+    def _fallback_kernel(self, row_fn: Callable, var: str) -> BatchKernel:
+        stats = self.stats
+
+        def kernel(rows: List[Value]) -> List[Value]:
+            stats.vector_fallbacks += 1
+            env: Dict[str, Value] = {}
+            out = []
+            for row in rows:
+                env[var] = row
+                out.append(row_fn(env))
+            return out
+
+        return kernel
+
     def eval(self, expr: A.Expr, env: Optional[Dict[str, Value]] = None) -> Value:
         return self.compiled(expr)(env if env is not None else {})
 
@@ -222,7 +341,28 @@ class PlanNode:
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
         raise NotImplementedError
 
+    def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        """Batch-at-a-time interface: yield columnar :class:`Batch` chunks.
+
+        The default chunks this operator's own tuple ``iterate`` — correct
+        for every operator by construction; the hot pipeline operators
+        override it with native vectorized loops.
+        """
+        size = rt.batch_size or DEFAULT_BATCH_SIZE
+        stats = rt.stats
+        it = self.iterate(rt)
+        while True:
+            rows = list(islice(it, size))
+            if not rows:
+                return
+            stats.batches_emitted += 1
+            yield Batch(rows)
+
     def execute(self, rt: ExecRuntime) -> frozenset:
+        if rt.batch_size:
+            return frozenset(
+                chain.from_iterable(batch.rows for batch in self.iterate_batches(rt))
+            )
         return frozenset(self.iterate(rt))
 
     def _input(self, child: "PlanNode", rt: ExecRuntime):
@@ -242,16 +382,32 @@ class PlanNode:
     def describe(self) -> str:
         return ""
 
-    def explain(self, indent: str = "") -> str:
+    def vector_note(self) -> str:
+        """Marker rendered by ``explain(vectorized=True)``: ``"vec"`` for
+        operators that run native batch kernels, ``"vec:fallback"`` for
+        batch-native operators whose parameter expressions the vectorizing
+        compiler does not cover, ``""`` for operators that batch by
+        chunking their tuple iterator.  Opt-in only — the default
+        ``explain()`` text is byte-identical to the tuple engine's."""
+        return ""
+
+    def explain(self, indent: str = "", *, vectorized: bool = False) -> str:
         detail = self.describe()
         line = f"{indent}{self.label}" + (f" [{detail}]" if detail else "")
         if self.break_note:
             line += f" <{self.break_note}>"
+        if vectorized:
+            note = self.vector_note()
+            if note:
+                line += f" <{note}>"
         estimate = format_estimate(self.est_rows, self.est_cost)
         if estimate:
             line += f" {estimate}"
         parts = [line]
-        parts.extend(child.explain(indent + "  ") for child in self.children())
+        parts.extend(
+            child.explain(indent + "  ", vectorized=vectorized)
+            for child in self.children()
+        )
         return "\n".join(parts)
 
     def operators(self):
@@ -293,6 +449,44 @@ class Scan(PlanNode):
             if not (n & 63):
                 rt.check_deadline()
             yield row
+
+    def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        # native: slice the extent stream directly into chunks — no
+        # per-tuple generator resumption between the store and the consumer
+        size = rt.batch_size or DEFAULT_BATCH_SIZE
+        stats = rt.stats
+        check = rt.check_deadline if rt.deadline is not None else None
+        # page-wise fast path (PR 8): a paged store hands whole page
+        # record lists over (same I/O charges, bulk-counted); epoch views
+        # refuse the probe so pinned reads stay on the snapshot path
+        scan_pages = getattr(rt.db, "scan_pages", None)
+        if scan_pages is not None:
+            buf: List[Value] = []
+            for records in scan_pages(self.extent):
+                if check is not None:
+                    check()
+                buf.extend(records)
+                while len(buf) >= size:
+                    stats.batches_emitted += 1
+                    yield Batch(buf[:size])
+                    buf = buf[size:]
+            if buf:
+                stats.batches_emitted += 1
+                yield Batch(buf)
+            return
+        source = rt.db.scan(self.extent) if hasattr(rt.db, "scan") else rt.db.extent(self.extent)
+        it = iter(source)
+        while True:
+            if check is not None:
+                check()
+            rows = list(islice(it, size))
+            if not rows:
+                return
+            stats.batches_emitted += 1
+            yield Batch(rows)
+
+    def vector_note(self) -> str:
+        return "vec"
 
     def execute(self, rt: ExecRuntime) -> frozenset:
         # overrides the base wrapper to return the store's cached extent
@@ -448,6 +642,24 @@ class Filter(PlanNode):
             if pred(env):
                 yield item
 
+    def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        kernel = rt.batch_pred(self.pred, self.var)
+        stats = rt.stats
+        check = rt.check_deadline if rt.deadline is not None else None
+        for batch in self.child.iterate_batches(rt):
+            if check is not None:
+                check()
+            rows = batch.rows
+            stats.tuples_visited += len(rows)
+            mask = kernel(rows)
+            kept = list(compress(rows, mask))
+            if kept:
+                stats.batches_emitted += 1
+                yield Batch(kept)
+
+    def vector_note(self) -> str:
+        return "vec" if vector_covered(self.pred, self.var) else "vec:fallback"
+
 
 class MapOp(PlanNode):
     label = "Map"
@@ -473,6 +685,18 @@ class MapOp(PlanNode):
             env[self.var] = item
             yield body(env)
 
+    def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        kernel = rt.batch_fn(self.body, self.var)
+        stats = rt.stats
+        for batch in self.child.iterate_batches(rt):
+            rows = batch.rows
+            stats.tuples_visited += len(rows)
+            stats.batches_emitted += 1
+            yield Batch(kernel(rows))
+
+    def vector_note(self) -> str:
+        return "vec" if vector_covered(self.body, self.var) else "vec:fallback"
+
 
 class ProjectOp(PlanNode):
     label = "Project"
@@ -491,6 +715,18 @@ class ProjectOp(PlanNode):
         for item in self._input(self.child, rt):
             rt.stats.tuples_visited += 1
             yield item.subscript(self.attrs)
+
+    def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        attrs = self.attrs
+        stats = rt.stats
+        for batch in self.child.iterate_batches(rt):
+            rows = batch.rows
+            stats.tuples_visited += len(rows)
+            stats.batches_emitted += 1
+            yield Batch([item.subscript(attrs) for item in rows])
+
+    def vector_note(self) -> str:
+        return "vec"
 
 
 class RenameOp(PlanNode):
@@ -855,6 +1091,107 @@ class HashJoinBase(PlanNode):
             if tail is not None:
                 rt.stats.output_tuples += 1
                 yield tail
+
+    def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        if self.build_side == "left":
+            # the mirrored orientation keeps the tuple loop; chunk it
+            yield from PlanNode.iterate_batches(self, rt)
+            return
+        table = self._build_batched(rt)
+        key_kernels = [rt.batch_fn(k, self.lvar) for k in self.left_keys]
+        trivial_residual = self.residual == A.Literal(True)
+        residual = None if trivial_residual else rt.compiled_pred(self.residual)
+        result = rt.compiled(self.result) if self.result is not None else None
+        null_pad = VTuple({a: None for a in self.right_attrs})
+        env: Dict[str, Value] = {}
+        kind = self.kind
+        lvar, rvar, as_attr = self.lvar, self.rvar, self.as_attr
+        stats = rt.stats
+        empty = ()
+        for batch in self.left.iterate_batches(rt):
+            rows = batch.rows
+            stats.tuples_visited += len(rows)
+            stats.hash_probes += len(rows)
+            cols = [kern(rows) for kern in key_kernels]
+            # single-key joins hash the bare key value (the build side
+            # below agrees) — no per-row 1-tuple allocation
+            keys = cols[0] if len(cols) == 1 else list(zip(*cols))
+            if residual is None and kind == "semijoin":
+                out = list(compress(rows, map(table.__contains__, keys)))
+                stats.output_tuples += len(out)
+                if out:
+                    stats.batches_emitted += 1
+                    yield Batch(out)
+                continue
+            if residual is None and kind == "antijoin":
+                out = [x for x, k in zip(rows, keys) if k not in table]
+                stats.output_tuples += len(out)
+                if out:
+                    stats.batches_emitted += 1
+                    yield Batch(out)
+                continue
+            out: List[Value] = []
+            append = out.append
+            for x, key in zip(rows, keys):
+                bucket = table.get(key, empty)
+                if kind == "nestjoin":
+                    group = set()
+                    if bucket:
+                        env[lvar] = x
+                        for y in bucket:
+                            env[rvar] = y
+                            if residual is None or residual(env):
+                                group.add(result(env))
+                    stats.output_tuples += 1
+                    append(x.update_except({as_attr: frozenset(group)}))
+                    continue
+                matched = False
+                if bucket:
+                    env[lvar] = x
+                    for y in bucket:
+                        env[rvar] = y
+                        if residual is None or residual(env):
+                            matched = True
+                            if kind == "join" or kind == "outerjoin":
+                                stats.output_tuples += 1
+                                append(concat(x, y))
+                            elif kind == "semijoin":
+                                break
+                tail = _join_tail(kind, x, matched, (), null_pad, as_attr)
+                if tail is not None:
+                    stats.output_tuples += 1
+                    append(tail)
+            if out:
+                stats.batches_emitted += 1
+                yield Batch(out)
+
+    def _build_batched(self, rt: ExecRuntime) -> Dict[Value, List[VTuple]]:
+        """Batched build: one bulk key-kernel pass per key expression over
+        the materialized build input, instead of |R| closure calls per
+        key."""
+        table: Dict[Value, List[VTuple]] = {}
+        rows = list(self._consume(self.right, rt))
+        if not rows:
+            return table
+        kernels = [rt.batch_fn(k, self.rvar) for k in self.right_keys]
+        cols = [kern(rows) for kern in kernels]
+        rt.stats.hash_inserts += len(rows)
+        if len(cols) == 1:
+            # bare keys, matching the probe side's single-key convention
+            for y, k in zip(rows, cols[0]):
+                table.setdefault(k, []).append(y)
+        else:
+            for y, key in zip(rows, zip(*cols)):
+                table.setdefault(key, []).append(y)
+        return table
+
+    def vector_note(self) -> str:
+        if self.build_side == "left":
+            return ""
+        covered = all(
+            vector_covered(k, self.lvar) for k in self.left_keys
+        ) and all(vector_covered(k, self.rvar) for k in self.right_keys)
+        return "vec" if covered else "vec:fallback"
 
     def _iterate_build_left(self, rt: ExecRuntime) -> Iterator[Value]:
         """Mirror orientation: hash the left operand, stream the right.

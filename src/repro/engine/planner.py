@@ -141,10 +141,13 @@ class Planner:
         reorder: bool = True,
         bushy: bool = False,
         parallel_workers: int = 0,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.catalog = catalog
+        #: PR 8: price the per-batch dispatch overhead of batch-at-a-time
+        #: execution; ``None`` (tuple mode) keeps cost numbers unchanged
         self.cost_model: Optional[CostModel] = (
-            CostModel(catalog) if catalog is not None else None
+            CostModel(catalog, batch_size=batch_size) if catalog is not None else None
         )
         self.reorder = reorder
         self.bushy = bushy
@@ -702,6 +705,7 @@ class Executor:
         reorder: bool = True,
         bushy: bool = False,
         parallel=None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.db = db
         self.stats = stats if stats is not None else Stats()
@@ -710,11 +714,15 @@ class Executor:
         #: worker count feeds the planner's parallel candidates and its
         #: pool runs gather fragments (caller owns its lifecycle)
         self.parallel = parallel
+        #: rows per columnar chunk (PR 8) — threaded into both the cost
+        #: model (per-batch dispatch pricing) and every runtime
+        self.batch_size = batch_size
         self.planner = Planner(
             catalog,
             reorder=reorder,
             bushy=bushy,
             parallel_workers=parallel.workers if parallel is not None else 0,
+            batch_size=batch_size,
         )
         self.materialized = materialized
         self.compile_exprs = compile_exprs
@@ -728,6 +736,7 @@ class Executor:
             catalog=self.catalog,
             params=params,
             parallel=self.parallel,
+            batch_size=self.batch_size,
         )
 
     def execute(self, expr: A.Expr, params=None):

@@ -17,6 +17,13 @@ claim; these counters make it measurable without real I/O hardware:
   materialized before the operator could emit (hash builds, grouping,
   sorting...).  Not part of :meth:`Stats.total_work` — a break is a
   *shape* property of the plan's dataflow, not per-tuple effort.
+* ``batches_emitted`` / ``vector_fallbacks`` — vectorized execution
+  (PR 8): columnar chunks produced, and batch kernels that had to apply
+  the tuple-wise closure per element because the expression form is not
+  covered by the vectorizing compiler.  Like ``pipeline_breaks``, both
+  describe *how* the work ran, not how much work there was, so neither
+  joins :meth:`Stats.total_work` — batch and tuple mode stay comparable
+  on the same work currency.
 """
 
 from __future__ import annotations
@@ -38,6 +45,8 @@ class Stats:
     partitions_spilled: int = 0
     output_tuples: int = 0
     pipeline_breaks: int = 0
+    batches_emitted: int = 0
+    vector_fallbacks: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

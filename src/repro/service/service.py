@@ -332,6 +332,18 @@ class QueryService:
         shapes (as canonical re-parseable plan text) to this JSON file,
         and construction restores them — each entry dropped unless the
         catalog version *and* the schema fingerprint still match.
+    batch_size:
+        Vectorized batch execution (PR 8): rows per columnar chunk for
+        cached-plan execution.  **On by default** — every no-deadline run
+        executes batch-at-a-time through ``iterate_batches``, with
+        uncovered expression forms falling back to the tuple-wise
+        compiled closure per batch element (results are oracle-equal by
+        construction).  Deadline-bound runs always stay tuple-mode: the
+        row-granular deadline polls are the enforcement mechanism.
+        ``None`` disables batching entirely (pre-PR-8 behaviour).
+        Adoption is observable, never silent: ``QueryResult.stats``
+        carries ``batches_emitted`` / ``vector_fallbacks`` per run and
+        :meth:`stats` aggregates them service-wide under ``"batch"``.
     """
 
     def __init__(
@@ -355,6 +367,7 @@ class QueryService:
         queue_wait_s: Optional[float] = None,
         session_max_in_flight: Optional[int] = None,
         cache_persist_path: Optional[str] = None,
+        batch_size: Optional[int] = 256,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -435,6 +448,13 @@ class QueryService:
         self._session_outstanding: Dict[str, int] = {}
         self.warm_restored = 0
         self.warm_dropped = 0
+        # -- vectorized batch execution (PR 8), under _state_lock
+        if batch_size is not None and batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1 or None, got {batch_size}")
+        self.batch_size = batch_size
+        self.batch_runs = 0
+        self.batches_emitted = 0
+        self.vector_fallbacks = 0
         if cache_persist_path:
             self._restore_plan_cache(cache_persist_path)
 
@@ -749,6 +769,9 @@ class QueryService:
                 params=bindings,
                 parallel=self._parallel_handle() if entry.parallel else None,
                 deadline=deadline,
+                # batch mode only on the no-deadline path: deadline-bound
+                # runs need the row-granular polls below to stay honest
+                batch_size=self.batch_size if deadline is None else None,
             )
             start = time.perf_counter()
             if deadline is None:
@@ -803,6 +826,10 @@ class QueryService:
             session._record(result, work)
             with self._state_lock:
                 self.executed += 1
+                if runtime.batch_size:
+                    self.batch_runs += 1
+                    self.batches_emitted += work.batches_emitted
+                    self.vector_fallbacks += work.vector_fallbacks
             return result
         except BaseException as exc:
             if isinstance(exc, QueryTimeoutError):
@@ -838,6 +865,12 @@ class QueryService:
                 "epoch_mismatches": list(self._epoch_mismatches),
                 "warm_restored": self.warm_restored,
                 "warm_dropped": self.warm_dropped,
+                "batch": {
+                    "batch_size": self.batch_size,
+                    "batch_runs": self.batch_runs,
+                    "batches_emitted": self.batches_emitted,
+                    "vector_fallbacks": self.vector_fallbacks,
+                },
             }
         if hasattr(self.db, "epoch_stats"):
             out["epochs"] = self.db.epoch_stats()

@@ -87,6 +87,11 @@ class FragmentSpec:
     #: live-head read.  Rides the contract next to ``params`` so pool
     #: workers provably resolve the coordinator's pinned state.
     epoch: Optional[int] = None
+    #: rows per columnar chunk (PR 8): a truthy value runs the fragment
+    #: batch-at-a-time and ships its result as :class:`ChunkedRows` (one
+    #: chunk list per batch) instead of a flat frozenset; ``None`` keeps
+    #: the tuple-mode contract
+    batch_size: Optional[int] = None
 
     @staticmethod
     def make(
@@ -94,12 +99,14 @@ class FragmentSpec:
         shards: Mapping[str, ShardRef],
         params: Optional[Mapping[str, Value]] = None,
         epoch: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> "FragmentSpec":
         return FragmentSpec(
             text=text,
             shards=tuple(sorted(shards.items())),
             params=tuple(sorted((params or {}).items())),
             epoch=epoch,
+            batch_size=batch_size,
         )
 
     @property
@@ -109,6 +116,35 @@ class FragmentSpec:
     @property
     def param_map(self) -> Dict[str, Value]:
         return dict(self.params)
+
+
+class ChunkedRows:
+    """A fragment result shipped as row chunks (PR 8 batched exchange).
+
+    Plain picklable data, like everything else on the fragment contract.
+    The chunks partition a *deduplicated* row set (the fragment's
+    ``execute`` result), so ``len``/iteration/set-conversion are all
+    exactly equivalent to the tuple-mode ``frozenset`` — consumers that
+    don't care about chunk boundaries (the executor's ``result_rows``
+    accounting, inline gathers under tuple mode) never notice the
+    difference, while batch-mode gathers re-emit the chunks as
+    :class:`~repro.engine.plan.Batch` objects without re-slicing.
+    """
+
+    __slots__ = ("chunks",)
+
+    def __init__(self, chunks) -> None:
+        self.chunks = list(chunks)
+
+    def __len__(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks)
+
+    def __iter__(self):
+        for chunk in self.chunks:
+            yield from chunk
+
+    def __repr__(self) -> str:
+        return f"ChunkedRows({len(self.chunks)} chunks, {len(self)} rows)"
 
 
 class ShardView:
@@ -221,9 +257,25 @@ def execute_fragment(
         db = EpochView(db, spec.epoch)
     view = ShardView(db, partitions, spec.shard_map, stats)
     plan = Planner().plan(expr)
-    rt = ExecRuntime(view, stats, params=spec.param_map, deadline=deadline)
+    rt = ExecRuntime(
+        view,
+        stats,
+        params=spec.param_map,
+        deadline=deadline,
+        batch_size=spec.batch_size if deadline is None else None,
+    )
     if deadline is None:
         rows = plan.execute(rt)
+        if spec.batch_size:
+            # batched exchange: ship the (deduplicated) result as row
+            # chunks so the gather re-emits whole batches instead of
+            # paying per-row stream overhead on the way back
+            seq = list(rows)
+            size = spec.batch_size
+            return (
+                ChunkedRows(seq[i : i + size] for i in range(0, len(seq), size)),
+                stats.snapshot(),
+            )
     else:
         out = []
         for n, row in enumerate(plan.iterate(rt)):

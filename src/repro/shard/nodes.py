@@ -36,12 +36,14 @@ filter per fragment (counted as a break by the resolver).
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.adl import ast as A
 from repro.datamodel.values import Value
-from repro.engine.plan import ExecRuntime, PlanNode
+from repro.engine.plan import DEFAULT_BATCH_SIZE, Batch, ExecRuntime, PlanNode
 from repro.shard.fragment import (
+    ChunkedRows,
     FragmentSpec,
     ShardRef,
     execute_fragment,
@@ -68,13 +70,17 @@ def _partition_lookup(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Dict[st
     return out
 
 
-def _run_inline(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Iterator[Value]:
+def _inline_results(rt: ExecRuntime, specs: Sequence[FragmentSpec]):
+    """Inline fragment execution: yield ``(rows, snapshot)`` per spec —
+    the same shape ``ParallelExecutor.run_fragments`` returns."""
     partitions = _partition_lookup(rt, specs)
     for i, spec in enumerate(specs):
         rt.check_deadline()
-        rows, snapshot = execute_fragment(
-            rt.db, partitions, spec, index=i, deadline=rt.deadline
-        )
+        yield execute_fragment(rt.db, partitions, spec, index=i, deadline=rt.deadline)
+
+
+def _run_inline(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Iterator[Value]:
+    for rows, snapshot in _inline_results(rt, specs):
         merge_stats_snapshot(rt.stats, snapshot)
         yield from rows
 
@@ -116,6 +122,7 @@ class PartitionedScan(PlanNode):
         self,
         params: Optional[Dict[str, Value]] = None,
         epoch: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> List[FragmentSpec]:
         """One fragment per shard: ``__shard__`` bound to shard *i*."""
         from repro.adl.pretty import pretty
@@ -128,6 +135,7 @@ class PartitionedScan(PlanNode):
                 {SCAN_PLACEHOLDER: ShardRef(self.extent, self.attr, self.parts, i)},
                 params,
                 epoch=epoch,
+                batch_size=batch_size,
             )
             for i in range(self.parts)
         ]
@@ -200,6 +208,46 @@ class Exchange(PlanNode):
         # (and counted) inside the fragments that consume it
         yield from self._consume(self.child, rt)
 
+    def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        payloads = getattr(self.child, "payloads", None)
+        if self.kind != "gather" or payloads is None:
+            yield from PlanNode.iterate_batches(self, rt)
+            return
+        # batched gather: fragments run batch-at-a-time and ship their
+        # results as ChunkedRows, re-emitted here chunk-for-chunk
+        rt.stats.pipeline_breaks += 1
+        size = rt.batch_size or DEFAULT_BATCH_SIZE
+        specs = payloads(rt.params, epoch=rt.pinned_epoch, batch_size=size)
+        stats = rt.stats
+        if rt.parallel is not None:
+            results = iter(
+                rt.parallel.run_fragments(
+                    specs, deadline=rt.deadline, events=rt.fault_events
+                )
+            )
+        else:
+            results = _inline_results(rt, specs)
+        for rows, snapshot in results:
+            merge_stats_snapshot(stats, snapshot)
+            if isinstance(rows, ChunkedRows):
+                for chunk in rows.chunks:
+                    if chunk:
+                        stats.batches_emitted += 1
+                        yield Batch(chunk)
+            else:
+                # a deadline-bound fragment degraded to tuple mode and
+                # returned a flat frozenset; chunk it here
+                it = iter(rows)
+                while True:
+                    part = list(islice(it, size))
+                    if not part:
+                        break
+                    stats.batches_emitted += 1
+                    yield Batch(part)
+
+    def vector_note(self) -> str:
+        return "vec:gather" if self.kind == "gather" else ""
+
 
 class PartitionedHashJoin(PlanNode):
     """A hash join split into per-partition fragments.
@@ -270,9 +318,12 @@ class PartitionedHashJoin(PlanNode):
         self,
         params: Optional[Dict[str, Value]] = None,
         epoch: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> List[FragmentSpec]:
         return [
-            FragmentSpec.make(self.fragment_text, bindings, params, epoch=epoch)
+            FragmentSpec.make(
+                self.fragment_text, bindings, params, epoch=epoch, batch_size=batch_size
+            )
             for bindings in self.shard_bindings
         ]
 

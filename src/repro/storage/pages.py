@@ -132,6 +132,16 @@ class HeapFile:
                 self.io.records_read += 1
                 yield record
 
+    def scan_pages(self) -> Iterator[List[VTuple]]:
+        """Page-at-a-time scan (PR 8 columnar scan feed): whole record
+        lists out, with *identical* I/O charges to :meth:`scan` — one
+        page read per page, one record read per record, just bulk-counted."""
+        for page in self.pages:
+            self.io.pages_read += 1
+            records = page.records
+            self.io.records_read += len(records)
+            yield records
+
     def fetch(self, page_id: int, slot: int) -> VTuple:
         """Random access by address — one page read."""
         try:

@@ -48,6 +48,7 @@ additive.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left, insort
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
@@ -73,6 +74,12 @@ class EpochStoreMixin:
         self._epoch: int = 0
         #: epoch → pin refcount (sessions / in-flight queries)
         self._pins: Dict[int, int] = {}
+        #: the distinct pinned epochs, ascending — maintained alongside
+        #: ``_pins`` so preservation gates are O(1) (max-pin check) and
+        #: reclamation visibility tests are O(log pins) per preserved
+        #: entry instead of a scan of the whole pin set (PR 8 fix of the
+        #: PR 7 simplification; stress-tested at thousands of pins)
+        self._pins_sorted: List[int] = []
         #: extent → epoch at which its current value became current
         self._changed_at: Dict[str, int] = {}
         #: extent → ascending ``[(became_current_epoch, rows), ...]`` of
@@ -130,7 +137,10 @@ class EpochStoreMixin:
                     f"epoch {epoch} is not pinned; its snapshots may already "
                     f"be reclaimed (current epoch is {self._epoch})"
                 )
-            self._pins[epoch] = self._pins.get(epoch, 0) + 1
+            count = self._pins.get(epoch, 0)
+            if count == 0:
+                insort(self._pins_sorted, epoch)
+            self._pins[epoch] = count + 1
             self.pin_events += 1
             return epoch
 
@@ -143,6 +153,7 @@ class EpochStoreMixin:
                 raise StorageError(f"epoch {epoch} is not pinned")
             if count == 1:
                 del self._pins[epoch]
+                self._pins_sorted.pop(bisect_left(self._pins_sorted, epoch))
                 self._reclaim_locked()
             else:
                 self._pins[epoch] = count - 1
@@ -161,11 +172,15 @@ class EpochStoreMixin:
 
         A preserved entry ``(stamp, rows)`` is visible to pinned epoch
         ``P`` iff ``stamp <= P < next_stamp`` where ``next_stamp`` is the
-        epoch its successor value became current at.
+        epoch its successor value became current at.  The test is a
+        ``bisect`` into the sorted distinct-pin list — the smallest pin
+        ``>= stamp`` either falls below ``next_stamp`` (visible) or no
+        pin does — so a full reclaim costs O(entries x log pins), not a
+        rescan of the pin set per entry.
         """
         if self.keep_history:
             return
-        pins = sorted(self._pins)
+        pins = self._pins_sorted
         for name in list(self._preserved):
             chain = self._preserved[name]
             kept: List[Tuple[int, frozenset]] = []
@@ -173,7 +188,8 @@ class EpochStoreMixin:
                 next_stamp = (
                     chain[i + 1][0] if i + 1 < len(chain) else self._changed_at.get(name, 0)
                 )
-                if any(stamp <= p < next_stamp for p in pins):
+                idx = bisect_left(pins, stamp)
+                if idx < len(pins) and pins[idx] < next_stamp:
                     kept.append((stamp, rows))
                 else:
                     self.reclaimed_snapshots += 1
@@ -224,7 +240,10 @@ class EpochStoreMixin:
         """Keep the current value of ``name`` iff a pinned epoch (or
         ``keep_history``) can still see it.  Caller holds the lock."""
         changed = self._changed_at.get(name, 0)
-        if not (self.keep_history or any(p >= changed for p in self._pins)):
+        if not (
+            self.keep_history
+            or (self._pins_sorted and self._pins_sorted[-1] >= changed)
+        ):
             return
         rows = self._current_rows(name)
         if rows is None:
@@ -328,6 +347,15 @@ class EpochView:
 
     def deref(self, oid: Oid) -> VTuple:
         return self._base.deref(oid)
+
+    @property
+    def scan_pages(self):
+        # the passthrough below must NOT leak the base store's live page
+        # scan into a pinned read (PR 8 batch consumers probe for this)
+        raise AttributeError(
+            "scan_pages is unavailable on epoch views: pinned reads "
+            "iterate the materialized snapshot"
+        )
 
     def __getattr__(self, name: str):
         return getattr(self._base, name)
@@ -444,6 +472,15 @@ class Database(EpochStoreMixin):
         if name not in self._files:
             raise UnknownExtentError(name)
         return self._files[name].scan()
+
+    def scan_pages(self, name: str) -> Iterator[List[VTuple]]:
+        """Page-at-a-time scan for batch-mode consumers (PR 8): same I/O
+        charges as :meth:`scan`, whole page record lists out.  Only the
+        store itself offers this — epoch views deliberately do not, so a
+        pinned read can never reach live pages through it."""
+        if name not in self._files:
+            raise UnknownExtentError(name)
+        return self._files[name].scan_pages()
 
     def fetch(self, oid: Oid) -> VTuple:
         """Pointer dereference charged as a random page read."""

@@ -428,3 +428,50 @@ class TestStatsAccounting:
                 plan.execute(rt)
             snapshots.append(stats.snapshot())
         assert snapshots[0] == snapshots[1]
+
+
+class TestBatchModeParity:
+    """PR 8: with batch mode on, gathers ship fragment results as
+    ChunkedRows and re-emit them as whole batches — parallel batch
+    execution must equal serial tuple execution on the same query."""
+
+    @pytest.mark.parametrize(
+        "expr", [JOIN, SEMI, FILTERED], ids=["join", "semijoin", "filtered"]
+    )
+    def test_inline_gather_batch_parity(self, expr):
+        db = make_db()
+        catalog = partitioned_catalog(db)
+        want = Executor(db, catalog=catalog).execute(expr)
+        with ParallelExecutor(db, catalog, workers=4, mode="inline") as parallel:
+            got = Executor(
+                db, Stats(), catalog=catalog, parallel=parallel, batch_size=64
+            ).execute(expr)
+        assert got == want
+        assert Interpreter(db).eval(expr) == want
+
+    def test_process_pool_gather_batch_parity(self):
+        db = make_db(nx=150, ny=150)
+        catalog = partitioned_catalog(db, parts=3)
+        want = Executor(db, catalog=catalog).execute(JOIN)
+        with ParallelExecutor(db, catalog, workers=3, mode="process") as parallel:
+            got = Executor(
+                db, Stats(), catalog=catalog, parallel=parallel, batch_size=32
+            ).execute(JOIN)
+        assert got == want
+
+    def test_forced_gather_batch_counts_batches(self):
+        db = make_db(nx=200, ny=10)
+        catalog = Catalog(db)
+        catalog.analyze()
+        catalog.partition("X", "a", 4)
+        plan = Exchange("gather", PartitionedScan("X", "a", 4), 4)
+        from repro.engine.plan import ExecRuntime
+
+        stats = Stats()
+        with ParallelExecutor(db, catalog, workers=4, mode="inline") as parallel:
+            rt = ExecRuntime(
+                db, stats, catalog=catalog, parallel=parallel, batch_size=16
+            )
+            got = plan.execute(rt)
+        assert got == db.extent("X")
+        assert stats.batches_emitted > 0
