@@ -1,6 +1,17 @@
 """Benchmark harness: per-PR perf gates, oracle-checked.
 
-Eight suites:
+Nine suites:
+
+**PR 9** (``--pr9``, also default) — query shredding: the Figure-3
+nestjoin over large co-partitioned, dangling-heavy operands is
+decomposed into flat subplans (a partition-wise inner flat join plus an
+outer re-stream) reassembled by a stitch operator; the shredded form is
+a *priced* optimizer candidate and the suite asserts it is chosen by
+cost, planned with an ``Exchange`` over a ``PartitionedHashJoin``,
+executed batched on a forked pool, oracle-checked against the serial
+fused nestjoin, and **gated ≥ 2x** on the work-model critical path.  A
+planner-decision record proves paper-scale data stays unshredded.
+Outcome lands in ``BENCH_PR9.json``.
 
 **PR 8** (``--pr8``, also default) — vectorized batch execution: the
 same physical plans run tuple-at-a-time (``ExecRuntime()``) and batched
@@ -1761,6 +1772,251 @@ def run_pr8(reps: int) -> bool:
     )
 
 
+# ---------------------------------------------------------------------------
+# PR 9: query shredding — flat-relational evaluation of nested queries
+# ---------------------------------------------------------------------------
+
+
+def _pr9_db(n, spread=16):
+    """The shredding acceptance shape: a dangling-heavy right side.
+
+    ``X`` is n rows keyed 1:1 on ``b``; ``Y`` is ``spread*n`` distinct
+    rows of which only 1 in ``spread`` finds a partner — the serial fused
+    nestjoin hash-builds all of ``Y`` while the shredded form's flat
+    inner join discards the dangling majority inside the partition-wise
+    fragments."""
+    from repro.datamodel import VTuple
+
+    return MemoryDatabase(
+        {
+            "X": [VTuple(a=i % 7, b=i) for i in range(n)],
+            "Y": [VTuple(d=i, e=i % 5) for i in range(spread * n)],
+        }
+    )
+
+
+def _pr9_types():
+    from repro.datamodel import Catalog as TypeCatalog, INT, SetType, TupleType
+
+    return TypeCatalog(
+        {
+            "X": SetType(TupleType({"a": INT, "b": INT})),
+            "Y": SetType(TupleType({"d": INT, "e": INT})),
+        }
+    )
+
+
+def _run_pr9(reps: int) -> dict:
+    """Query shredding measured, oracle-checked.
+
+    * ``shredded_copartitioned_nestjoin`` (**checked, gated ≥ 2x**) — the
+      Figure-3 nestjoin over large co-partitioned operands: the optimizer
+      must *choose* the shredded candidate by price, the planned stitch
+      must carry an ``Exchange`` over a ``PartitionedHashJoin``, and the
+      work-model speedup of the shredded run (coordinator work + critical
+      fragment path + gathered rows) over the serial fused nestjoin must
+      clear 2x.  Executed through the batch tier (``batch_size=1024``)
+      on a forked process pool — the full PR-9 stack in one run.
+    * ``tiny_query_stays_unshredded`` — the planner-decision record: on
+      paper-scale data the shredded candidate is priced *and rejected*
+      (a serial stitch can never undercut the fused nestjoin), so tiny
+      queries provably keep their plan.
+    """
+    from repro.rewrite.strategy import Optimizer
+    from repro.shred import StitchNest
+    from repro.shard import Exchange, ParallelExecutor, PartitionedHashJoin
+    from repro.workload.queries import figure3_nestjoin
+
+    workers = 4
+    parts = 4
+    types = _pr9_types()
+    expr = figure3_nestjoin()
+    workloads = []
+
+    # small-scale interpreter anchor (untimed): shredded rows match the
+    # reference interpreter's nestjoin exactly
+    small = _pr9_db(40, spread=2)
+    small_catalog = Catalog(small)
+    small_catalog.analyze()
+    small_catalog.partition("X", "b", parts)
+    small_catalog.partition("Y", "d", parts)
+    small_res = Optimizer(types, catalog=small_catalog, parallel_workers=workers)
+    small_shredded = next(a.expr for a in small_res.optimize(expr).attempts
+                          if a.option == "shredded")
+    with ParallelExecutor(small, small_catalog, workers=workers, mode="inline") as parallel:
+        got = Executor(small, catalog=small_catalog, parallel=parallel).execute(small_shredded)
+    if got != Interpreter(small).eval(expr):
+        raise AssertionError("pr9: small-scale shredded run diverged from the interpreter")
+
+    # -- the acceptance workload: big, co-partitioned, dangling-heavy ------
+    db = _pr9_db(4000)
+    catalog = Catalog(db)
+    catalog.analyze()
+    catalog.partition("X", "b", parts)
+    catalog.partition("Y", "d", parts)
+
+    res = Optimizer(types, catalog=catalog, parallel_workers=workers).optimize(expr)
+    if res.chosen.option != "shredded":
+        raise AssertionError(
+            f"pr9: optimizer kept {res.chosen.option!r} on the acceptance workload"
+        )
+    by_option = {a.option: a for a in res.attempts}
+    shredded_expr = res.chosen.expr
+
+    serial_stats = Stats()
+    serial = Executor(db, serial_stats, catalog=catalog)
+    oracle = serial.execute(expr)
+    serial_work = serial_stats.total_work()
+    serial_wall = _time_execute(serial, expr, reps)
+
+    with ParallelExecutor(db, catalog, workers=workers, mode="process") as parallel:
+        shred_stats = Stats()
+        par = Executor(db, shred_stats, catalog=catalog, parallel=parallel,
+                       batch_size=_PR8_BATCH)
+        plan = par.planner.plan(shredded_expr)
+        ops = list(plan.operators())
+        if not any(isinstance(op, StitchNest) for op in ops):
+            raise AssertionError("pr9: planned shredded query has no StitchNest")
+        if not (any(isinstance(op, Exchange) for op in ops)
+                and any(isinstance(op, PartitionedHashJoin) for op in ops)):
+            raise AssertionError("pr9: shredded inner join did not go partition-wise")
+
+        if par.execute(shredded_expr) != oracle:
+            raise AssertionError("pr9: shredded result diverged from the serial nestjoin")
+        report = dict(parallel.last_report)
+        # the gated metric: serial fused work over the shredded critical
+        # path — coordinator-side work (outer re-stream, group build,
+        # stitch probe; the executor merges fragment counters into the
+        # local stats, so subtract them back out) + the largest shipped
+        # fragment + the gathered join rows
+        local_work = shred_stats.total_work() - sum(report["per_fragment_work"])
+        critical = local_work + report["critical_path_work"] + report["result_rows"]
+        work_speedup = serial_work / critical if critical else float("inf")
+        parallel_wall = _time_execute(par, shredded_expr, reps)
+
+    workloads.append(
+        {
+            "name": "shredded_copartitioned_nestjoin",
+            "note": "Figure-3 nestjoin, 4000 x 64000 with a 1-in-16 match "
+            "rate, both sides partitioned on the join key (4 shards): "
+            "chosen by price, stitch over a partition-wise flat join, "
+            "batched fragments on a forked pool",
+            "checked": True,
+            "results_match_oracle": True,
+            "result_cardinality": len(oracle),
+            "chosen_option": res.chosen.option,
+            "est_cost_shredded": by_option["shredded"].est_cost,
+            "est_cost_unshredded": by_option[
+                next(o for o in by_option if o != "shredded")
+            ].est_cost,
+            "plan": plan.explain().splitlines()[0],
+            "workers": workers,
+            "pool_mode": report["mode"],
+            "batch_size": _PR8_BATCH,
+            "batches_emitted": shred_stats.batches_emitted,
+            "serial_work": serial_work,
+            "coordinator_work": local_work,
+            "per_fragment_work": report["per_fragment_work"],
+            "critical_path_work": report["critical_path_work"],
+            "gathered_rows": report["result_rows"],
+            "speedup": work_speedup,
+            "speedup_metric": "work_model_critical_path",
+            "serial_wall_s": serial_wall,
+            "shredded_wall_s": parallel_wall,
+            # recorded, not gated: needs real cores to show parallelism
+            "wall_speedup": serial_wall / parallel_wall if parallel_wall else float("inf"),
+        }
+    )
+
+    # -- the threshold record: tiny paper-scale data stays unshredded ------
+    tiny = _pr9_db(10, spread=1)
+    tiny_catalog = Catalog(tiny)
+    tiny_catalog.analyze()
+    tiny_catalog.partition("X", "b", parts)
+    tiny_catalog.partition("Y", "d", parts)
+    tiny_res = Optimizer(types, catalog=tiny_catalog, parallel_workers=workers).optimize(expr)
+    tiny_by_option = {a.option: a for a in tiny_res.attempts}
+    stayed = tiny_res.chosen.option != "shredded"
+    priced = "shredded" in tiny_by_option
+    if not (stayed and priced):
+        raise AssertionError("pr9: tiny query was shredded (or never priced)")
+    workloads.append(
+        {
+            "name": "tiny_query_stays_unshredded",
+            "note": "paper-scale data, partitioned, 4 workers configured: "
+            "the shredded candidate is priced but the fused nestjoin wins",
+            "checked": False,  # a planner-decision record, not a timing workload
+            "planner_keeps_nestjoin": stayed,
+            "shredded_was_priced": priced,
+            "chosen_option": tiny_res.chosen.option,
+            "est_cost_shredded": tiny_by_option["shredded"].est_cost,
+            "est_cost_chosen": tiny_res.chosen.est_cost,
+            "verdict_notes": [n for n in tiny_res.chosen.trace.notes
+                              if "shredding priced" in n],
+            "speedup": 1.0,
+        }
+    )
+
+    shred = workloads[0]
+    return _checked_floor(
+        {
+            "pr": 9,
+            "description": "query shredding: nested (nestjoin) queries "
+            "decomposed into flat subplans — a partition-parallel inner "
+            "flat join plus an outer re-stream — reassembled by a stitch "
+            "operator; the shredded form is a priced optimizer candidate "
+            "chosen only when estimated cheaper; gated metric is the "
+            "work-model critical path of the shredded run vs the serial "
+            "fused nestjoin",
+            "engine": "repro.shred (shred_expr, Stitch, StitchNest) + "
+            "repro.shard partition-wise fragments + batch tier",
+            "reps": reps,
+            "workers": workers,
+            "workloads": workloads,
+            "shredded_speedup": shred["speedup"],
+            "meets_2x_shredded": shred["speedup"] >= 2.0,
+            "planner_keeps_tiny_unshredded": stayed,
+        }
+    )
+
+
+def run_pr9(reps: int) -> bool:
+    report = _run_pr9(reps)
+    out_path = ROOT / "BENCH_PR9.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    shred, tiny = report["workloads"]
+    rows = [
+        (
+            shred["name"],
+            str(shred["serial_work"]),
+            str(shred["coordinator_work"] + shred["critical_path_work"]),
+            f"{shred['speedup']:.1f}x",
+            f"{shred['wall_speedup']:.2f}x",
+        )
+    ]
+    print(
+        render_table(
+            ["workload", "serial work", "shredded critical", "speedup", "wall"],
+            rows,
+            title="PR 9 — query shredding vs serial fused nestjoin "
+            "(speedup = work-model critical path)",
+        )
+    )
+    print(
+        f"\nthreshold: tiny query keeps {tiny['chosen_option']!r} "
+        f"(shredded priced at ≈{tiny['est_cost_shredded']:.0f} vs "
+        f"chosen ≈{tiny['est_cost_chosen']:.0f})"
+    )
+    ok = report["meets_floor_1x"] and report["meets_2x_shredded"]
+    print(
+        f"wrote {out_path} (shredded speedup "
+        f"{report['shredded_speedup']:.1f}x, meets_2x="
+        f"{report['meets_2x_shredded']}, ok={ok})"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reps", type=int, default=DEFAULT_REPS,
@@ -1779,11 +2035,13 @@ def main(argv=None) -> int:
                         help="run only the PR 7 suite")
     parser.add_argument("--pr8", action="store_true",
                         help="run only the PR 8 suite")
+    parser.add_argument("--pr9", action="store_true",
+                        help="run only the PR 9 suite")
     parser.add_argument("--all", action="store_true", help="run every suite")
     args = parser.parse_args(argv)
 
     only = (args.pr1 or args.pr3 or args.pr4 or args.pr5 or args.pr6
-            or args.pr7 or args.pr8)
+            or args.pr7 or args.pr8 or args.pr9)
     ok = True
     if args.pr1 or args.all:
         ok = run_pr1(args.reps) and ok
@@ -1801,6 +2059,8 @@ def main(argv=None) -> int:
         ok = run_pr7(args.reps) and ok
     if args.pr8 or args.all or not only:
         ok = run_pr8(args.reps) and ok
+    if args.pr9 or args.all or not only:
+        ok = run_pr9(args.reps) and ok
     return 0 if ok else 1
 
 

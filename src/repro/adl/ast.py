@@ -494,6 +494,36 @@ class NestJoin(Expr):
 
 
 @dataclass(frozen=True)
+class Stitch(Expr):
+    """The stitching operator of query shredding (PR 9, after
+    [CLW14]'s shredded evaluation): semantically *identical* to the
+    nestjoin ``left ⊣⟨x1,x2 : p ; f ; a⟩ right``, but annotated with
+    ``key_attrs`` — the complete list of top-level attributes of
+    ``left`` — which is what licenses a flat evaluation strategy.
+
+    Because ``key_attrs`` covers every attribute of a left tuple, the
+    pair ``(x1, x2)`` can be recovered from a *flat* join output ``z``
+    as ``x1 = z[key_attrs]`` and ``x2 = z except-without key_attrs``:
+    the synthetic grouping key linking the outer flat subplan to the
+    inner one is simply the left tuple itself.  The physical plan runs
+    the inner flat subplan ``left ⋈⟨x1,x2 : p⟩ right`` through the full
+    pipeline (join-order DP, partitioned hash joins, batch kernels),
+    groups its output by ``key_attrs``, and re-streams ``left`` so
+    dangling tuples keep their empty set — no tuple loss, exactly the
+    nestjoin's contract.
+    """
+
+    left: Expr
+    right: Expr
+    lvar: str
+    rvar: str
+    pred: Expr
+    as_attr: str
+    result: Expr
+    key_attrs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
 class Division(Expr):
     """Relational division ``e1 ÷ e2`` ([Codd72], for universal
     quantification).  ``e1`` has attributes A ∪ B, ``e2`` has attributes B;
@@ -583,6 +613,7 @@ SET_PRODUCING_NODES = (
     AntiJoin,
     OuterJoin,
     NestJoin,
+    Stitch,
     Division,
     Union,
     Intersect,

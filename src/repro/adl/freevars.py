@@ -62,7 +62,7 @@ def _free_vars(expr: A.Expr) -> FrozenSet[str]:
             | free_vars(expr.right)
             | (free_vars(expr.pred) - bound)
         )
-    if isinstance(expr, A.NestJoin):
+    if isinstance(expr, (A.NestJoin, A.Stitch)):
         bound = {expr.lvar, expr.rvar}
         return (
             free_vars(expr.left)
@@ -85,7 +85,9 @@ def bound_vars(expr: A.Expr) -> FrozenSet[str]:
     for node in expr.walk():
         if isinstance(node, (A.Map, A.Select, A.Exists, A.Forall)):
             out.add(node.var)
-        elif isinstance(node, (A.Join, A.SemiJoin, A.AntiJoin, A.OuterJoin, A.NestJoin)):
+        elif isinstance(
+            node, (A.Join, A.SemiJoin, A.AntiJoin, A.OuterJoin, A.NestJoin, A.Stitch)
+        ):
             out.add(node.lvar)
             out.add(node.rvar)
     return frozenset(out)

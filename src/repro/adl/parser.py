@@ -388,6 +388,30 @@ class _Parser:
             class_name = self._name("class name")
             self.expect("}")
             return A.Materialize(self._parens_source(bound), attr, as_attr, class_name)
+        if text == "stitch" and text not in bound and self.peek(1).text == "[":
+            # ``stitch[x,y : p ; f ; a ; {k1, k2}](LEFT, RIGHT)``
+            self.next()
+            self.next()
+            lvar = self._name("join variable")
+            self.expect(",")
+            rvar = self._name("join variable")
+            self.expect(":")
+            inner = bound | {lvar, rvar}
+            pred = self.expr(inner)
+            self.expect(";")
+            result = self.expr(inner)
+            self.expect(";")
+            as_attr = self._name("stitch attribute")
+            self.expect(";")
+            self.expect("{")
+            key_attrs = self._name_list("}")
+            self.expect("]")
+            self.expect("(")
+            left = self.expr(bound)
+            self.expect(",")
+            right = self.expr(bound)
+            self.expect(")")
+            return A.Stitch(left, right, lvar, rvar, pred, as_attr, result, key_attrs)
         if text == "disjoint" and self.peek(1).text == "(":
             self.next()
             self.next()

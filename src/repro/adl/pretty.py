@@ -124,6 +124,13 @@ def _p(expr: A.Expr) -> str:
             f"({_p(expr.left)} ⊣⟨{expr.lvar},{expr.rvar} : {_p(expr.pred)} ; "
             f"{result} ; {expr.as_attr}⟩ {_p(expr.right)})"
         )
+    if isinstance(expr, A.Stitch):
+        keys = ", ".join(expr.key_attrs)
+        return (
+            f"stitch[{expr.lvar},{expr.rvar} : {_p(expr.pred)} ; "
+            f"{_p(expr.result)} ; {expr.as_attr} ; {{{keys}}}]"
+            f"({_p(expr.left)}, {_p(expr.right)})"
+        )
     if isinstance(expr, A.Division):
         return f"({_p(expr.left)} ÷ {_p(expr.right)})"
     if isinstance(expr, A.Union):
@@ -146,7 +153,7 @@ def _p_atomic(expr: A.Expr) -> str:
         expr,
         (A.Literal, A.Var, A.ExtentRef, A.Param, A.AttrAccess, A.TupleExpr, A.SetExpr,
          A.TupleSubscript, A.Aggregate, A.Map, A.Select, A.Project, A.Rename,
-         A.Flatten, A.Unnest, A.Nest, A.Materialize),
+         A.Flatten, A.Unnest, A.Nest, A.Materialize, A.Stitch),
     ):
         return text
     return f"({text})"

@@ -56,7 +56,7 @@ def _subst(expr: A.Expr, mapping: Dict[str, A.Expr]) -> A.Expr:
             expr, left=new_left, right=new_right, lvar=lvar, rvar=rvar, pred=new_pred
         )
 
-    if isinstance(expr, A.NestJoin):
+    if isinstance(expr, (A.NestJoin, A.Stitch)):
         new_left = _subst(expr.left, mapping)
         new_right = _subst(expr.right, mapping)
         inner_mapping = {k: v for k, v in mapping.items() if k not in (expr.lvar, expr.rvar)}
@@ -139,7 +139,9 @@ def rename_bound(expr: A.Expr, old: str, new: str) -> A.Expr:
                 pred = substitute(e.pred, {old: A.Var(new)})
                 return dataclasses.replace(e, var=new, source=source, pred=pred)
             return dataclasses.replace(e, source=source, pred=rec(e.pred))
-        if isinstance(e, (A.Join, A.SemiJoin, A.AntiJoin, A.OuterJoin, A.NestJoin)):
+        if isinstance(
+            e, (A.Join, A.SemiJoin, A.AntiJoin, A.OuterJoin, A.NestJoin, A.Stitch)
+        ):
             left = rec(e.left)
             right = rec(e.right)
             if old in (e.lvar, e.rvar):
@@ -148,11 +150,11 @@ def rename_bound(expr: A.Expr, old: str, new: str) -> A.Expr:
                 changes["lvar"] = new if e.lvar == old else e.lvar
                 changes["rvar"] = new if e.rvar == old else e.rvar
                 changes["pred"] = substitute(e.pred, mapping)
-                if isinstance(e, A.NestJoin):
+                if isinstance(e, (A.NestJoin, A.Stitch)):
                     changes["result"] = substitute(e.result, mapping)
                 return dataclasses.replace(e, **changes)
             changes = dict(left=left, right=right, pred=rec(e.pred))
-            if isinstance(e, A.NestJoin):
+            if isinstance(e, (A.NestJoin, A.Stitch)):
                 changes["result"] = rec(e.result)
             return dataclasses.replace(e, **changes)
         return e.map_children(rec)

@@ -320,6 +320,35 @@ class TypeChecker:
             fields[expr.as_attr] = SetType(result_t)
             return SetType(TupleType(fields))
 
+        if isinstance(expr, A.Stitch):
+            left = self._tuple_elem(expr.left, env, "stitch operand")
+            right = self._tuple_elem(expr.right, env, "stitch operand")
+            inner = dict(env)
+            inner[expr.lvar] = left
+            inner[expr.rvar] = right
+            self._bool(expr.pred, inner, "stitch predicate")
+            result_t = self._check(expr.result, inner)
+            if expr.as_attr in left.fields:
+                raise TypeCheckError(
+                    f"stitch attribute {expr.as_attr!r} clashes with left operand"
+                )
+            # key_attrs must cover the left operand exactly (that is what
+            # licenses recovering the pair from the flat join output) and
+            # stay disjoint from the right operand's attributes
+            if left.fields and set(expr.key_attrs) != set(left.fields):
+                raise TypeCheckError(
+                    f"stitch key attributes {sorted(expr.key_attrs)} do not match "
+                    f"left operand attributes {sorted(left.fields)}"
+                )
+            if left.fields and right.fields and set(left.fields) & set(right.fields):
+                raise TypeCheckError(
+                    "stitch operands must have disjoint attributes, got overlap "
+                    f"{sorted(set(left.fields) & set(right.fields))}"
+                )
+            fields = dict(left.fields)
+            fields[expr.as_attr] = SetType(result_t)
+            return SetType(TupleType(fields))
+
         if isinstance(expr, A.Division):
             left = self._tuple_elem(expr.left, env, "division dividend")
             right = self._tuple_elem(expr.right, env, "division divisor")

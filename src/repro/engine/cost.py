@@ -69,6 +69,24 @@ def _bound_attr(expr: A.Expr, var: str) -> Optional[str]:
     return None
 
 
+def _equi_attr_pairs(pred: A.Expr, lvar: str, rvar: str):
+    """Directly-bound ``(left_attr, right_attr)`` pairs of the equality
+    conjuncts of a join predicate — the shapes partition-wise execution
+    can route by (shared with the stitch estimate's co-partitioning
+    check)."""
+    if isinstance(pred, A.And):
+        return _equi_attr_pairs(pred.left, lvar, rvar) + _equi_attr_pairs(
+            pred.right, lvar, rvar
+        )
+    if isinstance(pred, A.Compare) and pred.op == "=":
+        for a, b in ((pred.left, pred.right), (pred.right, pred.left)):
+            l_attr = _bound_attr(a, lvar)
+            r_attr = _bound_attr(b, rvar)
+            if l_attr is not None and r_attr is not None:
+                return [(l_attr, r_attr)]
+    return []
+
+
 # -- fallback constants (used when the catalog has no statistics) -----------
 
 DEFAULT_CARDINALITY = 1000.0
@@ -166,8 +184,17 @@ class CardinalityEstimator:
     #: ``freevars._CACHE_LIMIT``).
     _MEMO_LIMIT = 1 << 16
 
-    def __init__(self, catalog: Optional[Catalog]) -> None:
+    def __init__(
+        self, catalog: Optional[Catalog], parallel_workers: int = 0
+    ) -> None:
         self.catalog = catalog
+        #: worker capacity of the owning planner/optimizer: > 1 lets the
+        #: stitch estimate (PR 9) price its inner flat join as a
+        #: partition-wise parallel join when the operands are
+        #: co-partitioned — the same capacity the physical planner's
+        #: parallel candidates use, threaded here so *logical* candidate
+        #: ranking (nestjoin vs shredded) sees the same opportunity
+        self.parallel_workers = parallel_workers
         self._memo: dict = {}  # id(expr) -> (expr, Estimate); strong refs pin ids
 
     # -- catalog access ------------------------------------------------------
@@ -314,6 +341,8 @@ class CardinalityEstimator:
             return Estimate(
                 max(left.rows * NEST_GROUP_FRACTION, 1.0), left.cost + right.cost
             )
+        if isinstance(expr, A.Stitch):
+            return self._estimate_stitch(expr)
         if isinstance(expr, (A.Join, A.SemiJoin, A.AntiJoin, A.OuterJoin, A.NestJoin)):
             return self._estimate_join(expr)
         if isinstance(expr, A.SetExpr):
@@ -362,6 +391,95 @@ class CardinalityEstimator:
             )
         # nestjoin: one output tuple per left tuple, groups attached
         return Estimate(left.rows, cost + pair_rows * TUPLE_COST, left.extent)
+
+    def _estimate_stitch(self, expr) -> Estimate:
+        """Shredded evaluation (PR 9): inner flat join + group build +
+        outer re-stream.
+
+        The serial estimate is the nestjoin's join arithmetic *plus* the
+        stitch's own work (hash group build over the flat pairs, and the
+        outer re-stream that re-attaches groups), so a serial stitch can
+        never price below the fused nestjoin — the paper's tiny queries
+        provably stay unshredded.  With worker capacity and co-partitioned
+        operands the inner flat join is additionally priced as a
+        partition-wise parallel join (the very strategy the physical
+        planner will pick for it), and the cheaper inner price wins —
+        which is how shredding pays off on partitioned data.
+        """
+        left = self.estimate(expr.left)
+        right = self.estimate(expr.right)
+        sel = self.join_selectivity(expr.pred, expr.lvar, expr.rvar, left, right)
+        pair_rows = left.rows * right.rows * sel
+        # the inner flat join, priced exactly like the A.Join case above
+        join_cost = (
+            left.cost
+            + right.cost
+            + (left.rows + right.rows) * TUPLE_COST
+            + pair_rows * TUPLE_COST
+        )
+        if self.parallel_workers > 1:
+            parallel = self._parallel_stitch_join_cost(expr, left, right, pair_rows)
+            if parallel is not None and parallel < join_cost:
+                join_cost = parallel
+        # the stitch proper: only the work the fused nestjoin does *not*
+        # pay — the group-build hash insert per flat pair (the per-pair
+        # result evaluation is already in the join's ``pair_rows`` term,
+        # exactly where the fused form pays it) plus the outer re-stream
+        # emitting every left tuple with its (possibly empty) group.
+        # Strictly positive, so a *serial* stitch always prices above the
+        # fused nestjoin and the paper's tiny queries stay unshredded.
+        stitch_cost = pair_rows * HASH_INSERT_COST + left.cost + left.rows * TUPLE_COST
+        return Estimate(left.rows, join_cost + stitch_cost, left.extent)
+
+    @staticmethod
+    def _select_base(operand: A.Expr) -> Optional[str]:
+        """The base extent under a chain of selections (the same
+        fragment-shippable shapes the physical planner accepts)."""
+        node = operand
+        while isinstance(node, A.Select):
+            node = node.source
+        return node.name if isinstance(node, A.ExtentRef) else None
+
+    def _parallel_stitch_join_cost(
+        self, expr, left: Estimate, right: Estimate, out_rows: float
+    ) -> Optional[float]:
+        """Partition-wise price of the stitch's inner flat join, or
+        ``None`` when the operands are not co-partitioned on an equi key
+        pair.  Mirrors the physical planner's partition-wise candidate —
+        same strategy, same build/probe orientation, same skew balance —
+        so the logical ranking agrees with what the planner will build.
+        """
+        if self.catalog is None:
+            return None
+        l_ext = self._select_base(expr.left)
+        r_ext = self._select_base(expr.right)
+        if l_ext is None or r_ext is None:
+            return None
+        lp = self.catalog.partitioning(l_ext)
+        rp = self.catalog.partitioning(r_ext)
+        if lp is None or rp is None or lp.parts != rp.parts:
+            return None
+        if not any(
+            l_attr == lp.attr and r_attr == rp.attr
+            for l_attr, r_attr in _equi_attr_pairs(expr.pred, expr.lvar, expr.rvar)
+        ):
+            return None
+
+        def balance(pe) -> Optional[float]:
+            total = sum(pe.cardinalities)
+            return max(pe.cardinalities) / total if total else None
+
+        balances = [b for b in (balance(lp), balance(rp)) if b]
+        model = CostModel(self.catalog)
+        return model.parallel_join_cost(
+            "partition-wise",
+            right,
+            left,
+            out_rows,
+            lp.parts,
+            self.parallel_workers,
+            balance=max(balances) if balances else None,
+        )
 
     # -- selectivity ---------------------------------------------------------
     # ``source`` / ``left`` / ``right`` are extent names, ``None``, or child
@@ -460,11 +578,14 @@ class CostModel:
     """
 
     def __init__(
-        self, catalog: Optional[Catalog], batch_size: Optional[int] = None
+        self,
+        catalog: Optional[Catalog],
+        batch_size: Optional[int] = None,
+        parallel_workers: int = 0,
     ) -> None:
         self.catalog = catalog
         self.batch_size = batch_size
-        self.estimator = CardinalityEstimator(catalog)
+        self.estimator = CardinalityEstimator(catalog, parallel_workers=parallel_workers)
 
     def estimate(self, expr: A.Expr) -> Estimate:
         return self.estimator.estimate(expr)

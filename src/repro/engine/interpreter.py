@@ -431,6 +431,28 @@ class Interpreter:
         self.stats.output_tuples += len(out)
         return frozenset(out)
 
+    def _eval_stitch(self, expr: A.Stitch, env: Dict[str, Value]) -> Value:
+        # reference semantics: a stitch *is* a nestjoin — ``key_attrs``
+        # only licenses the flat physical strategy, it changes nothing
+        # about the result
+        left = self._set(expr.left, env, "stitch operand")
+        right = self._set(expr.right, env, "stitch operand")
+        inner = self._join_env(expr, env)
+        out = set()
+        for x1 in left:
+            inner[expr.lvar] = x1
+            group = set()
+            for x2 in right:
+                self.stats.tuples_visited += 1
+                inner[expr.rvar] = x2
+                self.stats.predicate_evals += 1
+                if self._bool(expr.pred, inner):
+                    group.add(self._eval(expr.result, inner))
+            record = self._tuple(x1, "stitch element")
+            out.add(record.update_except({expr.as_attr: frozenset(group)}))
+        self.stats.output_tuples += len(out)
+        return frozenset(out)
+
     def _eval_division(self, expr: A.Division, env: Dict[str, Value]) -> Value:
         left = self._set(expr.left, env, "division dividend")
         right = self._set(expr.right, env, "division divisor")
@@ -552,6 +574,7 @@ _DISPATCH = {
     A.AntiJoin: Interpreter._eval_antijoin,
     A.OuterJoin: Interpreter._eval_outerjoin,
     A.NestJoin: Interpreter._eval_nestjoin,
+    A.Stitch: Interpreter._eval_stitch,
     A.Division: Interpreter._eval_division,
     A.Union: Interpreter._eval_union,
     A.Intersect: Interpreter._eval_intersect,

@@ -147,7 +147,9 @@ class Planner:
         #: PR 8: price the per-batch dispatch overhead of batch-at-a-time
         #: execution; ``None`` (tuple mode) keeps cost numbers unchanged
         self.cost_model: Optional[CostModel] = (
-            CostModel(catalog, batch_size=batch_size) if catalog is not None else None
+            CostModel(catalog, batch_size=batch_size, parallel_workers=parallel_workers)
+            if catalog is not None
+            else None
         )
         self.reorder = reorder
         self.bushy = bushy
@@ -216,11 +218,32 @@ class Planner:
             return P.MaterializeOp(
                 expr.attr, expr.as_attr, expr.class_name, self._plan(expr.source)
             )
+        if isinstance(expr, A.Stitch):
+            return self._plan_stitch(expr)
         if isinstance(expr, (A.Join, A.SemiJoin, A.AntiJoin, A.OuterJoin, A.NestJoin)):
             return self._plan_join(expr)
         # everything else (literals, set constructors, scalar expressions
         # producing sets through the interpreter) is a leaf
         return P.EvalExpr(expr)
+
+    # -- query shredding (PR 9) ------------------------------------------------
+    def _plan_stitch(self, expr: A.Stitch) -> PlanNode:
+        """Shredded evaluation: plan the *flat* inner join through the
+        full pipeline — cost-based physical selection, index joins, and
+        (with worker capacity) the partition-parallel candidates — and
+        stitch its output back onto the re-streamed outer subplan."""
+        from repro.shred.stitch import StitchNest
+
+        inner = A.Join(expr.left, expr.right, expr.lvar, expr.rvar, expr.pred)
+        return StitchNest(
+            expr.lvar,
+            expr.rvar,
+            expr.as_attr,
+            expr.result,
+            expr.key_attrs,
+            self._plan(expr.left),
+            self._plan(inner),
+        )
 
     # -- selections ------------------------------------------------------------
     def _plan_select(self, expr: A.Select) -> PlanNode:

@@ -87,7 +87,7 @@ def _nested(expr: A.Expr, in_param: bool) -> int:
             + _nested(expr.right, in_param)
             + _nested(expr.pred, True)
         )
-    if isinstance(expr, A.NestJoin):
+    if isinstance(expr, (A.NestJoin, A.Stitch)):
         return (
             _nested(expr.left, in_param)
             + _nested(expr.right, in_param)

@@ -135,6 +135,7 @@ class Optimizer:
         max_steps: int = 2000,
         introduce_materialize: bool = False,
         catalog=None,
+        parallel_workers: int = 0,
     ) -> None:
         checker = TypeChecker(schema) if schema is not None else None
         self.ctx = RewriteContext(checker=checker)
@@ -144,6 +145,10 @@ class Optimizer:
         #: storage catalog (`repro.storage.catalog.Catalog`): when present,
         #: option selection is cost-ranked instead of first-success
         self.catalog = catalog
+        #: worker capacity (PR 9): threaded into the cost model so the
+        #: shredded-vs-nestjoin pricing sees the same partition-parallel
+        #: opportunity the physical planner will; 0 keeps pricing serial
+        self.parallel_workers = parallel_workers
         unknown = set(self.priority) - set(self._PIPELINES)
         if unknown:
             raise ValueError(f"unknown optimization options: {sorted(unknown)}")
@@ -217,9 +222,59 @@ class Optimizer:
         from repro.engine.cost import CostModel
         from repro.engine.joinorder import reorder_joins
 
-        model = CostModel(self.catalog)
+        model = CostModel(self.catalog, parallel_workers=self.parallel_workers)
         reordered, _ = reorder_joins(expr, model, self.catalog)
         return model.estimate(reordered).cost
+
+    def _maybe_shred(self, chosen: Attempt, attempts: List[Attempt]) -> Attempt:
+        """Query shredding (PR 9) as a *priced* post-selection candidate.
+
+        When the chosen candidate contains an eligible nestjoin, its
+        shredded form (flat join + stitch) is built, priced with the same
+        cost model, and recorded as a ``"shredded"`` attempt with its own
+        :class:`RewriteTrace`.  It replaces the chosen candidate only when
+        estimated strictly cheaper — the serial stitch estimate is by
+        construction ≥ the nestjoin's, so shredding wins exactly when the
+        cost model sees a parallel/flat opportunity the fused nestjoin
+        cannot use.  Everything stays inside the planner's priced
+        enumeration; there is no shredding switch.
+        """
+        if self.catalog is None:
+            return chosen
+        from repro.shred.translate import shred_expr
+
+        shredded = shred_expr(chosen.expr, self.ctx)
+        if shredded is None:
+            return chosen
+        base_cost = chosen.est_cost
+        if base_cost is None:
+            # price the incumbent too (e.g. the none-needed short-circuit
+            # never ran the cost ranking) so the attempts list records
+            # comparable numbers for both sides of the verdict
+            base_cost = chosen.est_cost = self._candidate_cost(chosen.expr)
+        shred_cost = self._candidate_cost(shredded)
+        trace = RewriteTrace(chosen.expr)
+        trace.steps.extend(chosen.trace.steps)
+        attempt = Attempt(
+            "shredded",
+            shredded,
+            trace,
+            is_set_oriented(shredded),
+            nested_extent_count(shredded),
+            shred_cost,
+        )
+        attempts.append(attempt)
+        verdict = (
+            f"shredding priced: {chosen.option}≈{base_cost:.0f} vs "
+            f"shredded≈{shred_cost:.0f}"
+        )
+        if shred_cost < base_cost:
+            trace.note(f"{verdict} → shredded")
+            return attempt
+        # ties keep the unshredded plan (the fused nestjoin does less work
+        # at equal estimates); record the pricing on the winner's trace
+        chosen.trace.note(f"{verdict} → {chosen.option}")
+        return chosen
 
     # -- the strategy ------------------------------------------------------------
     def optimize(self, expr: A.Expr) -> OptimizationResult:
@@ -233,7 +288,11 @@ class Optimizer:
             chosen = self._finalize(
                 Attempt("none-needed", normalized, normalize_trace, True, 0)
             )
-            return OptimizationResult(expr, normalized, chosen, [chosen])
+            # a directly-authored nestjoin arrives here already set-oriented;
+            # shredding still competes as a priced alternative (PR 9)
+            attempts = [chosen]
+            chosen = self._maybe_shred(chosen, attempts)
+            return OptimizationResult(expr, normalized, chosen, attempts)
 
         for option in self.priority:
             trace = RewriteTrace(expr)
@@ -257,9 +316,8 @@ class Optimizer:
         if self.catalog is not None:
             chosen = self._pick_cheapest(attempts)
             if chosen is not None:
-                return OptimizationResult(
-                    expr, normalized, self._finalize(chosen), attempts
-                )
+                chosen = self._maybe_shred(self._finalize(chosen), attempts)
+                return OptimizationResult(expr, normalized, chosen, attempts)
 
         # option 4: nested loops — keep the best partial unnesting (fewest
         # base tables left inside iterators; ties: fewest rewrite steps)

@@ -515,6 +515,9 @@ class QueryService:
     def _catalog_version(self) -> int:
         return self.catalog.version if self.catalog is not None else 0
 
+    def _catalog_fingerprint(self) -> str:
+        return self.catalog.fingerprint() if self.catalog is not None else ""
+
     @contextmanager
     def _shape_lock(self, shape: str):
         """The compile lock for one query shape.
@@ -577,7 +580,11 @@ class QueryService:
         # forever.
         version = self._catalog_version()
         adl = compile_oosql(shape, self.schema)
-        optimizer = Optimizer(self.schema, catalog=self.catalog)
+        optimizer = Optimizer(
+            self.schema,
+            catalog=self.catalog,
+            parallel_workers=self.parallel_workers,
+        )
         chosen = optimizer.optimize(adl)
         planner = Planner(
             self.catalog,
@@ -897,10 +904,15 @@ class QueryService:
 
         What is persisted is the *chosen rewritten ADL* per shape (the
         same re-parseable pretty text the fragment contract ships), plus
-        the catalog version and schema fingerprint it was compiled under
-        — enough for a restoring service to re-plan without re-running
-        the expensive rewrite/join-order phases, and enough to refuse the
-        whole file when the world has moved.  Best-effort: a failed write
+        the schema fingerprint and a *content-based* catalog fingerprint
+        it was compiled under — enough for a restoring service to re-plan
+        without re-running the expensive rewrite/join-order phases, and
+        enough to refuse the whole file when the world has moved.  The
+        raw catalog version is also recorded, but only informationally:
+        restore matches on the content fingerprint, because a rebuilt
+        catalog's in-memory version counter restarts from zero and its
+        landing on the same number was never guaranteed (the PR-7 known
+        simplification, fixed in PR 9).  Best-effort: a failed write
         never breaks ``close()``.
         """
         from repro.adl.pretty import pretty
@@ -920,6 +932,7 @@ class QueryService:
             )
         payload = {
             "catalog_version": self._catalog_version(),
+            "catalog_fingerprint": self._catalog_fingerprint(),
             "schema_fingerprint": schema_fingerprint(self.schema),
             "entries": entries,
         }
@@ -934,9 +947,14 @@ class QueryService:
     def _restore_plan_cache(self, path: str) -> None:
         """Warm-start the plan cache from a :meth:`_persist_plan_cache`
         file.  The file is ignored wholesale when missing, unreadable, or
-        compiled under a different catalog version / schema fingerprint;
-        individual entries that fail to re-plan are dropped and counted
-        (``warm_dropped``) without poisoning the rest."""
+        compiled under a different schema fingerprint or *catalog content
+        fingerprint* (restored entries are rebased onto the current
+        in-memory catalog version — matching on content rather than on
+        the raw version counter, which restarts per process); individual
+        entries that fail to re-plan are dropped and counted
+        (``warm_dropped``) without poisoning the rest.  Files from
+        before the content fingerprint existed are still honoured via
+        the legacy exact-version comparison."""
         from repro.adl.parser import parse_adl
         from repro.shard.nodes import Exchange
 
@@ -951,9 +969,19 @@ class QueryService:
         if not isinstance(entries, list):
             return
         version = self._catalog_version()
-        if payload.get("catalog_version") != version or payload.get(
-            "schema_fingerprint"
-        ) != schema_fingerprint(self.schema):
+        if payload.get("schema_fingerprint") != schema_fingerprint(self.schema):
+            self.warm_dropped += len(entries)
+            return
+        stored_fp = payload.get("catalog_fingerprint")
+        if stored_fp is not None:
+            # content match: the rebuilt catalog holds the same statistics,
+            # indexes and partitionings the entries were compiled under —
+            # rebase them onto whatever version number it landed on
+            if stored_fp != self._catalog_fingerprint():
+                self.warm_dropped += len(entries)
+                return
+        elif payload.get("catalog_version") != version:
+            # pre-fingerprint file: fall back to the exact-version check
             self.warm_dropped += len(entries)
             return
         for raw in entries:

@@ -467,6 +467,41 @@ class Catalog:
     def indexes(self) -> List[NamedIndex]:
         return list(self._indexes.values())
 
+    def fingerprint(self) -> str:
+        """A content-based digest of everything the optimizer can see.
+
+        Unlike :attr:`version` — a monotonic counter that restarts from
+        zero in every process — the fingerprint hashes the *values* of
+        the registered statistics, indexes and partitionings, so two
+        catalogs rebuilt from the same data in different processes agree.
+        The plan-cache warm start (PR 7/PR 9) persists it next to the
+        cached plans: a restore matches on content, not on the rebuilt
+        catalog happening to land on the same in-memory version number.
+        """
+        import hashlib
+
+        with self._lock:
+            stats = sorted(
+                (
+                    s.extent,
+                    s.cardinality,
+                    s.pages,
+                    sorted(s.distinct.items()),
+                    sorted(s.avg_set_size.items()),
+                )
+                for s in self._stats.values()
+            )
+            indexes = sorted(
+                (n.name, n.extent, n.attr, n.multi, n.built_cardinality)
+                for n in self._indexes.values()
+            )
+            partitions = sorted(
+                (pe.extent, pe.attr, pe.parts, list(pe.cardinalities))
+                for pe in self._partitions.values()
+            )
+        payload = repr((stats, indexes, partitions)).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
     def refresh(self) -> None:
         """Rebuild every registered index, re-analyze analyzed extents and
         re-derive registered partitionings (call after bulk loads —

@@ -36,6 +36,7 @@ from repro.engine.plan import (
 from repro.engine.planner import Executor
 from repro.engine.stats import Stats
 from repro.shard import Exchange, PartitionedHashJoin, PartitionedScan, ShardRef
+from repro.shred import StitchNest
 from repro.storage import Catalog, MemoryDatabase
 from repro.workload.generator import generate_database
 
@@ -204,6 +205,16 @@ CASES = {
     "Exchange-gather-join": (
         lambda: Exchange("gather", _partition_wise_join(), 2),
         partitioned_db,
+    ),
+    # PR 9: the stitch reassembling a shredded nestjoin — outer re-stream
+    # over the consumed inner flat join (full matrix in tests/shred/)
+    "StitchNest": (
+        lambda: StitchNest(
+            "x", "y", "ys", A.Var("y"), ("a", "b"),
+            Scan("X"),
+            HashJoinBase("join", "x", "y", XA, YD, TRUE, Scan("X"), Scan("Y")),
+        ),
+        flat_db,
     ),
 }
 

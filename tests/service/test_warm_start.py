@@ -70,16 +70,74 @@ def test_restored_plan_matches_cold_plan(tmp_path):
         assert warm.explain(JOIN) == cold_explain
 
 
-def test_catalog_version_mismatch_drops_whole_file(tmp_path):
+def test_catalog_fingerprint_mismatch_drops_whole_file(tmp_path):
     path = _warm_file(tmp_path)
     with open(path, encoding="utf-8") as fh:
         payload = json.load(fh)
+    payload["catalog_fingerprint"] = "not-the-real-content-digest"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    with QueryService(_db(), cache_persist_path=path) as svc:
+        assert svc.warm_restored == 0
+        assert svc.warm_dropped == len(payload["entries"])
+
+
+def test_legacy_file_without_fingerprint_uses_version_compare(tmp_path):
+    # files from before the content fingerprint existed: exact-version check
+    path = _warm_file(tmp_path)
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    del payload["catalog_fingerprint"]
     payload["catalog_version"] = 99
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh)
     with QueryService(_db(), cache_persist_path=path) as svc:
         assert svc.warm_restored == 0
         assert svc.warm_dropped == len(payload["entries"])
+
+
+def test_restore_matches_catalog_content_not_version_counter(tmp_path):
+    """PR-7 known simplification, fixed in PR 9: a rebuilt catalog's
+    version counter restarts per process, so restore must match on the
+    *content* fingerprint — same statistics, different version number
+    still restores (and rebases entries onto the current version)."""
+    from repro.storage import Catalog
+
+    path = str(tmp_path / "plans.json")
+    db = _db()
+    catalog = Catalog(db)
+    catalog.analyze(["X", "Y"])
+    catalog.analyze(["X", "Y"])  # second ANALYZE: version 2, same content
+    assert catalog.version == 2
+    with QueryService(db, catalog=catalog, cache_persist_path=path) as svc:
+        svc.execute(JOIN)
+    # "restart": same data, fresh catalog whose counter lands elsewhere
+    db2 = _db()
+    catalog2 = Catalog(db2)
+    catalog2.analyze(["X", "Y"])
+    assert catalog2.version == 1  # != the persisted version...
+    assert catalog2.fingerprint() == catalog.fingerprint()  # ...same content
+    with QueryService(db2, catalog=catalog2, cache_persist_path=path) as svc:
+        assert svc.warm_restored == 1
+        assert svc.warm_dropped == 0
+        assert svc.execute(JOIN).cache_hit
+
+
+def test_restore_refuses_catalog_with_different_content(tmp_path):
+    from repro.storage import Catalog
+
+    path = str(tmp_path / "plans.json")
+    db = _db()
+    catalog = Catalog(db)
+    catalog.analyze(["X", "Y"])
+    with QueryService(db, catalog=catalog, cache_persist_path=path) as svc:
+        svc.execute(JOIN)
+    db2 = _db(n=48)  # different data -> different statistics
+    catalog2 = Catalog(db2)
+    catalog2.analyze(["X", "Y"])
+    with QueryService(db2, catalog=catalog2, cache_persist_path=path) as svc:
+        assert svc.warm_restored == 0
+        assert svc.warm_dropped == 1
 
 
 def test_schema_fingerprint_mismatch_drops_whole_file(tmp_path):

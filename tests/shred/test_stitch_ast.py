@@ -1,0 +1,101 @@
+"""The ``Stitch`` AST node (PR 9): pretty/parse round-trip, typing,
+reference semantics, and the flat-subplan text contract.
+
+The stitch must be a first-class ADL citizen: its pretty form re-parses
+(the same canonical-text contract the shard tier's fragments and the
+plan-cache warm start rely on), the checker enforces the key/disjointness
+invariants the translation promises, and the reference interpreter gives
+it exactly the nestjoin's semantics.
+"""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.adl.parser import parse_adl
+from repro.adl.pretty import pretty
+from repro.adl.typecheck import TypeChecker
+from repro.datamodel import Catalog as TypeCatalog, INT, SetType, TupleType, VTuple
+from repro.datamodel.errors import TypeCheckError
+from repro.engine.interpreter import Interpreter
+from repro.storage import MemoryDatabase
+
+TYPES = TypeCatalog(
+    {
+        "X": SetType(TupleType({"a": INT, "b": INT})),
+        "Y": SetType(TupleType({"d": INT, "e": INT})),
+    }
+)
+
+EQ = B.eq(B.attr(B.var("x"), "b"), B.attr(B.var("y"), "d"))
+
+
+def stitch(key_attrs=("a", "b"), as_attr="ys", result=None):
+    return A.Stitch(
+        B.extent("X"),
+        B.extent("Y"),
+        "x",
+        "y",
+        EQ,
+        as_attr,
+        result if result is not None else A.Var("y"),
+        tuple(key_attrs),
+    )
+
+
+class TestTextContract:
+    def test_pretty_parse_round_trip(self):
+        expr = stitch()
+        assert parse_adl(pretty(expr)) == expr
+
+    def test_round_trip_with_projected_result(self):
+        expr = stitch(result=B.attr(B.var("y"), "e"))
+        assert parse_adl(pretty(expr)) == expr
+
+    def test_round_trip_under_enclosing_operators(self):
+        expr = A.Project(stitch(), ("a", "ys"))
+        assert parse_adl(pretty(expr)) == expr
+
+    def test_stitch_usable_as_plain_identifier(self):
+        # "stitch" is contextual, not reserved: a variable of that name
+        # must still parse
+        expr = parse_adl("σ[stitch : stitch.a = 1](X)")
+        assert isinstance(expr, A.Select)
+        assert expr.var == "stitch"
+
+
+class TestTyping:
+    def test_well_typed_stitch(self):
+        t = TypeChecker(TYPES).check(stitch(), {})
+        assert isinstance(t, SetType)
+        assert set(t.element.fields) == {"a", "b", "ys"}
+
+    def test_key_attrs_must_cover_the_left_tuple(self):
+        with pytest.raises(TypeCheckError):
+            TypeChecker(TYPES).check(stitch(key_attrs=("a",)), {})
+
+    def test_as_attr_must_not_collide_with_left(self):
+        with pytest.raises(TypeCheckError):
+            TypeChecker(TYPES).check(stitch(as_attr="a"), {})
+
+
+class TestReferenceSemantics:
+    def test_interpreter_matches_nestjoin(self):
+        db = MemoryDatabase(
+            {
+                "X": [VTuple(a=i % 3, b=i % 4) for i in range(12)],
+                "Y": [VTuple(d=i % 5, e=i) for i in range(15)],
+            }
+        )
+        nestjoin = B.nestjoin(B.extent("X"), B.extent("Y"), "x", "y", EQ, "ys")
+        assert Interpreter(db).eval(stitch()) == Interpreter(db).eval(nestjoin)
+
+    def test_dangling_left_tuples_keep_empty_sets(self):
+        db = MemoryDatabase(
+            {
+                "X": [VTuple(a=1, b=99)],  # no Y partner
+                "Y": [VTuple(d=0, e=0)],
+            }
+        )
+        rows = Interpreter(db).eval(stitch())
+        assert rows == frozenset({VTuple(a=1, b=99, ys=frozenset())})

@@ -1,0 +1,102 @@
+"""The shredding translation (PR 9): guards and structure.
+
+``shred_nestjoin`` must translate exactly the nestjoins whose flat
+decomposition is provably lossless, and decline everything else — a
+wrongly-shredded plan would be a silent correctness bug, so every guard
+gets a test.
+"""
+
+from repro.adl import ast as A
+from repro.adl import builders as B
+from repro.datamodel import Catalog as TypeCatalog, INT, SetType, TupleType
+from repro.rewrite.common import RewriteContext
+from repro.adl.typecheck import TypeChecker
+from repro.shred.translate import shred_expr, shred_nestjoin
+
+TYPES = TypeCatalog(
+    {
+        "X": SetType(TupleType({"a": INT, "b": INT})),
+        "Y": SetType(TupleType({"d": INT, "e": INT})),
+        "Z": SetType(TupleType({"a": INT, "w": INT})),  # overlaps X on "a"
+        "NUMS": SetType(INT),  # not a set of tuples: no attribute shape
+    }
+)
+CTX = RewriteContext(checker=TypeChecker(TYPES))
+
+EQ = B.eq(B.attr(B.var("x"), "b"), B.attr(B.var("y"), "d"))
+
+
+def nj(left=None, right=None, as_attr="ys", result=None):
+    return B.nestjoin(
+        left if left is not None else B.extent("X"),
+        right if right is not None else B.extent("Y"),
+        "x",
+        "y",
+        EQ,
+        as_attr,
+        result,
+    )
+
+
+class TestGuards:
+    def test_eligible_nestjoin_translates(self):
+        out = shred_nestjoin(nj(), CTX)
+        assert isinstance(out, A.Stitch)
+        assert out.key_attrs == ("a", "b")  # every top-level left attribute
+        assert out.left == nj().left
+        assert out.right == nj().right
+        assert out.pred == nj().pred
+        assert out.as_attr == "ys"
+        assert out.result == A.Var("y")
+
+    def test_selection_over_left_operand_is_still_eligible(self):
+        filtered = B.sel("x", B.lt(B.attr(B.var("x"), "a"), B.lit(5)), B.extent("X"))
+        out = shred_nestjoin(nj(left=filtered), CTX)
+        assert isinstance(out, A.Stitch)
+        assert out.key_attrs == ("a", "b")
+
+    def test_declines_without_checker(self):
+        assert shred_nestjoin(nj(), RewriteContext()) is None
+
+    def test_declines_overlapping_operand_attributes(self):
+        # X and Z share "a": the flat concatenation could not split back
+        assert shred_nestjoin(nj(right=B.extent("Z")), CTX) is None
+
+    def test_declines_non_tuple_operand_shape(self):
+        assert shred_nestjoin(nj(right=B.extent("NUMS")), CTX) is None
+
+    def test_declines_as_attr_colliding_with_left(self):
+        assert shred_nestjoin(nj(as_attr="a"), CTX) is None
+
+    def test_declines_correlated_nestjoin(self):
+        # free variable "outer" in the predicate: operands cannot ship as
+        # standalone flat subplans
+        correlated = B.nestjoin(
+            B.extent("X"),
+            B.extent("Y"),
+            "x",
+            "y",
+            B.conj(EQ, B.eq(B.attr(B.var("y"), "e"), B.attr(B.var("outer"), "e"))),
+            "ys",
+        )
+        assert shred_nestjoin(correlated, CTX) is None
+
+    def test_declines_non_nestjoin(self):
+        assert shred_nestjoin(B.join(B.extent("X"), B.extent("Y"), "x", "y", EQ), CTX) is None
+
+
+class TestShredExpr:
+    def test_none_when_nothing_eligible(self):
+        assert shred_expr(B.extent("X"), CTX) is None
+        assert shred_expr(B.join(B.extent("X"), B.extent("Y"), "x", "y", EQ), CTX) is None
+
+    def test_translates_nestjoin_under_other_operators(self):
+        expr = A.Project(nj(), ("a", "ys"))
+        out = shred_expr(expr, CTX)
+        assert isinstance(out, A.Project)
+        assert isinstance(out.source, A.Stitch)
+
+    def test_original_expression_is_not_mutated(self):
+        expr = nj()
+        shred_expr(expr, CTX)
+        assert isinstance(expr, A.NestJoin)
