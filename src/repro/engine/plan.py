@@ -93,6 +93,7 @@ run ahead of the tuple engine's — a documented simplification.
 
 from __future__ import annotations
 
+import os
 import time
 from itertools import chain, compress, islice
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -176,6 +177,7 @@ class ExecRuntime:
         parallel=None,
         deadline: Optional[float] = None,
         batch_size: Optional[int] = None,
+        trace=None,
     ) -> None:
         self.db = db
         # default to the database's own catalog (a Catalog registers
@@ -215,6 +217,19 @@ class ExecRuntime:
         #: execution (``execute`` drains ``iterate_batches``), ``None``/0
         #: keeps the tuple-at-a-time engine
         self.batch_size = batch_size
+        #: optional :class:`repro.obs.trace.TraceRecorder` — when set,
+        #: every operator's stream is metered (rows/batches out, wall
+        #: time, fill time).  Follows the deadline discipline: operators
+        #: test ``rt.trace is None`` once per open (see
+        #: :meth:`PlanNode.stream`), so untraced hot loops are
+        #: byte-identical to the pre-tracing engine.  ``REPRO_TRACE=1``
+        #: in the environment auto-attaches a recorder to every runtime —
+        #: the CI trace-parity job's hook, mirroring ``REPRO_FAULT_PLAN``.
+        if trace is None and os.environ.get("REPRO_TRACE"):
+            from repro.obs.trace import TraceRecorder
+
+            trace = TraceRecorder()
+        self.trace = trace
         self.compiler = Compiler(db, self.stats, self.interpreter, self.params)
         self._compiled: Dict[int, Tuple[A.Expr, Callable]] = {}
         self._compiled_preds: Dict[int, Tuple[A.Expr, Callable]] = {}
@@ -358,18 +373,38 @@ class PlanNode:
             stats.batches_emitted += 1
             yield Batch(rows)
 
+    def stream(self, rt: ExecRuntime) -> Iterator[Value]:
+        """This operator's tuple stream, metered when the runtime traces.
+
+        The trace test runs once per operator *open*, never per row —
+        untraced runs get the raw ``iterate`` generator back, so the hot
+        loops are byte-identical to the pre-tracing engine (the PR-6
+        hoisted-check discipline applied to observability).
+        """
+        trace = rt.trace
+        if trace is None:
+            return self.iterate(rt)
+        return trace.wrap_iter(self, self.iterate(rt))
+
+    def stream_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
+        """Batch analogue of :meth:`stream`."""
+        trace = rt.trace
+        if trace is None:
+            return self.iterate_batches(rt)
+        return trace.wrap_batches(self, self.iterate_batches(rt))
+
     def execute(self, rt: ExecRuntime) -> frozenset:
         if rt.batch_size:
             return frozenset(
-                chain.from_iterable(batch.rows for batch in self.iterate_batches(rt))
+                chain.from_iterable(batch.rows for batch in self.stream_batches(rt))
             )
-        return frozenset(self.iterate(rt))
+        return frozenset(self.stream(rt))
 
     def _input(self, child: "PlanNode", rt: ExecRuntime):
         """Stream a child (or materialize it, in baseline mode)."""
         if rt.materialized:
             return child.execute(rt)
-        return child.iterate(rt)
+        return child.stream(rt)
 
     def _consume(self, child: "PlanNode", rt: ExecRuntime) -> frozenset:
         """A pipeline break: this operator needs the whole child result."""
@@ -391,7 +426,21 @@ class PlanNode:
         ``explain()`` text is byte-identical to the tuple engine's."""
         return ""
 
-    def explain(self, indent: str = "", *, vectorized: bool = False) -> str:
+    def explain(
+        self,
+        indent: str = "",
+        *,
+        vectorized: bool = False,
+        annotate: Optional[Callable[["PlanNode"], str]] = None,
+    ) -> str:
+        """Render the physical tree.
+
+        ``annotate`` is the one extension point for per-node suffixes:
+        when given, ``annotate(node)`` replaces the static
+        ``format_estimate`` text — EXPLAIN ANALYZE passes the trace
+        recorder's est-vs-actual annotation through here rather than
+        maintaining a second string-builder.
+        """
         detail = self.describe()
         line = f"{indent}{self.label}" + (f" [{detail}]" if detail else "")
         if self.break_note:
@@ -400,12 +449,16 @@ class PlanNode:
             note = self.vector_note()
             if note:
                 line += f" <{note}>"
-        estimate = format_estimate(self.est_rows, self.est_cost)
-        if estimate:
-            line += f" {estimate}"
+        suffix = (
+            annotate(self)
+            if annotate is not None
+            else format_estimate(self.est_rows, self.est_cost)
+        )
+        if suffix:
+            line += f" {suffix}"
         parts = [line]
         parts.extend(
-            child.explain(indent + "  ", vectorized=vectorized)
+            child.explain(indent + "  ", vectorized=vectorized, annotate=annotate)
             for child in self.children()
         )
         return "\n".join(parts)
@@ -490,10 +543,18 @@ class Scan(PlanNode):
 
     def execute(self, rt: ExecRuntime) -> frozenset:
         # overrides the base wrapper to return the store's cached extent
-        # frozenset directly instead of rebuilding a copy through iterate()
+        # frozenset directly instead of rebuilding a copy through iterate().
+        # A traced run keeps the fast path's counter profile (this path
+        # charges nothing) but still records the scan's actual rows.
+        trace = rt.trace
+        start = time.perf_counter() if trace is not None else 0.0
         if hasattr(rt.db, "scan"):
-            return frozenset(rt.db.scan(self.extent))
-        return rt.db.extent(self.extent)
+            result = frozenset(rt.db.scan(self.extent))
+        else:
+            result = rt.db.extent(self.extent)
+        if trace is not None:
+            trace.record_result(self, len(result), time.perf_counter() - start)
+        return result
 
 
 def _catalog_index(rt: ExecRuntime, extent: str, attr: str, index_name: str):
@@ -591,14 +652,24 @@ class EvalExpr(PlanNode):
         text = pretty(self.expr)
         return text if len(text) <= 60 else text[:57] + "..."
 
-    def execute(self, rt: ExecRuntime) -> frozenset:
+    def _value(self, rt: ExecRuntime) -> frozenset:
         value = rt.eval(self.expr)
         if not isinstance(value, frozenset):
             raise PlanError(f"plan leaf produced a non-set value: {value!r}")
         return value
 
+    def execute(self, rt: ExecRuntime) -> frozenset:
+        trace = rt.trace
+        start = time.perf_counter() if trace is not None else 0.0
+        value = self._value(rt)
+        if trace is not None:
+            trace.record_result(self, len(value), time.perf_counter() - start)
+        return value
+
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
-        yield from self.execute(rt)
+        # raw value here: when traced, the stream() wrapper does the
+        # metering, so routing through execute() would double-count
+        yield from self._value(rt)
 
 
 # ---------------------------------------------------------------------------
@@ -646,7 +717,7 @@ class Filter(PlanNode):
         kernel = rt.batch_pred(self.pred, self.var)
         stats = rt.stats
         check = rt.check_deadline if rt.deadline is not None else None
-        for batch in self.child.iterate_batches(rt):
+        for batch in self.child.stream_batches(rt):
             if check is not None:
                 check()
             rows = batch.rows
@@ -688,7 +759,7 @@ class MapOp(PlanNode):
     def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
         kernel = rt.batch_fn(self.body, self.var)
         stats = rt.stats
-        for batch in self.child.iterate_batches(rt):
+        for batch in self.child.stream_batches(rt):
             rows = batch.rows
             stats.tuples_visited += len(rows)
             stats.batches_emitted += 1
@@ -719,7 +790,7 @@ class ProjectOp(PlanNode):
     def iterate_batches(self, rt: ExecRuntime) -> Iterator[Batch]:
         attrs = self.attrs
         stats = rt.stats
-        for batch in self.child.iterate_batches(rt):
+        for batch in self.child.stream_batches(rt):
             rows = batch.rows
             stats.tuples_visited += len(rows)
             stats.batches_emitted += 1
@@ -822,7 +893,7 @@ class NestOp(PlanNode):
         shape = None
         key_attrs: Tuple[str, ...] = ()
         kernels: List[BatchKernel] = []
-        for batch in self.child.iterate_batches(rt):
+        for batch in self.child.stream_batches(rt):
             rows = batch.rows
             stats.tuples_visited += len(rows)
             if shape is None and rows:
@@ -1186,7 +1257,7 @@ class HashJoinBase(PlanNode):
         lvar, rvar, as_attr = self.lvar, self.rvar, self.as_attr
         stats = rt.stats
         empty = ()
-        for batch in self.left.iterate_batches(rt):
+        for batch in self.left.stream_batches(rt):
             rows = batch.rows
             stats.tuples_visited += len(rows)
             stats.hash_probes += len(rows)

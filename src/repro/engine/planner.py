@@ -750,7 +750,7 @@ class Executor:
         self.materialized = materialized
         self.compile_exprs = compile_exprs
 
-    def _runtime(self, params=None) -> ExecRuntime:
+    def _runtime(self, params=None, trace=None) -> ExecRuntime:
         return ExecRuntime(
             self.db,
             self.stats,
@@ -760,6 +760,7 @@ class Executor:
             params=params,
             parallel=self.parallel,
             batch_size=self.batch_size,
+            trace=trace,
         )
 
     def execute(self, expr: A.Expr, params=None):
@@ -782,3 +783,26 @@ class Executor:
         plan = self.planner.plan(expr)
         headers = [d.render() for d in self.planner.last_join_orders]
         return "\n".join(headers + [plan.explain()])
+
+    def explain_analyze(
+        self, expr: A.Expr, params=None, *, q_error_threshold: float = 4.0
+    ):
+        """EXPLAIN ANALYZE: run ``expr`` traced and return an
+        :class:`~repro.obs.analyze.AnalyzeResult` whose text is the
+        ordinary ``explain()`` tree annotated with per-operator
+        ``(est≈N, actual=M, X.Xms)`` plus cross-process fragment spans —
+        the same renderer as ``explain()``, driven through its
+        ``annotate`` hook."""
+        from repro.obs.analyze import AnalyzeResult
+        from repro.obs.trace import TraceRecorder
+
+        plan = self.planner.plan(expr)
+        headers = [d.render() for d in self.planner.last_join_orders]
+        recorder = TraceRecorder(q_error_threshold=q_error_threshold)
+        rows = plan.execute(self._runtime(params, trace=recorder))
+        return AnalyzeResult(
+            rows=rows,
+            text=recorder.render(plan, headers),
+            trace=recorder.summary(plan),
+            misestimates=recorder.misestimates(plan),
+        )

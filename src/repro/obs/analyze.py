@@ -1,0 +1,21 @@
+"""EXPLAIN ANALYZE result object (PR 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class AnalyzeResult:
+    """What ``Executor.explain_analyze`` returns: the query's rows, the
+    annotated plan text, the JSON-friendly trace summary, and the
+    operator-level misestimate records."""
+
+    rows: frozenset
+    text: str
+    trace: dict
+    misestimates: List[dict] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return self.text

@@ -1,0 +1,186 @@
+"""Unified metrics registry (PR 10).
+
+One :class:`MetricsRegistry` per service gathers what was previously
+scattered across ``QueryService.stats()``, ``ParallelExecutor.last_report``,
+``Catalog`` counters, and the store's ``epoch_stats()``:
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — a point-in-time value, either set directly or backed by
+  a zero-argument callable sampled at snapshot time (used to mirror
+  counters that live on other subsystems without double bookkeeping);
+* :class:`Histogram` — fixed-bucket latency/duration distribution with
+  cumulative bucket counts, total count and sum.
+
+``snapshot()`` returns a stable (sorted-key) JSON-ready dict;
+``render_prometheus()`` emits the text exposition format (``# HELP`` /
+``# TYPE`` plus samples), so the registry can back either a debug
+endpoint or a scrape target without further translation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+#: default histogram buckets — seconds, tuned for sub-second query work
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+class Counter:
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def sample(self):
+        return self.value
+
+
+class Gauge:
+    __slots__ = ("name", "help", "value", "fn")
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", fn: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def sample(self):
+        if self.fn is not None:
+            try:
+                return self.fn()
+            except Exception:
+                return None
+        return self.value
+
+
+class Histogram:
+    __slots__ = ("name", "help", "buckets", "counts", "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +inf bucket last
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def sample(self) -> dict:
+        cumulative = []
+        running = 0
+        for i, bound in enumerate(self.buckets):
+            running += self.counts[i]
+            cumulative.append({"le": bound, "count": running})
+        cumulative.append({"le": "+Inf", "count": self.count})
+        return {"buckets": cumulative, "count": self.count, "sum": self.sum}
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with stable snapshot/export."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, lambda: Counter(name, help), Counter)
+
+    def gauge(
+        self, name: str, help: str = "", fn: Optional[Callable[[], float]] = None
+    ) -> Gauge:
+        metric = self._register(name, lambda: Gauge(name, help, fn), Gauge)
+        if fn is not None:
+            metric.fn = fn
+        return metric
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._register(name, lambda: Histogram(name, help, buckets), Histogram)
+
+    def _register(self, name: str, make: Callable[[], Metric], cls) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = self._metrics[name] = make()
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """Stable JSON-ready dict: ``{name: value}`` sorted by name;
+        histograms expand to their bucket/count/sum dict."""
+        return {
+            name: self._metrics[name].sample() for name in sorted(self._metrics)
+        }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            pname = _sanitize(name)
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            lines.append(f"# TYPE {pname} {metric.kind}")
+            value = metric.sample()
+            if isinstance(metric, Histogram):
+                for bucket in value["buckets"]:
+                    le = bucket["le"]
+                    le_text = "+Inf" if le == "+Inf" else repr(float(le))
+                    lines.append(
+                        f'{pname}_bucket{{le="{le_text}"}} {bucket["count"]}'
+                    )
+                lines.append(f"{pname}_count {value['count']}")
+                lines.append(f"{pname}_sum {value['sum']}")
+            else:
+                lines.append(f"{pname} {0 if value is None else value}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,50 @@
+"""Threshold-gated slow-query log (PR 10).
+
+A bounded deque of queries whose wall time crossed ``threshold_s``; each
+entry carries the query text, the rendered plan, and (when the run was
+traced) the trace summary — enough context to diagnose the slow run
+without re-running it.  ``threshold_s=None`` disables logging entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+
+class SlowQueryLog:
+    def __init__(
+        self, threshold_s: Optional[float] = None, *, capacity: int = 32
+    ) -> None:
+        self.threshold_s = threshold_s
+        self._entries: deque = deque(maxlen=capacity)
+        self.logged = 0
+
+    def maybe_log(
+        self,
+        *,
+        shape: str,
+        wall_s: float,
+        plan_text: str = "",
+        trace_summary: Optional[dict] = None,
+        session_id: Optional[str] = None,
+    ) -> bool:
+        if self.threshold_s is None or wall_s < self.threshold_s:
+            return False
+        self._entries.append(
+            {
+                "shape": shape,
+                "wall_s": wall_s,
+                "plan": plan_text,
+                "trace": trace_summary,
+                "session_id": session_id,
+            }
+        )
+        self.logged += 1
+        return True
+
+    def entries(self) -> List[dict]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -57,7 +57,6 @@ import json
 import os
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -73,6 +72,7 @@ from repro.datamodel.values import Value
 from repro.engine.plan import ExecRuntime
 from repro.engine.planner import Planner
 from repro.engine.stats import Stats
+from repro.obs import MetricsRegistry, MisestimateStore, SlowQueryLog, TraceRecorder
 from repro.rewrite.strategy import Optimizer
 from repro.service.cache import CachedPlan, PlanCache
 from repro.service.prepared import (
@@ -102,6 +102,12 @@ class QueryResult:
     #: the visibility epoch every read of this execution resolved against
     #: (PR 7), or ``None`` when the store has no epochs / isolation is off
     epoch: Optional[int] = None
+    #: EXPLAIN ANALYZE text (PR 10) — the plan tree annotated with
+    #: per-operator est-vs-actual and cross-process fragment spans; only
+    #: set when the query ran with ``analyze=True``
+    analyze: Optional[str] = None
+    #: JSON-friendly trace summary of an ``analyze=True`` run
+    trace: Optional[dict] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -160,6 +166,7 @@ class Session:
         params: Optional[Dict[str, Value]] = None,
         *,
         timeout: Optional[float] = None,
+        analyze: bool = False,
     ) -> QueryResult:
         """Run a query (text or prepared statement), waiting for the result.
 
@@ -168,8 +175,17 @@ class Session:
         past it the execution raises
         :class:`~repro.datamodel.errors.QueryTimeoutError` and any worker
         pool it was driving is reclaimed.
+
+        ``analyze=True`` (PR 10) runs the query traced: the result's
+        ``analyze`` field carries the EXPLAIN ANALYZE text (per-operator
+        est-vs-actual annotations plus cross-process fragment spans) and
+        ``trace`` the JSON-friendly summary; operator misestimates past
+        the service's q-error threshold land in
+        ``QueryService.misestimates``.
         """
-        return self.execute_async(query, params, timeout=timeout).result()
+        return self.execute_async(
+            query, params, timeout=timeout, analyze=analyze
+        ).result()
 
     def execute_async(
         self,
@@ -177,6 +193,7 @@ class Session:
         params: Optional[Dict[str, Value]] = None,
         *,
         timeout: Optional[float] = None,
+        analyze: bool = False,
     ) -> "Future[QueryResult]":
         """Submit a query to the service's worker pool.
 
@@ -194,7 +211,9 @@ class Session:
         if timeout is not None and timeout < 0:
             raise ServiceError(f"timeout must be >= 0 seconds, got {timeout}")
         deadline = time.monotonic() + timeout if timeout is not None else None
-        return self.service._submit(self, shape, param_names, bindings, deadline)
+        return self.service._submit(
+            self, shape, param_names, bindings, deadline, analyze=analyze
+        )
 
     # -- snapshot isolation (PR 7) ------------------------------------------
     def begin_snapshot(self) -> int:
@@ -368,6 +387,9 @@ class QueryService:
         session_max_in_flight: Optional[int] = None,
         cache_persist_path: Optional[str] = None,
         batch_size: Optional[int] = 256,
+        q_error_threshold: float = 4.0,
+        slow_query_s: Optional[float] = None,
+        misestimate_capacity: int = 8,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
@@ -441,9 +463,16 @@ class QueryService:
         self.shed_queue_wait = 0
         self.shed_fairness = 0
         self.epoch_mismatch_runs = 0
-        #: most recent estimate-vs-actual records for runs whose executed
-        #: epoch differed from the epoch the plan was priced at
-        self._epoch_mismatches: "deque[dict]" = deque(maxlen=32)
+        # -- observability (PR 10), see _wire_metrics
+        #: bounded per-shape estimate-vs-actual misses — operator-level
+        #: q-error records from traced runs *and* the PR-7 epoch-mismatch
+        #: records, migrated here as ``kind="epoch-mismatch"`` (the
+        #: ``stats()["epoch_mismatches"]`` key stays as a view)
+        self.misestimates = MisestimateStore(per_shape=misestimate_capacity)
+        self.q_error_threshold = q_error_threshold
+        self.slow_log = SlowQueryLog(slow_query_s)
+        self.metrics = MetricsRegistry()
+        self.analyzed_runs = 0
         #: session id → outstanding submissions (queued or executing)
         self._session_outstanding: Dict[str, int] = {}
         self.warm_restored = 0
@@ -455,8 +484,100 @@ class QueryService:
         self.batch_runs = 0
         self.batches_emitted = 0
         self.vector_fallbacks = 0
+        self._wire_metrics()
         if cache_persist_path:
             self._restore_plan_cache(cache_persist_path)
+
+    def _wire_metrics(self) -> None:
+        """Register the unified metrics surface (PR 10).
+
+        Histograms are owned by the registry and observed by ``_run``;
+        everything that already has an authoritative counter elsewhere
+        (service state, plan cache, catalog, store epochs, the parallel
+        executor) is exposed as a callable-backed gauge sampled at
+        snapshot time — one surface, no double bookkeeping."""
+        m = self.metrics
+        self._latency_hist = m.histogram(
+            "repro_query_latency_seconds", "query execution wall time"
+        )
+        self._queue_wait_hist = m.histogram(
+            "repro_queue_wait_seconds", "submission-to-execution queue wait"
+        )
+        for name, help_text, fn in (
+            ("repro_queries_executed", "completed executions", lambda: self.executed),
+            ("repro_queries_rejected", "admission rejections", lambda: self.rejected),
+            ("repro_queries_in_flight", "executions running now", lambda: self._in_flight),
+            ("repro_compilations", "plan compilations", lambda: self.compilations),
+            ("repro_timeouts", "deadline expiries", lambda: self.timeouts),
+            ("repro_retries", "fragment batch retries", lambda: self.retries),
+            ("repro_degraded_runs", "runs degraded to inline", lambda: self.degraded_runs),
+            ("repro_shed_queue_wait", "queries shed on queue wait", lambda: self.shed_queue_wait),
+            ("repro_shed_fairness", "queries shed on session cap", lambda: self.shed_fairness),
+            ("repro_pins_taken", "epoch pins taken", lambda: self.pins_taken),
+            ("repro_cache_hits", "plan cache hits", lambda: self.cache.stats.hits),
+            ("repro_cache_misses", "plan cache misses", lambda: self.cache.stats.misses),
+            ("repro_cached_shapes", "shapes in the plan cache", lambda: len(self.cache)),
+            ("repro_catalog_version", "catalog version", self._catalog_version),
+            ("repro_batch_runs", "batch-mode executions", lambda: self.batch_runs),
+            ("repro_analyzed_runs", "EXPLAIN ANALYZE executions", lambda: self.analyzed_runs),
+            ("repro_misestimates", "recorded estimate misses", lambda: self.misestimates.recorded),
+            ("repro_epoch_mismatch_runs", "plan/execution epoch mismatches", lambda: self.epoch_mismatch_runs),
+            ("repro_slow_queries", "slow-query log entries", lambda: self.slow_log.logged),
+        ):
+            m.gauge(name, help_text, fn)
+        m.gauge(
+            "repro_cache_hit_ratio",
+            "plan cache hit ratio",
+            lambda: (
+                self.cache.stats.hits / total
+                if (total := self.cache.stats.hits + self.cache.stats.misses)
+                else 0.0
+            ),
+        )
+        if self.catalog is not None:
+            m.gauge(
+                "repro_catalog_stat_refreshes",
+                "catalog statistics refreshes",
+                lambda: self.catalog.stat_refreshes,
+            )
+        if hasattr(self.db, "epoch_stats"):
+            for key in (
+                "epoch",
+                "pinned",
+                "pin_events",
+                "preserved_snapshots",
+                "reclaimed_snapshots",
+                "live_snapshots",
+            ):
+                m.gauge(
+                    f"repro_epochs_{key}",
+                    f"store epoch_stats {key}",
+                    lambda k=key: self.db.epoch_stats().get(k),
+                )
+        for attr in (
+            "runs",
+            "pool_rebuilds",
+            "retries",
+            "degraded_runs",
+            "timeouts",
+            "pool_deaths",
+            "transient_faults",
+        ):
+            m.gauge(
+                f"repro_parallel_{attr}",
+                f"parallel executor {attr}",
+                lambda a=attr: (
+                    getattr(self._parallel, a) if self._parallel is not None else 0
+                ),
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """The registry's stable JSON-ready snapshot."""
+        return self.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of every registered metric."""
+        return self.metrics.render_prometheus()
 
     # -- sessions ------------------------------------------------------------
     def session(self) -> Session:
@@ -472,10 +593,11 @@ class QueryService:
         params: Optional[Dict[str, Value]] = None,
         *,
         timeout: Optional[float] = None,
+        analyze: bool = False,
     ) -> QueryResult:
         """Run one query on a throwaway session (scripts, tests)."""
         with self.session() as session:
-            return session.execute(text, params, timeout=timeout)
+            return session.execute(text, params, timeout=timeout, analyze=analyze)
 
     def explain(self, text: str) -> str:
         """The physical plan that executions of ``text`` will run.
@@ -651,6 +773,7 @@ class QueryService:
         param_names: Tuple[str, ...],
         bindings: Dict[str, Value],
         deadline: Optional[float] = None,
+        analyze: bool = False,
     ) -> "Future[QueryResult]":
         if self._closed:
             raise ServiceError("service is closed")
@@ -700,6 +823,7 @@ class QueryService:
                 deadline,
                 pinned,
                 submitted_at,
+                analyze,
             )
         except BaseException:
             self._slots.release()
@@ -735,6 +859,7 @@ class QueryService:
         deadline: Optional[float] = None,
         pinned: Optional[int] = None,
         submitted_at: Optional[float] = None,
+        analyze: bool = False,
     ) -> QueryResult:
         with self._state_lock:
             self._in_flight += 1
@@ -760,7 +885,13 @@ class QueryService:
             if deadline is not None and now >= deadline:
                 # the budget was spent waiting in the queue
                 raise QueryTimeoutError("query deadline expired before execution")
+            queue_wait = now - submitted_at if submitted_at is not None else 0.0
             entry, cache_hit = self._lookup_or_compile(shape, param_names)
+            recorder = (
+                TraceRecorder(q_error_threshold=self.q_error_threshold)
+                if analyze
+                else None
+            )
             # every read of this execution resolves through the pinned
             # epoch's view (PR 7) — the runtime picks the epoch up and
             # threads it into every shipped fragment
@@ -779,6 +910,7 @@ class QueryService:
                 # batch mode only on the no-deadline path: deadline-bound
                 # runs need the row-granular polls below to stay honest
                 batch_size=self.batch_size if deadline is None else None,
+                trace=recorder,
             )
             start = time.perf_counter()
             if deadline is None:
@@ -788,7 +920,7 @@ class QueryService:
                 # hot-loop polls: a plan stalling between emitted rows is
                 # still caught at every row it does emit
                 out = []
-                for n, row in enumerate(entry.plan.iterate(runtime)):
+                for n, row in enumerate(entry.plan.stream(runtime)):
                     if not (n & 63):
                         runtime.check_deadline()
                     out.append(row)
@@ -808,17 +940,39 @@ class QueryService:
                 # the plan was priced at a different epoch than it ran at
                 # (allowed — the catalog-version gate bounds the staleness)
                 # but never silently: record the estimate-vs-actual delta
+                # on the misestimate store (PR 10 — one feedback surface)
                 with self._state_lock:
                     self.epoch_mismatch_runs += 1
-                    self._epoch_mismatches.append(
-                        {
-                            "shape": shape,
-                            "planned_epoch": entry.epoch,
-                            "executed_epoch": pinned,
-                            "est_rows": entry.est_rows,
-                            "actual_rows": len(rows),
-                        }
+                    self.misestimates.record(
+                        shape,
+                        kind="epoch-mismatch",
+                        planned_epoch=entry.epoch,
+                        executed_epoch=pinned,
+                        est_rows=entry.est_rows,
+                        actual_rows=len(rows),
                     )
+            analyze_text = None
+            trace_summary = None
+            tracer = runtime.trace  # the analyze recorder, or REPRO_TRACE's
+            if tracer is not None:
+                misses = tracer.misestimates(entry.plan)
+                with self._state_lock:
+                    if analyze:
+                        self.analyzed_runs += 1
+                    for miss in misses:
+                        self.misestimates.record(shape, kind="operator", **miss)
+                if analyze:
+                    analyze_text = tracer.render(entry.plan)
+                    trace_summary = tracer.summary(entry.plan)
+            self._latency_hist.observe(wall)
+            self._queue_wait_hist.observe(queue_wait)
+            self.slow_log.maybe_log(
+                shape=shape,
+                wall_s=wall,
+                plan_text=entry.explain,
+                trace_summary=trace_summary,
+                session_id=session.id,
+            )
             result = QueryResult(
                 rows=rows,
                 wall_s=wall,
@@ -829,6 +983,8 @@ class QueryService:
                 option=entry.option,
                 faults=faults,
                 epoch=pinned,
+                analyze=analyze_text,
+                trace=trace_summary,
             )
             session._record(result, work)
             with self._state_lock:
@@ -869,7 +1025,12 @@ class QueryService:
                 "shed_queue_wait": self.shed_queue_wait,
                 "shed_fairness": self.shed_fairness,
                 "epoch_mismatch_runs": self.epoch_mismatch_runs,
-                "epoch_mismatches": list(self._epoch_mismatches),
+                # compatibility view (PR 10): the records live on the
+                # misestimate store now, rendered with their PR-7 keys
+                "epoch_mismatches": self.misestimates.epoch_mismatch_view(),
+                "misestimates": self.misestimates.recorded,
+                "analyzed_runs": self.analyzed_runs,
+                "slow_queries": self.slow_log.logged,
                 "warm_restored": self.warm_restored,
                 "warm_dropped": self.warm_dropped,
                 "batch": {

@@ -439,6 +439,10 @@ class ParallelExecutor:
             degraded = False  # this run was forced inline by a failure
             breaker_blocked = False
             mode = "inline"
+            #: per-attempt span events (PR 10): every attempt — failed or
+            #: successful — leaves a record, so a traced run can show the
+            #: crashed pool attempt next to the degraded inline re-run
+            attempts_log: List[dict] = []
             try:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise QueryTimeoutError("deadline expired before the batch started")
@@ -449,12 +453,31 @@ class ParallelExecutor:
                         breaker_blocked = True
                     try:
                         results, mode = self._attempt_batch(specs, attempt, deadline, want_pool)
+                        attempts_log.append(
+                            {"attempt": attempt, "mode": mode, "status": "ok"}
+                        )
                         if mode == "process":
                             self.breaker.record_success()
                         break
                     except QueryTimeoutError:
+                        attempts_log.append(
+                            {
+                                "attempt": attempt,
+                                "mode": "process" if want_pool else "inline",
+                                "status": "failed",
+                                "error": "QueryTimeoutError",
+                            }
+                        )
                         raise  # counted in the outer handler, never retried
                     except WorkerCrashError:
+                        attempts_log.append(
+                            {
+                                "attempt": attempt,
+                                "mode": "process" if want_pool else "inline",
+                                "status": "failed",
+                                "error": "WorkerCrashError",
+                            }
+                        )
                         self.pool_deaths += 1
                         if want_pool:
                             self.breaker.record_failure()
@@ -467,6 +490,14 @@ class ParallelExecutor:
                             raise
                         policy.sleep_backoff(attempt, deadline)
                     except Exception as exc:
+                        attempts_log.append(
+                            {
+                                "attempt": attempt,
+                                "mode": "process" if want_pool else "inline",
+                                "status": "failed",
+                                "error": type(exc).__name__,
+                            }
+                        )
                         if policy.classify(exc) != "transient":
                             raise
                         self.transient_faults += 1
@@ -489,6 +520,7 @@ class ParallelExecutor:
                             "retries": retries,
                             "degraded": degraded or breaker_blocked,
                             "breaker": self.breaker.state,
+                            "attempts": attempts_log,
                         }
                     )
                 raise
@@ -516,6 +548,7 @@ class ParallelExecutor:
                         "retries": retries,
                         "degraded": was_degraded,
                         "breaker": self.breaker.state,
+                        "attempts": attempts_log,
                     }
                 )
             return results

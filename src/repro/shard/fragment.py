@@ -92,6 +92,12 @@ class FragmentSpec:
     #: chunk list per batch) instead of a flat frozenset; ``None`` keeps
     #: the tuple-mode contract
     batch_size: Optional[int] = None
+    #: trace context (PR 10): the coordinator recorder's trace id, or
+    #: ``None`` for untraced runs.  When set, :func:`execute_fragment`
+    #: piggybacks a per-fragment span record on the stats snapshot (the
+    #: ``"_span"`` key, skipped by :func:`merge_stats_snapshot`) so the
+    #: gather can hand workers' spans back to the coordinator's recorder.
+    trace: Optional[str] = None
 
     @staticmethod
     def make(
@@ -100,6 +106,7 @@ class FragmentSpec:
         params: Optional[Mapping[str, Value]] = None,
         epoch: Optional[int] = None,
         batch_size: Optional[int] = None,
+        trace: Optional[str] = None,
     ) -> "FragmentSpec":
         return FragmentSpec(
             text=text,
@@ -107,6 +114,7 @@ class FragmentSpec:
             params=tuple(sorted((params or {}).items())),
             epoch=epoch,
             batch_size=batch_size,
+            trace=trace,
         )
 
     @property
@@ -233,11 +241,15 @@ def execute_fragment(
     ``time.monotonic()``) is threaded into the runtime so the scan/filter
     hot loops poll it, and checked once per emitted row batch here.
     """
+    import os
+    import time
+
     from repro.adl.parser import parse_adl
     from repro.engine.plan import ExecRuntime
     from repro.engine.planner import Planner
     from repro.faults import runtime as faults_runtime
 
+    started = time.perf_counter() if spec.trace is not None else 0.0
     plan_ = fault_plan if fault_plan is not None else faults_runtime.current()
     if plan_ is not None:
         plan_.apply(
@@ -272,10 +284,7 @@ def execute_fragment(
             # paying per-row stream overhead on the way back
             seq = list(rows)
             size = spec.batch_size
-            return (
-                ChunkedRows(seq[i : i + size] for i in range(0, len(seq), size)),
-                stats.snapshot(),
-            )
+            rows = ChunkedRows(seq[i : i + size] for i in range(0, len(seq), size))
     else:
         out = []
         for n, row in enumerate(plan.iterate(rt)):
@@ -284,12 +293,34 @@ def execute_fragment(
             out.append(row)
         rt.check_deadline()
         rows = frozenset(out)
-    return rows, stats.snapshot()
+    snapshot = stats.snapshot()
+    if spec.trace is not None:
+        # the span rides the snapshot under an underscore key, which
+        # merge_stats_snapshot skips — the (rows, snapshot) contract and
+        # every untraced consumer are untouched
+        snapshot["_span"] = {
+            "trace": spec.trace,
+            "fragment": index,
+            "attempt": attempt,
+            "pid": os.getpid(),
+            "in_worker": faults_runtime.in_worker(),
+            "epoch": spec.epoch,
+            "rows": len(rows),
+            "wall_s": time.perf_counter() - started,
+            "work": stats.total_work(),
+            "batches": stats.batches_emitted,
+        }
+    return rows, snapshot
 
 
 def merge_stats_snapshot(stats: Stats, snapshot: Mapping[str, int]) -> None:
-    """Fold one fragment's counter snapshot into a live ``Stats``."""
+    """Fold one fragment's counter snapshot into a live ``Stats``.
+
+    Underscore-prefixed keys are sidecar payloads (the PR-10 ``"_span"``
+    trace record), not counters — skipped here."""
     for name, value in snapshot.items():
+        if name.startswith("_"):
+            continue
         setattr(stats, name, getattr(stats, name) + value)
 
 

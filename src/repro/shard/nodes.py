@@ -79,10 +79,30 @@ def _inline_results(rt: ExecRuntime, specs: Sequence[FragmentSpec]):
         yield execute_fragment(rt.db, partitions, spec, index=i, deadline=rt.deadline)
 
 
-def _run_inline(rt: ExecRuntime, specs: Sequence[FragmentSpec]) -> Iterator[Value]:
+def _run_inline(
+    rt: ExecRuntime, specs: Sequence[FragmentSpec], node: Optional[PlanNode] = None
+) -> Iterator[Value]:
     for rows, snapshot in _inline_results(rt, specs):
+        _collect_span(rt, node, snapshot)
         merge_stats_snapshot(rt.stats, snapshot)
         yield from rows
+
+
+def _trace_id(rt: ExecRuntime) -> Optional[str]:
+    """The recorder's trace id threaded into shipped fragments, or
+    ``None`` — the single untraced-path test of the shard tier."""
+    trace = rt.trace
+    return trace.trace_id if trace is not None else None
+
+
+def _collect_span(rt: ExecRuntime, node, snapshot) -> None:
+    """Hand a fragment's piggybacked span record to the recorder."""
+    trace = rt.trace
+    if trace is None or node is None:
+        return
+    span = snapshot.get("_span")
+    if span is not None:
+        trace.add_fragment_span(node, span)
 
 
 class PartitionedScan(PlanNode):
@@ -123,6 +143,7 @@ class PartitionedScan(PlanNode):
         params: Optional[Dict[str, Value]] = None,
         epoch: Optional[int] = None,
         batch_size: Optional[int] = None,
+        trace: Optional[str] = None,
     ) -> List[FragmentSpec]:
         """One fragment per shard: ``__shard__`` bound to shard *i*."""
         from repro.adl.pretty import pretty
@@ -136,6 +157,7 @@ class PartitionedScan(PlanNode):
                 params,
                 epoch=epoch,
                 batch_size=batch_size,
+                trace=trace,
             )
             for i in range(self.parts)
         ]
@@ -190,18 +212,21 @@ class Exchange(PlanNode):
             rt.stats.pipeline_breaks += 1
             payloads = getattr(self.child, "payloads", None)
             if payloads is not None:
-                specs = payloads(rt.params, epoch=rt.pinned_epoch)
+                specs = payloads(rt.params, epoch=rt.pinned_epoch, trace=_trace_id(rt))
                 if rt.parallel is not None:
                     batch = rt.parallel.run_fragments(
                         specs, deadline=rt.deadline, events=rt.fault_events
                     )
+                    if rt.trace is not None:
+                        rt.trace.add_events(self, rt.fault_events)
                     for rows, snapshot in batch:
+                        _collect_span(rt, self, snapshot)
                         merge_stats_snapshot(rt.stats, snapshot)
                         yield from rows
                     return
-                yield from _run_inline(rt, specs)
+                yield from _run_inline(rt, specs, node=self)
                 return
-            yield from self.child.iterate(rt)
+            yield from self.child.stream(rt)
             return
         # broadcast / repartition: moving tuples between partitions is the
         # identity at whole-stream granularity; the movement cost is paid
@@ -217,7 +242,9 @@ class Exchange(PlanNode):
         # results as ChunkedRows, re-emitted here chunk-for-chunk
         rt.stats.pipeline_breaks += 1
         size = rt.batch_size or DEFAULT_BATCH_SIZE
-        specs = payloads(rt.params, epoch=rt.pinned_epoch, batch_size=size)
+        specs = payloads(
+            rt.params, epoch=rt.pinned_epoch, batch_size=size, trace=_trace_id(rt)
+        )
         stats = rt.stats
         if rt.parallel is not None:
             results = iter(
@@ -225,9 +252,12 @@ class Exchange(PlanNode):
                     specs, deadline=rt.deadline, events=rt.fault_events
                 )
             )
+            if rt.trace is not None:
+                rt.trace.add_events(self, rt.fault_events)
         else:
             results = _inline_results(rt, specs)
         for rows, snapshot in results:
+            _collect_span(rt, self, snapshot)
             merge_stats_snapshot(stats, snapshot)
             if isinstance(rows, ChunkedRows):
                 for chunk in rows.chunks:
@@ -319,13 +349,23 @@ class PartitionedHashJoin(PlanNode):
         params: Optional[Dict[str, Value]] = None,
         epoch: Optional[int] = None,
         batch_size: Optional[int] = None,
+        trace: Optional[str] = None,
     ) -> List[FragmentSpec]:
         return [
             FragmentSpec.make(
-                self.fragment_text, bindings, params, epoch=epoch, batch_size=batch_size
+                self.fragment_text,
+                bindings,
+                params,
+                epoch=epoch,
+                batch_size=batch_size,
+                trace=trace,
             )
             for bindings in self.shard_bindings
         ]
 
     def iterate(self, rt: ExecRuntime) -> Iterator[Value]:
-        yield from _run_inline(rt, self.payloads(rt.params, epoch=rt.pinned_epoch))
+        yield from _run_inline(
+            rt,
+            self.payloads(rt.params, epoch=rt.pinned_epoch, trace=_trace_id(rt)),
+            node=self,
+        )

@@ -111,7 +111,7 @@ class StitchNest(PlanNode):
         empty: frozenset = frozenset()
         stats = rt.stats
         get = groups.get
-        for batch in self.outer.iterate_batches(rt):
+        for batch in self.outer.stream_batches(rt):
             rows = batch.rows
             stats.tuples_visited += len(rows)
             out = []

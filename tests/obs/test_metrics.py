@@ -1,0 +1,165 @@
+"""The unified metrics registry, slow-query log, and misestimate store
+(PR 10): units, the service wiring, the Prometheus export, and the PR-7
+``epoch_mismatches`` compatibility view over the migrated store."""
+
+import json
+
+import pytest
+
+from repro.datamodel import VTuple
+from repro.obs import MetricsRegistry, MisestimateStore, SlowQueryLog
+from repro.service import QueryService
+from repro.storage import Catalog, MemoryDatabase
+
+QUERY = "select x.b from x in X where x.a = 0"
+
+
+def _db():
+    return MemoryDatabase({"X": [VTuple(a=i % 3, b=i) for i in range(30)]})
+
+
+# ---------------------------------------------------------------------------
+# registry units
+# ---------------------------------------------------------------------------
+
+
+def test_counter_gauge_histogram():
+    m = MetricsRegistry()
+    c = m.counter("c", "a counter")
+    c.inc()
+    c.inc(4)
+    g = m.gauge("g", "a gauge")
+    g.set(2.5)
+    fn_g = m.gauge("fn", "callable gauge", fn=lambda: 7)
+    h = m.histogram("h", "a histogram", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(99.0)
+
+    snap = m.snapshot()
+    assert snap["c"] == 5
+    assert snap["g"] == 2.5
+    assert snap["fn"] == 7
+    assert snap["h"]["count"] == 3
+    assert snap["h"]["sum"] == pytest.approx(99.55)
+    assert [b["count"] for b in snap["h"]["buckets"]] == [1, 2, 3]
+    # stable + JSON-ready
+    assert list(snap) == sorted(snap)
+    json.dumps(snap)
+
+
+def test_register_twice_returns_same_metric_and_type_clash_raises():
+    m = MetricsRegistry()
+    c1 = m.counter("x")
+    c2 = m.counter("x")
+    assert c1 is c2
+    with pytest.raises(ValueError):
+        m.gauge("x")
+
+
+def test_prometheus_export_format():
+    m = MetricsRegistry()
+    m.counter("events_total", "all events").inc(3)
+    m.histogram("lat", "latency", buckets=(0.5,)).observe(0.1)
+    text = m.render_prometheus()
+    assert "# HELP events_total all events" in text
+    assert "# TYPE events_total counter" in text
+    assert "events_total 3" in text
+    assert "# TYPE lat histogram" in text
+    assert 'lat_bucket{le="0.5"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_count 1" in text
+
+
+# ---------------------------------------------------------------------------
+# misestimate store
+# ---------------------------------------------------------------------------
+
+
+def test_misestimate_store_bounds_and_views():
+    store = MisestimateStore(per_shape=2, max_shapes=2)
+    for i in range(5):
+        store.record("s1", kind="operator", q_error=float(i))
+    assert len(store.for_shape("s1")) == 2  # per-shape bound
+    assert store.recorded == 5
+    store.record("s2", kind="epoch-mismatch", planned_epoch=1, executed_epoch=2,
+                 est_rows=10, actual_rows=20)
+    store.record("s3", kind="operator")
+    assert len(store.shapes()) == 2  # LRU-evicted down to max_shapes
+    view = store.epoch_mismatch_view()
+    # epoch-mismatch records render with exactly the PR-7 keys
+    assert view == [] or set(view[0]) == {
+        "shape", "planned_epoch", "executed_epoch", "est_rows", "actual_rows",
+    }
+
+
+# ---------------------------------------------------------------------------
+# slow-query log
+# ---------------------------------------------------------------------------
+
+
+def test_slow_log_threshold_gating():
+    log = SlowQueryLog(threshold_s=0.5, capacity=2)
+    assert not log.maybe_log(shape="q", wall_s=0.1)
+    assert log.maybe_log(shape="q", wall_s=0.9)
+    for i in range(3):
+        log.maybe_log(shape=f"q{i}", wall_s=1.0)
+    assert log.logged == 4
+    assert len(log) == 2  # bounded
+    disabled = SlowQueryLog(threshold_s=None)
+    assert not disabled.maybe_log(shape="q", wall_s=100.0)
+
+
+# ---------------------------------------------------------------------------
+# service wiring
+# ---------------------------------------------------------------------------
+
+
+def test_service_metrics_surface():
+    db = _db()
+    catalog = Catalog(db)
+    catalog.analyze()
+    with QueryService(db, catalog=catalog, slow_query_s=0.0) as svc:
+        svc.execute(QUERY)
+        svc.execute(QUERY)
+        snap = svc.metrics_snapshot()
+        assert snap["repro_queries_executed"] == 2
+        assert snap["repro_query_latency_seconds"]["count"] == 2
+        assert snap["repro_queue_wait_seconds"]["count"] == 2
+        assert snap["repro_cache_hits"] == 1
+        assert snap["repro_cache_misses"] == 1
+        assert snap["repro_cache_hit_ratio"] == pytest.approx(0.5)
+        assert snap["repro_cached_shapes"] == 1
+        assert snap["repro_epochs_pin_events"] >= 2
+        # threshold 0.0 → every query is "slow"; entries carry the plan
+        assert snap["repro_slow_queries"] == 2
+        entry = svc.slow_log.entries()[-1]
+        assert entry["plan"] and entry["wall_s"] >= 0.0
+        json.dumps(snap)
+        text = svc.metrics_text()
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert "repro_queries_executed 2" in text
+        # stats() keeps its own keys working alongside the registry
+        stats = svc.stats()
+        assert stats["slow_queries"] == 2
+        assert stats["misestimates"] == 0
+
+
+def test_epoch_mismatch_migration_compat_view():
+    """Satellite: epoch mismatches now land on the misestimate store;
+    ``stats()['epoch_mismatches']`` still serves the PR-7 records."""
+    db = _db()
+    with QueryService(db) as svc:
+        svc.execute(QUERY)  # compiles at the current epoch
+        db.insert_rows("X", [VTuple(a=0, b=555)])  # epoch moves
+        r = svc.execute(QUERY)  # cache hit: plan priced at the old epoch
+        assert r.cache_hit
+        stats = svc.stats()
+        assert stats["epoch_mismatch_runs"] >= 1
+        rec = stats["epoch_mismatches"][-1]
+        assert rec["planned_epoch"] < rec["executed_epoch"]
+        assert rec["actual_rows"] == len(r.rows)
+        # the same record is a kind="epoch-mismatch" store entry
+        entries = svc.misestimates.records("epoch-mismatch")
+        assert entries and entries[-1]["shape"] == r.shape
+        assert svc.metrics_snapshot()["repro_misestimates"] >= 1
